@@ -1,0 +1,374 @@
+// Benchmark harness: one benchmark per evaluation figure of the paper
+// (Figs. 4-13), the headline numbers, and ablations over the design choices
+// DESIGN.md calls out. Figures print their full series with -v; headline
+// quantities are attached as custom benchmark metrics.
+//
+//	go test -bench=Figure -benchtime=1x -v .
+//	go test -bench=Ablation -benchtime=1x .
+package fmore_test
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fmore/internal/auction"
+	"fmore/internal/dist"
+	"fmore/internal/sim"
+)
+
+// benchScale is the benchmark preset: paper-shaped population (N=100,
+// K=20) with training sized for a CPU-only run.
+func benchScale() sim.Scale {
+	s := sim.PaperScale()
+	s.Rounds = 12
+	s.Repeats = 1
+	s.TrainSamples = 2500
+	s.TestSamples = 400
+	return s
+}
+
+// lastSeries returns the final Y value of the named series, NaN if absent.
+func lastSeries(fr *sim.FigureResult, name string) float64 {
+	for _, s := range fr.Series {
+		if s.Name == name && len(s.Y) > 0 {
+			return s.Y[len(s.Y)-1]
+		}
+	}
+	return math.NaN()
+}
+
+func logFigure(b *testing.B, fr *sim.FigureResult) {
+	b.Helper()
+	var sb strings.Builder
+	if err := sim.WriteFigure(&sb, fr); err != nil {
+		b.Fatal(err)
+	}
+	b.Log("\n" + sb.String())
+}
+
+func benchAccuracyFigure(b *testing.B, gen func(sim.Scale) (*sim.FigureResult, error)) {
+	for i := 0; i < b.N; i++ {
+		fr, err := gen(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastSeries(fr, "FMore/accuracy"), "fmore-acc")
+		b.ReportMetric(lastSeries(fr, "RandFL/accuracy"), "randfl-acc")
+		b.ReportMetric(lastSeries(fr, "FixFL/accuracy"), "fixfl-acc")
+		if i == 0 {
+			logFigure(b, fr)
+		}
+	}
+}
+
+func BenchmarkFigure4MNISTO(b *testing.B)  { benchAccuracyFigure(b, sim.Figure4) }
+func BenchmarkFigure5MNISTF(b *testing.B)  { benchAccuracyFigure(b, sim.Figure5) }
+func BenchmarkFigure6CIFAR10(b *testing.B) { benchAccuracyFigure(b, sim.Figure6) }
+func BenchmarkFigure7HPNews(b *testing.B)  { benchAccuracyFigure(b, sim.Figure7) }
+
+func BenchmarkFigure8ScoreDistribution(b *testing.B) {
+	s := benchScale()
+	s.Rounds = 3 // score pooling does not need long training
+	for i := 0; i < b.N; i++ {
+		fr, err := sim.Figure8(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logFigure(b, fr)
+		}
+	}
+}
+
+func BenchmarkFigure9ImpactN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fr, err := sim.Figure9(benchScale(), 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastSeries(fr, "payment-vs-N"), "pay-at-N200")
+		b.ReportMetric(lastSeries(fr, "score-vs-N"), "score-at-N200")
+		if i == 0 {
+			logFigure(b, fr)
+		}
+	}
+}
+
+func BenchmarkFigure10ImpactK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fr, err := sim.Figure10(benchScale(), 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastSeries(fr, "payment-vs-K"), "pay-at-K35")
+		b.ReportMetric(lastSeries(fr, "score-vs-K"), "score-at-K35")
+		if i == 0 {
+			logFigure(b, fr)
+		}
+	}
+}
+
+func BenchmarkFigure11ImpactPsi(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fr, err := sim.Figure11(benchScale(), 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastSeries(fr, "top30-selected"), "top30-at-psi0.9")
+		if i == 0 {
+			logFigure(b, fr)
+		}
+	}
+}
+
+func BenchmarkFigure12ClusterAccuracy(b *testing.B) {
+	cs := sim.QuickClusterScale()
+	cs.Nodes, cs.K, cs.Rounds = 12, 4, 5
+	for i := 0; i < b.N; i++ {
+		fig12, fig13, err := sim.Figures12And13(cs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastSeries(fig12, "FMore/accuracy"), "fmore-acc")
+		b.ReportMetric(lastSeries(fig12, "RandFL/accuracy"), "randfl-acc")
+		if i == 0 {
+			logFigure(b, fig12)
+			logFigure(b, fig13)
+		}
+	}
+}
+
+func BenchmarkFigure13ClusterTime(b *testing.B) {
+	cs := sim.QuickClusterScale()
+	cs.Nodes, cs.K, cs.Rounds = 12, 4, 5
+	for i := 0; i < b.N; i++ {
+		_, fig13, err := sim.Figures12And13(cs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastSeries(fig13, "FMore/cum-time"), "fmore-total-s")
+		b.ReportMetric(lastSeries(fig13, "RandFL/cum-time"), "randfl-total-s")
+		if i == 0 {
+			logFigure(b, fig13)
+		}
+	}
+}
+
+func BenchmarkHeadlineNumbers(b *testing.B) {
+	s := benchScale()
+	s.Rounds = 6
+	cs := sim.QuickClusterScale()
+	cs.Nodes, cs.K, cs.Rounds = 10, 3, 4
+	for i := 0; i < b.N; i++ {
+		h, err := sim.HeadlineNumbers(s, cs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(h.MeanRoundReductionPct, "round-reduction-%")
+		b.ReportMetric(h.LSTMAccuracyGainPct, "lstm-acc-gain-%")
+		b.ReportMetric(h.ClusterAccuracyGainPct, "cluster-acc-gain-%")
+		b.ReportMetric(h.ClusterTimeReductionPct, "cluster-time-red-%")
+		if i == 0 {
+			var sb strings.Builder
+			if err := h.Write(&sb); err != nil {
+				b.Fatal(err)
+			}
+			b.Log("\n" + sb.String())
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations over the design choices DESIGN.md §5 calls out.
+// ---------------------------------------------------------------------------
+
+func ablationGame(b *testing.B, solver auction.SolverKind, model auction.WinProbModel) auction.EquilibriumConfig {
+	b.Helper()
+	rule, err := auction.NewCobbDouglas(2, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cost, err := auction.NewLinearCost(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	theta, err := dist.NewUniform(1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return auction.EquilibriumConfig{
+		Rule: rule, Cost: cost, Theta: theta,
+		N: 100, K: 20,
+		QLo: []float64{0}, QHi: []float64{1.5},
+		Solver: solver, WinProb: model,
+	}
+}
+
+// BenchmarkAblationWinProbModels measures how much the paper's Eq (9)
+// deviates from the exact order-statistic win probability in equilibrium
+// payments.
+func BenchmarkAblationWinProbModels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		paper, err := auction.SolveEquilibrium(ablationGame(b, auction.SolverQuadrature, auction.WinProbPaper))
+		if err != nil {
+			b.Fatal(err)
+		}
+		exact, err := auction.SolveEquilibrium(ablationGame(b, auction.SolverQuadrature, auction.WinProbExact))
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxRel := 0.0
+		for _, th := range []float64{1.05, 1.2, 1.4, 1.6, 1.8} {
+			pp, pe := paper.Payment(th), exact.Payment(th)
+			if rel := math.Abs(pp-pe) / math.Max(pe, 1e-9); rel > maxRel {
+				maxRel = rel
+			}
+		}
+		b.ReportMetric(100*maxRel, "max-payment-dev-%")
+	}
+}
+
+// BenchmarkAblationSolverEuler/RK4/Quadrature time the three payment
+// solvers on the same game (the paper prescribes Euler).
+func BenchmarkAblationSolverEuler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := auction.SolveEquilibrium(ablationGame(b, auction.SolverEuler, auction.WinProbPaper)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSolverRK4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := auction.SolveEquilibrium(ablationGame(b, auction.SolverRK4, auction.WinProbPaper)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSolverQuadrature(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := auction.SolveEquilibrium(ablationGame(b, auction.SolverQuadrature, auction.WinProbPaper)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPaymentRules compares aggregator outlay under first- vs
+// second-price payment on identical bid pools.
+func BenchmarkAblationPaymentRules(b *testing.B) {
+	rule, err := auction.NewAdditive(0.5, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	bids := make([]auction.Bid, 100)
+	for i := range bids {
+		bids[i] = auction.Bid{
+			NodeID:    i,
+			Qualities: []float64{rng.Float64(), rng.Float64()},
+			Payment:   0.05 + 0.3*rng.Float64(),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		first, err := auction.DetermineWinners(rule, bids, 20, auction.FirstPrice, rand.New(rand.NewSource(2)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		second, err := auction.DetermineWinners(rule, bids, 20, auction.SecondPrice, rand.New(rand.NewSource(2)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(first.TotalPayment(), "first-price-outlay")
+		b.ReportMetric(second.TotalPayment(), "second-price-outlay")
+	}
+}
+
+// BenchmarkAblationScoringRules measures winner-set overlap between the
+// three scoring families on identical bid pools: how much the rule choice
+// alone changes who gets selected.
+func BenchmarkAblationScoringRules(b *testing.B) {
+	add, err := auction.NewAdditive(0.5, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	leo, err := auction.NewLeontief(0.5, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cd, err := auction.NewCobbDouglas(1, 0.5, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	bids := make([]auction.Bid, 100)
+	for i := range bids {
+		bids[i] = auction.Bid{
+			NodeID:    i,
+			Qualities: []float64{rng.Float64(), rng.Float64()},
+			Payment:   0.02 + 0.1*rng.Float64(),
+		}
+	}
+	winnersOf := func(r auction.ScoringRule) map[int]bool {
+		out, err := auction.DetermineWinners(r, bids, 20, auction.FirstPrice, rand.New(rand.NewSource(4)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		set := map[int]bool{}
+		for _, id := range out.WinnerIDs() {
+			set[id] = true
+		}
+		return set
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wAdd, wLeo, wCD := winnersOf(add), winnersOf(leo), winnersOf(cd)
+		overlap := func(a, bset map[int]bool) float64 {
+			n := 0
+			for id := range a {
+				if bset[id] {
+					n++
+				}
+			}
+			return float64(n) / float64(len(a))
+		}
+		b.ReportMetric(overlap(wAdd, wLeo), "additive-leontief-overlap")
+		b.ReportMetric(overlap(wAdd, wCD), "additive-cobbdouglas-overlap")
+	}
+}
+
+// BenchmarkAblationBudget exercises the budget-constrained winner
+// determination (the paper's named future-work extension): how the winner
+// count and outlay respond as the aggregator budget tightens.
+func BenchmarkAblationBudget(b *testing.B) {
+	rule, err := auction.NewAdditive(0.5, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	bids := make([]auction.Bid, 100)
+	for i := range bids {
+		bids[i] = auction.Bid{
+			NodeID:    i,
+			Qualities: []float64{rng.Float64(), rng.Float64()},
+			Payment:   0.05 + 0.25*rng.Float64(),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tight, err := auction.DetermineWinnersBudget(rule, bids, 20, 1.0, auction.FirstPrice, rand.New(rand.NewSource(8)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		loose, err := auction.DetermineWinnersBudget(rule, bids, 20, 10.0, auction.FirstPrice, rand.New(rand.NewSource(8)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(tight.Winners)), "winners-budget-1")
+		b.ReportMetric(float64(len(loose.Winners)), "winners-budget-10")
+		b.ReportMetric(tight.TotalPayment(), "outlay-budget-1")
+	}
+}

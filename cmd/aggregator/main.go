@@ -1,0 +1,134 @@
+// Command aggregator runs a standalone FMore aggregator server: it listens
+// for edge-node registrations (cmd/edgenode) and drives the auction-based
+// federated training of Algorithm 1 over real TCP.
+//
+// The aggregator and the edge nodes agree on the task through the -task and
+// -seed flags: the aggregator generates the held-out test set, each node
+// generates its private local shard.
+//
+// Usage:
+//
+//	aggregator -addr :9000 -nodes 4 -k 2 -rounds 10 -task mnist-o
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+
+	"fmore/internal/auction"
+	"fmore/internal/data"
+	"fmore/internal/ml"
+	"fmore/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "aggregator:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("aggregator", flag.ContinueOnError)
+	addr := fs.String("addr", ":9000", "listen address")
+	nodes := fs.Int("nodes", 4, "number of edge nodes to wait for")
+	k := fs.Int("k", 2, "winners per round")
+	rounds := fs.Int("rounds", 10, "federated rounds")
+	taskName := fs.String("task", "mnist-o", "workload: mnist-o, mnist-f, cifar-10, hpnews")
+	testN := fs.Int("test", 300, "test set size")
+	seed := fs.Int64("seed", 1, "shared experiment seed")
+	random := fs.Bool("random", false, "RandFL baseline selection")
+	psi := fs.Float64("psi", 1, "psi-FMore admission probability")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	task, err := parseTask(*taskName)
+	if err != nil {
+		return err
+	}
+	// The aggregator only needs the test split; the minimal train split is
+	// discarded. Edge nodes derive their private shards from node-specific
+	// seeds, so train and test data stay distinct.
+	corpus, err := data.GenerateTask(task, data.NumClasses, *testN, *seed)
+	if err != nil {
+		return err
+	}
+	global, err := buildModel(task, rand.New(rand.NewSource(*seed+13)))
+	if err != nil {
+		return err
+	}
+	rule, err := auction.NewAdditive(0.4, 0.3, 0.3)
+	if err != nil {
+		return err
+	}
+	listener, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	defer listener.Close() //nolint:errcheck // process exit follows
+
+	fmt.Printf("aggregator listening on %s, waiting for %d nodes\n", listener.Addr(), *nodes)
+	server, err := transport.NewServer(transport.ServerConfig{
+		Listener:        listener,
+		ExpectNodes:     *nodes,
+		Rounds:          *rounds,
+		K:               *k,
+		Rule:            rule,
+		Psi:             *psi,
+		Global:          global,
+		Test:            corpus.Test,
+		Seed:            *seed,
+		RandomSelection: *random,
+	})
+	if err != nil {
+		return err
+	}
+	report, err := server.Run()
+	if err != nil {
+		return err
+	}
+	for _, r := range report.Rounds {
+		fmt.Printf("round %2d: accuracy %.4f loss %.4f winners %v payment %.3f (%.2fs)\n",
+			r.Round, r.Accuracy, r.Loss, r.SelectedIDs, r.TotalPayment, r.WallTimeSec)
+	}
+	if len(report.Blacklisted) > 0 {
+		fmt.Printf("blacklisted: %v\n", report.Blacklisted)
+	}
+	fmt.Printf("final accuracy: %.4f\n", report.FinalAccuracy)
+	return nil
+}
+
+func parseTask(s string) (data.TaskKind, error) {
+	switch s {
+	case "mnist-o":
+		return data.MNISTO, nil
+	case "mnist-f":
+		return data.MNISTF, nil
+	case "cifar-10", "cifar":
+		return data.CIFAR10, nil
+	case "hpnews":
+		return data.HPNews, nil
+	default:
+		return 0, fmt.Errorf("unknown task %q", s)
+	}
+}
+
+func buildModel(kind data.TaskKind, rng *rand.Rand) (ml.Classifier, error) {
+	switch kind {
+	case data.MNISTO, data.MNISTF:
+		return ml.NewImageCNN(ml.MNISTCNNConfig(data.ImageSize, data.ImageSize), rng)
+	case data.CIFAR10:
+		return ml.NewImageCNN(ml.CIFARCNNConfig(data.ImageSize, data.ImageSize), rng)
+	case data.HPNews:
+		return ml.NewLSTMClassifier(ml.LSTMConfig{
+			Vocab: data.TextVocab, Embed: 10, Hidden: 20,
+			Classes: data.NumClasses, Momentum: 0.9,
+		}, rng)
+	default:
+		return nil, fmt.Errorf("unknown task kind %v", kind)
+	}
+}

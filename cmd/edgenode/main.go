@@ -1,0 +1,144 @@
+// Command edgenode runs one standalone FMore edge node: it generates its
+// private local dataset, computes its Nash equilibrium bid, connects to the
+// aggregator (cmd/aggregator), and participates in federated training.
+//
+// Usage (against a running aggregator expecting 4 nodes):
+//
+//	edgenode -addr localhost:9000 -id 0 -task mnist-o -data 200 &
+//	edgenode -addr localhost:9000 -id 1 -task mnist-o -data 120 &
+//	edgenode -addr localhost:9000 -id 2 -task mnist-o -data  80 &
+//	edgenode -addr localhost:9000 -id 3 -task mnist-o -data  60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"fmore/internal/auction"
+	"fmore/internal/data"
+	"fmore/internal/dist"
+	"fmore/internal/ml"
+	"fmore/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "edgenode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("edgenode", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:9000", "aggregator address")
+	id := fs.Int("id", 0, "node id (unique per node)")
+	taskName := fs.String("task", "mnist-o", "workload: mnist-o, mnist-f, cifar-10, hpnews")
+	dataSize := fs.Int("data", 150, "local dataset size")
+	cpu := fs.Float64("cpu", 4, "offered CPU cores (1-8)")
+	bandwidth := fs.Float64("bw", 50, "offered bandwidth in Mbps (5-100)")
+	seed := fs.Int64("seed", 1, "shared experiment seed")
+	epochs := fs.Int("epochs", 1, "local epochs per won round")
+	theta := fs.Float64("theta", 0, "private cost parameter (0 = draw randomly)")
+	nBidders := fs.Int("bidders", 4, "expected number of competing bidders (for the equilibrium)")
+	k := fs.Int("k", 2, "expected number of winners (for the equilibrium)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	task, err := parseTask(*taskName)
+	if err != nil {
+		return err
+	}
+	// Private local data: node-specific seed keeps shards distinct across
+	// nodes and distinct from the aggregator's test set.
+	corpus, err := data.GenerateTask(task, *dataSize, data.NumClasses, *seed+1000+int64(*id))
+	if err != nil {
+		return err
+	}
+	model, err := buildModel(task, rand.New(rand.NewSource(*seed+2000+int64(*id))))
+	if err != nil {
+		return err
+	}
+
+	// Equilibrium strategy for the deployment market (additive rule
+	// 0.4/0.3/0.3 over normalized CPU/bandwidth/data, as in §V-A).
+	rule, err := auction.NewAdditive(0.4, 0.3, 0.3)
+	if err != nil {
+		return err
+	}
+	cost, err := auction.NewLinearCost(0.1, 0.1, 0.1)
+	if err != nil {
+		return err
+	}
+	thetaDist, err := dist.NewUniform(0.5, 1.5)
+	if err != nil {
+		return err
+	}
+	strategy, err := auction.SolveEquilibrium(auction.EquilibriumConfig{
+		Rule: rule, Cost: cost, Theta: thetaDist,
+		N: *nBidders, K: *k,
+		QLo: []float64{0, 0, 0}, QHi: []float64{1, 1, 1},
+		ThetaGridPoints: 65, QualityGridPoints: 24,
+	})
+	if err != nil {
+		return err
+	}
+	myTheta := *theta
+	if myTheta == 0 {
+		myTheta = thetaDist.Sample(rand.New(rand.NewSource(*seed + 3000 + int64(*id))))
+	}
+
+	qualities := []float64{*cpu / 8, *bandwidth / 100, float64(*dataSize) / 10000}
+	fmt.Printf("node %d: θ=%.3f data=%d bidding p=%.4f q=%.3v\n",
+		*id, myTheta, *dataSize, strategy.Payment(myTheta), qualities)
+
+	summary, err := transport.RunClient(transport.ClientConfig{
+		Addr:        *addr,
+		NodeID:      *id,
+		Model:       model,
+		Local:       corpus.Train,
+		Qualities:   func(int) []float64 { return qualities },
+		Payment:     func(int) float64 { return strategy.Payment(myTheta) },
+		LocalEpochs: *epochs,
+		Seed:        *seed + 4000 + int64(*id),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("node %d: rounds=%d won=%d earned=%.4f final-accuracy=%.4f\n",
+		*id, summary.RoundsSeen, summary.RoundsWon, summary.TotalEarned, summary.FinalAccuracy)
+	return nil
+}
+
+func parseTask(s string) (data.TaskKind, error) {
+	switch s {
+	case "mnist-o":
+		return data.MNISTO, nil
+	case "mnist-f":
+		return data.MNISTF, nil
+	case "cifar-10", "cifar":
+		return data.CIFAR10, nil
+	case "hpnews":
+		return data.HPNews, nil
+	default:
+		return 0, fmt.Errorf("unknown task %q", s)
+	}
+}
+
+func buildModel(kind data.TaskKind, rng *rand.Rand) (ml.Classifier, error) {
+	switch kind {
+	case data.MNISTO, data.MNISTF:
+		return ml.NewImageCNN(ml.MNISTCNNConfig(data.ImageSize, data.ImageSize), rng)
+	case data.CIFAR10:
+		return ml.NewImageCNN(ml.CIFARCNNConfig(data.ImageSize, data.ImageSize), rng)
+	case data.HPNews:
+		return ml.NewLSTMClassifier(ml.LSTMConfig{
+			Vocab: data.TextVocab, Embed: 10, Hidden: 20,
+			Classes: data.NumClasses, Momentum: 0.9,
+		}, rng)
+	default:
+		return nil, fmt.Errorf("unknown task kind %v", kind)
+	}
+}

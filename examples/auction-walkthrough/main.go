@@ -1,0 +1,103 @@
+// Auction walkthrough: the five-node example of §III-B (Fig. 3),
+// reproduced bid for bid — both rounds, the published score tables, and the
+// winner sets {A, D, E} then {A, C, E} — followed by the Nash equilibrium
+// strategy §III-B defers to §IV ("we will provide the Nash equilibrium
+// strategy to a rational node in Section IV").
+//
+//	go run ./examples/auction-walkthrough
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fmore/internal/auction"
+	"fmore/internal/dist"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The walk-through market: data size on [1000, 5000], bandwidth on
+	// [5, 100] Mb, min-max normalized, scored by S = min{0.5 q1, 0.5 q2} − p.
+	inner, err := auction.NewLeontief(0.5, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rule, err := auction.NewNormalized(inner, []float64{1000, 5}, []float64{5000, 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	auctioneer, err := auction.NewAuctioneer(auction.Config{Rule: rule, K: 3}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	names := []string{"A", "B", "C", "D", "E"}
+	roundBids := [][]auction.Bid{
+		{
+			{NodeID: 0, Qualities: []float64{4000, 85}, Payment: 0.20},
+			{NodeID: 1, Qualities: []float64{3000, 35}, Payment: 0.10},
+			{NodeID: 2, Qualities: []float64{3500, 75}, Payment: 0.18},
+			{NodeID: 3, Qualities: []float64{5000, 85}, Payment: 0.20},
+			{NodeID: 4, Qualities: []float64{5000, 100}, Payment: 0.20},
+		},
+		{
+			{NodeID: 0, Qualities: []float64{4000, 85}, Payment: 0.16},
+			{NodeID: 1, Qualities: []float64{3500, 45}, Payment: 0.10},
+			{NodeID: 2, Qualities: []float64{4000, 80}, Payment: 0.15},
+			{NodeID: 3, Qualities: []float64{4000, 80}, Payment: 0.20},
+			{NodeID: 4, Qualities: []float64{5000, 100}, Payment: 0.30},
+		},
+	}
+	for r, bids := range roundBids {
+		outcome, err := auctioneer.Run(bids)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("round %d scores:\n", r+1)
+		for i, s := range outcome.Scores {
+			fmt.Printf("  %s: %.4f (bid data=%v, bw=%vMb, p=%v)\n",
+				names[i], s, bids[i].Qualities[0], bids[i].Qualities[1], bids[i].Payment)
+		}
+		fmt.Print("  winners: ")
+		for _, w := range outcome.Winners {
+			fmt.Printf("%s (pays %.3f)  ", names[w.Bid.NodeID], w.Payment)
+		}
+		fmt.Println()
+		fmt.Println()
+	}
+
+	// The rational bid: §IV's Theorem 1 equilibrium for a comparable
+	// single-dimensional market, solved with the Euler method exactly as
+	// Algorithm 1 line 7 prescribes.
+	rule1d, err := auction.NewCobbDouglas(2, 0.5) // s(q) = 2√q
+	if err != nil {
+		log.Fatal(err)
+	}
+	cost, err := auction.NewLinearCost(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	theta, err := dist.NewUniform(1, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	strategy, err := auction.SolveEquilibrium(auction.EquilibriumConfig{
+		Rule: rule1d, Cost: cost, Theta: theta,
+		N: 5, K: 3,
+		QLo: []float64{0}, QHi: []float64{1.5},
+		Solver: auction.SolverEuler,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Nash equilibrium strategy (N=5, K=3, s=2√q, c=θq, θ~U[1,2]):")
+	fmt.Println("  θ      q*(θ)   p*(θ)   score u(θ)  win prob  expected profit")
+	for _, th := range []float64{1.0, 1.2, 1.4, 1.6, 1.8, 2.0} {
+		q, p := strategy.Bid(th)
+		fmt.Printf("  %.2f   %.4f  %.4f  %.4f      %.3f     %.4f\n",
+			th, q[0], p, strategy.ScoreAt(th), strategy.WinProbability(th), strategy.ExpectedProfit(th))
+	}
+}

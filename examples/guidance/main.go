@@ -1,0 +1,68 @@
+// Guidance example (Proposition 4): how the aggregator steers the mix of
+// procured resources by tuning the Cobb–Douglas exponents α, and how it
+// estimates the market's cost coefficients β̃ from bidding history.
+//
+//	go run ./examples/guidance
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fmore/internal/auction"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Market estimates: resource 0 (data) costs 60% of a node's budget
+	// share, resource 1 (bandwidth) 40%.
+	betaTilde := []float64{0.6, 0.4}
+
+	fmt.Println("Proposition 4: optimal resource mix under s(q) = q1^a1 · q2^a2,")
+	fmt.Println("cost c = θ(0.6 q1 + 0.4 q2), budget 100, θ = 1.25")
+	fmt.Println("  α            mix(data, bandwidth)    quantities")
+	for _, alpha := range [][]float64{{0.5, 0.5}, {0.7, 0.3}, {0.3, 0.7}} {
+		mix, err := auction.OptimalMix(alpha, betaTilde)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q, err := auction.OptimalQuantities(alpha, betaTilde, 1.25, 100)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %.1f/%.1f      %.3f / %.3f           %.1f / %.1f\n",
+			alpha[0], alpha[1], mix[0], mix[1], q[0], q[1])
+	}
+
+	// Inverse problem: the aggregator wants twice as much data as bandwidth.
+	desired := []float64{2, 1}
+	alpha, err := auction.CalibrateAlpha(desired, betaTilde)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nto procure data:bandwidth = 2:1, set α = (%.3f, %.3f)\n", alpha[0], alpha[1])
+	mix, err := auction.OptimalMix(alpha, betaTilde)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("check: resulting mix = %.3f / %.3f (ratio %.2f)\n", mix[0], mix[1], mix[0]/mix[1])
+
+	// Estimating β̃ from the public market: observed winning bids follow
+	// p ≈ θ̄(β̃1 q1 + β̃2 q2); the estimator recovers the proportions.
+	rng := rand.New(rand.NewSource(3))
+	var qs [][]float64
+	var ps []float64
+	for i := 0; i < 300; i++ {
+		q := []float64{rng.Float64() * 5, rng.Float64() * 5}
+		p := 1.3 * (0.6*q[0] + 0.4*q[1]) * (1 + 0.05*(rng.Float64()-0.5))
+		qs = append(qs, q)
+		ps = append(ps, p)
+	}
+	est, err := auction.EstimateBetaTilde(qs, ps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nβ̃ estimated from 300 observed bids: (%.3f, %.3f), true (0.6, 0.4)\n", est[0], est[1])
+}

@@ -1,0 +1,64 @@
+// Quickstart: run one FMore auction round and a short federated training,
+// end to end, in ~80 lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fmore/internal/auction"
+	"fmore/internal/data"
+	"fmore/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// --- Part 1: one standalone auction round -----------------------------
+	// The aggregator broadcasts S(q1, q2, p) = 0.6 q1 + 0.4 q2 − p and will
+	// select K = 2 winners.
+	rule, err := auction.NewAdditive(0.6, 0.4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	auctioneer, err := auction.NewAuctioneer(auction.Config{Rule: rule, K: 2}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	bids := []auction.Bid{
+		{NodeID: 0, Qualities: []float64{0.9, 0.8}, Payment: 0.30},
+		{NodeID: 1, Qualities: []float64{0.7, 0.9}, Payment: 0.20},
+		{NodeID: 2, Qualities: []float64{0.4, 0.5}, Payment: 0.05},
+		{NodeID: 3, Qualities: []float64{0.8, 0.3}, Payment: 0.40},
+	}
+	outcome, err := auctioneer.Run(bids)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("auction winners (best score first):")
+	for _, w := range outcome.Winners {
+		fmt.Printf("  node %d: score %.3f, paid %.3f\n", w.Bid.NodeID, w.Score, w.Payment)
+	}
+	fmt.Printf("aggregator profit: %.3f\n\n", outcome.AggregatorProfit)
+
+	// --- Part 2: a short federated training with FMore selection ----------
+	scale := sim.QuickScale()
+	scale.Rounds = 5
+	avg, err := sim.RunAveraged(sim.ExperimentConfig{
+		Task:   data.MNISTO,
+		Method: sim.MethodFMore,
+		Scale:  scale,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("federated training on %s with %s selection:\n", data.MNISTO, avg.Selector)
+	for i, acc := range avg.Accuracy {
+		fmt.Printf("  round %d: accuracy %.3f, loss %.3f\n", i+1, acc, avg.Loss[i])
+	}
+	fmt.Printf("mean winner payment %.4f, mean winner score %.4f\n",
+		avg.MeanPayment, avg.MeanWinnerScore)
+}

@@ -1,0 +1,91 @@
+package auction
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config parameterizes an Auctioneer, the aggregator-side orchestration of
+// the three incentive steps (bid ask, bid collection, winner determination).
+type Config struct {
+	// Rule is the public scoring rule broadcast in the bid ask.
+	Rule ScoringRule
+	// K is the number of winners per round.
+	K int
+	// Payment selects first- or second-price payments (default FirstPrice).
+	Payment PaymentRule
+	// Psi is the ψ-FMore admission probability in (0, 1]; 1 (the default)
+	// is plain FMore.
+	Psi float64
+}
+
+func (c *Config) setDefaults() {
+	if c.Payment == 0 {
+		c.Payment = FirstPrice
+	}
+	if c.Psi == 0 {
+		c.Psi = 1
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Rule == nil {
+		return fmt.Errorf("auction: Config.Rule is required")
+	}
+	if c.K < 1 {
+		return fmt.Errorf("auction: Config.K must be >= 1, got %d", c.K)
+	}
+	if c.Psi <= 0 || c.Psi > 1 || math.IsNaN(c.Psi) {
+		return fmt.Errorf("auction: Config.Psi must be in (0, 1], got %v", c.Psi)
+	}
+	if c.Payment != FirstPrice && c.Payment != SecondPrice {
+		return fmt.Errorf("auction: unknown payment rule %v", c.Payment)
+	}
+	return nil
+}
+
+// Auctioneer runs FMore auction rounds for the aggregator. It is not safe
+// for concurrent use; give each goroutine its own instance.
+type Auctioneer struct {
+	cfg Config
+	rng *rand.Rand
+
+	round int
+}
+
+// NewAuctioneer validates cfg and returns an Auctioneer using rng for
+// tie-breaks and ψ-admission draws.
+func NewAuctioneer(cfg Config, rng *rand.Rand) (*Auctioneer, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("auction: rng is required")
+	}
+	return &Auctioneer{cfg: cfg, rng: rng}, nil
+}
+
+// Ask returns the bid ask for the next round: the scoring rule and K. The
+// paper notes this message is a few bytes — the rule parameters, not the
+// model — so broadcasting it each round is negligible overhead.
+func (a *Auctioneer) Ask() Ask {
+	return Ask{Rule: a.cfg.Rule, K: a.cfg.K, Round: a.round}
+}
+
+// Run executes winner determination over the collected sealed bids and
+// advances the round counter. With Psi < 1 it runs ψ-FMore admission.
+func (a *Auctioneer) Run(bids []Bid) (Outcome, error) {
+	a.round++
+	if a.cfg.Psi < 1 {
+		return DetermineWinnersPsi(a.cfg.Rule, bids, a.cfg.K, a.cfg.Psi, a.cfg.Payment, a.rng)
+	}
+	return DetermineWinners(a.cfg.Rule, bids, a.cfg.K, a.cfg.Payment, a.rng)
+}
+
+// Round returns the number of completed auction rounds.
+func (a *Auctioneer) Round() int { return a.round }
+
+// Config returns the auctioneer's configuration (rule, K, payment, ψ).
+func (a *Auctioneer) Config() Config { return a.cfg }

@@ -1,0 +1,92 @@
+package auction
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bid is a sealed bid (qᵢ, pᵢ) submitted by one edge node: the promised
+// quality vector and the expected payment.
+type Bid struct {
+	// NodeID identifies the bidding edge node.
+	NodeID int
+	// Qualities is the promised quality vector q = (q₁..qₘ).
+	Qualities []float64
+	// Payment is the expected payment p the node asks for.
+	Payment float64
+}
+
+// Validate checks the bid against the rule's dimensionality and finiteness.
+func (b Bid) Validate(dims int) error {
+	if err := CheckDims(dims, b.Qualities); err != nil {
+		return fmt.Errorf("bid from node %d: %w", b.NodeID, err)
+	}
+	if math.IsNaN(b.Payment) || math.IsInf(b.Payment, 0) {
+		return fmt.Errorf("bid from node %d: payment %v is not finite", b.NodeID, b.Payment)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the bid (qualities are copied).
+func (b Bid) Clone() Bid {
+	return Bid{
+		NodeID:    b.NodeID,
+		Qualities: append([]float64(nil), b.Qualities...),
+		Payment:   b.Payment,
+	}
+}
+
+// Ask is the bid ask the aggregator broadcasts at the start of each round:
+// the scoring rule and how many winners will be selected. Its wire encoding
+// lives in internal/transport; this is the in-memory form.
+type Ask struct {
+	// Rule is the public scoring rule S(q, p) = Rule.Value(q) − p.
+	Rule ScoringRule
+	// K is the number of winners the aggregator will select.
+	K int
+	// Round is the federated training round this ask belongs to.
+	Round int
+}
+
+// Winner records one selected bid together with its score and the payment
+// granted by the payment rule.
+type Winner struct {
+	Bid Bid
+	// Score is S(q, p) under the broadcast rule.
+	Score float64
+	// Payment is what the aggregator actually pays (equals Bid.Payment under
+	// the first-price rule; may exceed it under the second-price rule).
+	Payment float64
+}
+
+// Outcome is the full result of one auction round.
+type Outcome struct {
+	// Winners are the selected bids in descending score order.
+	Winners []Winner
+	// Scores maps every bidder (by slice position of the input bids) to its
+	// evaluated score, winners and losers alike, for score-distribution
+	// analysis (paper Fig. 8).
+	Scores []float64
+	// AggregatorProfit is V = Σ_{i∈W} (U(qᵢ) − pᵢ) (Eq 6) where the utility
+	// U is taken equal to the scoring rule's s(·), the Pareto-efficient
+	// configuration of Theorem 4.
+	AggregatorProfit float64
+}
+
+// WinnerIDs returns the node IDs of the winners in score order.
+func (o Outcome) WinnerIDs() []int {
+	ids := make([]int, len(o.Winners))
+	for i, w := range o.Winners {
+		ids[i] = w.Bid.NodeID
+	}
+	return ids
+}
+
+// TotalPayment returns the sum the aggregator pays this round.
+func (o Outcome) TotalPayment() float64 {
+	total := 0.0
+	for _, w := range o.Winners {
+		total += w.Payment
+	}
+	return total
+}

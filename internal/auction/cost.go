@@ -1,0 +1,261 @@
+package auction
+
+import (
+	"fmt"
+	"math"
+)
+
+// CostFunction is the private cost c(q₁..qₘ, θ) an edge node incurs to
+// provide the quality vector q given its private type θ. The paper assumes
+// the single-crossing conditions c_q ≥ 0, c_qθ > 0 and c_qqθ ≥ 0
+// (§III-A step 2); VerifySingleCrossing checks them numerically.
+type CostFunction interface {
+	// Cost returns c(q, θ).
+	Cost(q []float64, theta float64) float64
+	// Dims returns the number of resource dimensions.
+	Dims() int
+	// Name identifies the cost family.
+	Name() string
+}
+
+// ThetaDifferentiable is implemented by cost functions that expose the
+// analytic partial derivative ∂c/∂θ, used by Che's Theorem 2 closed-form
+// payment. Costs without it fall back to a central finite difference.
+type ThetaDifferentiable interface {
+	CostThetaDeriv(q []float64, theta float64) float64
+}
+
+// CostThetaDeriv returns ∂c/∂θ at (q, θ), analytically when available.
+func CostThetaDeriv(c CostFunction, q []float64, theta float64) float64 {
+	if td, ok := c.(ThetaDifferentiable); ok {
+		return td.CostThetaDeriv(q, theta)
+	}
+	h := 1e-6 * math.Max(1, math.Abs(theta))
+	return (c.Cost(q, theta+h) - c.Cost(q, theta-h)) / (2 * h)
+}
+
+// LinearCost is the additive cost c(q, θ) = θ · Σ βᵢqᵢ used by
+// Proposition 4's guidance analysis. It satisfies the single-crossing
+// conditions with c_qq = 0.
+type LinearCost struct {
+	Beta []float64
+}
+
+var (
+	_ CostFunction        = LinearCost{}
+	_ ThetaDifferentiable = LinearCost{}
+)
+
+// NewLinearCost returns a linear cost with positive coefficients β.
+func NewLinearCost(beta ...float64) (LinearCost, error) {
+	if err := checkCoefficients(beta); err != nil {
+		return LinearCost{}, err
+	}
+	return LinearCost{Beta: append([]float64(nil), beta...)}, nil
+}
+
+// Cost implements CostFunction.
+func (l LinearCost) Cost(q []float64, theta float64) float64 {
+	s := 0.0
+	for i := range l.Beta {
+		s += l.Beta[i] * q[i]
+	}
+	return theta * s
+}
+
+// CostThetaDeriv implements ThetaDifferentiable.
+func (l LinearCost) CostThetaDeriv(q []float64, _ float64) float64 {
+	s := 0.0
+	for i := range l.Beta {
+		s += l.Beta[i] * q[i]
+	}
+	return s
+}
+
+// Dims implements CostFunction.
+func (l LinearCost) Dims() int { return len(l.Beta) }
+
+// Name implements CostFunction.
+func (l LinearCost) Name() string { return "linear" }
+
+// QuadraticCost is the strictly convex cost c(q, θ) = θ · Σ βᵢqᵢ², which
+// yields interior quality optima under concave scoring rules and satisfies
+// the single-crossing conditions with c_qq > 0.
+type QuadraticCost struct {
+	Beta []float64
+}
+
+var (
+	_ CostFunction        = QuadraticCost{}
+	_ ThetaDifferentiable = QuadraticCost{}
+)
+
+// NewQuadraticCost returns a quadratic cost with positive coefficients β.
+func NewQuadraticCost(beta ...float64) (QuadraticCost, error) {
+	if err := checkCoefficients(beta); err != nil {
+		return QuadraticCost{}, err
+	}
+	return QuadraticCost{Beta: append([]float64(nil), beta...)}, nil
+}
+
+// Cost implements CostFunction.
+func (c QuadraticCost) Cost(q []float64, theta float64) float64 {
+	s := 0.0
+	for i := range c.Beta {
+		s += c.Beta[i] * q[i] * q[i]
+	}
+	return theta * s
+}
+
+// CostThetaDeriv implements ThetaDifferentiable.
+func (c QuadraticCost) CostThetaDeriv(q []float64, _ float64) float64 {
+	s := 0.0
+	for i := range c.Beta {
+		s += c.Beta[i] * q[i] * q[i]
+	}
+	return s
+}
+
+// Dims implements CostFunction.
+func (c QuadraticCost) Dims() int { return len(c.Beta) }
+
+// Name implements CostFunction.
+func (c QuadraticCost) Name() string { return "quadratic" }
+
+// PowerCost is c(q, θ) = θ · Σ βᵢqᵢ^γ for a common exponent γ ≥ 1, a
+// generalization interpolating between LinearCost (γ=1) and QuadraticCost
+// (γ=2).
+type PowerCost struct {
+	Beta  []float64
+	Gamma float64
+}
+
+var (
+	_ CostFunction        = PowerCost{}
+	_ ThetaDifferentiable = PowerCost{}
+)
+
+// NewPowerCost returns a power cost with exponent gamma >= 1.
+func NewPowerCost(gamma float64, beta ...float64) (PowerCost, error) {
+	if gamma < 1 || math.IsNaN(gamma) || math.IsInf(gamma, 0) {
+		return PowerCost{}, fmt.Errorf("auction: power cost exponent must be >= 1, got %v", gamma)
+	}
+	if err := checkCoefficients(beta); err != nil {
+		return PowerCost{}, err
+	}
+	return PowerCost{Beta: append([]float64(nil), beta...), Gamma: gamma}, nil
+}
+
+// Cost implements CostFunction.
+func (c PowerCost) Cost(q []float64, theta float64) float64 {
+	s := 0.0
+	for i := range c.Beta {
+		qi := q[i]
+		if qi < 0 {
+			qi = 0
+		}
+		s += c.Beta[i] * math.Pow(qi, c.Gamma)
+	}
+	return theta * s
+}
+
+// CostThetaDeriv implements ThetaDifferentiable.
+func (c PowerCost) CostThetaDeriv(q []float64, _ float64) float64 {
+	s := 0.0
+	for i := range c.Beta {
+		qi := q[i]
+		if qi < 0 {
+			qi = 0
+		}
+		s += c.Beta[i] * math.Pow(qi, c.Gamma)
+	}
+	return s
+}
+
+// Dims implements CostFunction.
+func (c PowerCost) Dims() int { return len(c.Beta) }
+
+// Name implements CostFunction.
+func (c PowerCost) Name() string { return fmt.Sprintf("power(%.2g)", c.Gamma) }
+
+// SingleCrossingReport summarizes the numeric verification of the paper's
+// single-crossing conditions over a grid.
+type SingleCrossingReport struct {
+	// CqNonNegative: marginal cost in every quality dimension is >= 0.
+	CqNonNegative bool
+	// CqThetaPositive: the marginal cost strictly increases with θ.
+	CqThetaPositive bool
+	// CqqThetaNonNegative: convexity of marginal cost does not decrease in θ.
+	CqqThetaNonNegative bool
+}
+
+// OK reports whether all three conditions hold on the sampled grid.
+func (r SingleCrossingReport) OK() bool {
+	return r.CqNonNegative && r.CqThetaPositive && r.CqqThetaNonNegative
+}
+
+// VerifySingleCrossing samples c over a quality box and θ interval and checks
+// the single-crossing conditions with central finite differences. gridPoints
+// controls resolution per axis (min 3).
+func VerifySingleCrossing(c CostFunction, qLo, qHi []float64, thetaLo, thetaHi float64, gridPoints int) (SingleCrossingReport, error) {
+	if len(qLo) != c.Dims() || len(qHi) != c.Dims() {
+		return SingleCrossingReport{}, fmt.Errorf("%w: box %d/%d vs cost %d", ErrDimensionMismatch, len(qLo), len(qHi), c.Dims())
+	}
+	if gridPoints < 3 {
+		gridPoints = 3
+	}
+	rep := SingleCrossingReport{CqNonNegative: true, CqThetaPositive: true, CqqThetaNonNegative: true}
+	const tol = 1e-9
+	for d := 0; d < c.Dims(); d++ {
+		hq := (qHi[d] - qLo[d]) / float64(gridPoints+1)
+		if hq <= 0 {
+			return SingleCrossingReport{}, fmt.Errorf("auction: empty quality box in dim %d", d)
+		}
+		ht := (thetaHi - thetaLo) / float64(gridPoints+1)
+		if ht <= 0 {
+			return SingleCrossingReport{}, fmt.Errorf("auction: empty theta interval [%v, %v]", thetaLo, thetaHi)
+		}
+		q := make([]float64, c.Dims())
+		for gq := 1; gq <= gridPoints; gq++ {
+			for gt := 1; gt <= gridPoints; gt++ {
+				for j := range q {
+					q[j] = (qLo[j] + qHi[j]) / 2
+				}
+				q[d] = qLo[d] + float64(gq)*hq
+				theta := thetaLo + float64(gt)*ht
+
+				cq := partialQ(c, q, d, theta, hq/4)
+				if cq < -tol {
+					rep.CqNonNegative = false
+				}
+				cqLoTheta := partialQ(c, q, d, theta-ht/4, hq/4)
+				cqHiTheta := partialQ(c, q, d, theta+ht/4, hq/4)
+				if cqHiTheta-cqLoTheta <= tol*math.Max(1, math.Abs(cqLoTheta)) {
+					rep.CqThetaPositive = false
+				}
+				cqqLo := secondQ(c, q, d, theta-ht/4, hq/4)
+				cqqHi := secondQ(c, q, d, theta+ht/4, hq/4)
+				if cqqHi-cqqLo < -1e-6*math.Max(1, math.Abs(cqqLo)) {
+					rep.CqqThetaNonNegative = false
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+func partialQ(c CostFunction, q []float64, d int, theta, h float64) float64 {
+	qp := append([]float64(nil), q...)
+	qm := append([]float64(nil), q...)
+	qp[d] += h
+	qm[d] -= h
+	return (c.Cost(qp, theta) - c.Cost(qm, theta)) / (2 * h)
+}
+
+func secondQ(c CostFunction, q []float64, d int, theta, h float64) float64 {
+	qp := append([]float64(nil), q...)
+	qm := append([]float64(nil), q...)
+	qp[d] += h
+	qm[d] -= h
+	return (c.Cost(qp, theta) - 2*c.Cost(q, theta) + c.Cost(qm, theta)) / (h * h)
+}

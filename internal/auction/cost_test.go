@@ -1,0 +1,181 @@
+package auction
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearCost(t *testing.T) {
+	c, err := NewLinearCost(0.6, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Cost([]float64{1, 2}, 3); math.Abs(got-3*(0.6+0.8)) > 1e-12 {
+		t.Errorf("Cost = %v, want 4.2", got)
+	}
+	if got := c.CostThetaDeriv([]float64{1, 2}, 3); math.Abs(got-1.4) > 1e-12 {
+		t.Errorf("CostThetaDeriv = %v, want 1.4", got)
+	}
+}
+
+func TestQuadraticCost(t *testing.T) {
+	c, err := NewQuadraticCost(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Cost([]float64{2, 1}, 0.5); math.Abs(got-0.5*(4+2)) > 1e-12 {
+		t.Errorf("Cost = %v, want 3", got)
+	}
+}
+
+func TestPowerCostInterpolatesFamilies(t *testing.T) {
+	lin, err := NewLinearCost(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := NewPowerCost(1, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := NewQuadraticCost(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewPowerCost(2, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0, 0.5, 1, 2} {
+		if a, b := lin.Cost([]float64{q}, 1.3), p1.Cost([]float64{q}, 1.3); math.Abs(a-b) > 1e-12 {
+			t.Errorf("power(1) != linear at q=%v: %v vs %v", q, b, a)
+		}
+		if a, b := quad.Cost([]float64{q}, 1.3), p2.Cost([]float64{q}, 1.3); math.Abs(a-b) > 1e-12 {
+			t.Errorf("power(2) != quadratic at q=%v: %v vs %v", q, b, a)
+		}
+	}
+}
+
+func TestCostConstructorErrors(t *testing.T) {
+	if _, err := NewLinearCost(); err == nil {
+		t.Error("empty linear cost: want error")
+	}
+	if _, err := NewLinearCost(-1); err == nil {
+		t.Error("negative beta: want error")
+	}
+	if _, err := NewQuadraticCost(0); err == nil {
+		t.Error("zero beta: want error")
+	}
+	if _, err := NewPowerCost(0.5, 1); err == nil {
+		t.Error("gamma < 1: want error")
+	}
+	if _, err := NewPowerCost(math.Inf(1), 1); err == nil {
+		t.Error("infinite gamma: want error")
+	}
+}
+
+func TestCostThetaDerivFallback(t *testing.T) {
+	// A cost without the analytic derivative uses finite differences.
+	c := finiteDiffOnlyCost{}
+	got := CostThetaDeriv(c, []float64{2}, 1.5)
+	// c = θ²·q -> ∂c/∂θ = 2θq = 6.
+	if math.Abs(got-6) > 1e-4 {
+		t.Errorf("finite-difference deriv = %v, want 6", got)
+	}
+}
+
+type finiteDiffOnlyCost struct{}
+
+func (finiteDiffOnlyCost) Cost(q []float64, theta float64) float64 { return theta * theta * q[0] }
+func (finiteDiffOnlyCost) Dims() int                               { return 1 }
+func (finiteDiffOnlyCost) Name() string                            { return "theta-squared" }
+
+func TestVerifySingleCrossing(t *testing.T) {
+	lin, err := NewLinearCost(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := VerifySingleCrossing(lin, []float64{0, 0}, []float64{2, 2}, 0.5, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("linear cost should satisfy single crossing: %+v", rep)
+	}
+
+	quad, err := NewQuadraticCost(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = VerifySingleCrossing(quad, []float64{0}, []float64{2}, 0.5, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("quadratic cost should satisfy single crossing: %+v", rep)
+	}
+
+	// A cost decreasing in θ violates c_qθ > 0.
+	rep, err = VerifySingleCrossing(decreasingThetaCost{}, []float64{0.1}, []float64{2}, 0.5, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CqThetaPositive {
+		t.Error("decreasing-θ cost should fail c_qθ > 0")
+	}
+	if rep.OK() {
+		t.Error("report should not be OK")
+	}
+}
+
+type decreasingThetaCost struct{}
+
+func (decreasingThetaCost) Cost(q []float64, theta float64) float64 { return q[0] / theta }
+func (decreasingThetaCost) Dims() int                               { return 1 }
+func (decreasingThetaCost) Name() string                            { return "decreasing-theta" }
+
+func TestVerifySingleCrossingErrors(t *testing.T) {
+	lin, err := NewLinearCost(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifySingleCrossing(lin, []float64{0, 0}, []float64{1}, 0.5, 2, 5); err == nil {
+		t.Error("dims mismatch: want error")
+	}
+	if _, err := VerifySingleCrossing(lin, []float64{1}, []float64{1}, 0.5, 2, 5); err == nil {
+		t.Error("empty box: want error")
+	}
+	if _, err := VerifySingleCrossing(lin, []float64{0}, []float64{1}, 2, 2, 5); err == nil {
+		t.Error("empty theta interval: want error")
+	}
+}
+
+// Property: all provided cost families are non-negative and increase with θ
+// for non-negative qualities.
+func TestCostFamiliesMonotoneInThetaProperty(t *testing.T) {
+	lin, err := NewLinearCost(0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := NewQuadraticCost(0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pow, err := NewPowerCost(1.5, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []CostFunction{lin, quad, pow} {
+		c := c
+		prop := func(rawQ1, rawQ2, rawT float64) bool {
+			q := []float64{math.Abs(math.Mod(rawQ1, 10)), math.Abs(math.Mod(rawQ2, 10))}
+			t1 := 0.1 + math.Abs(math.Mod(rawT, 5))
+			t2 := t1 + 0.5
+			c1, c2 := c.Cost(q, t1), c.Cost(q, t2)
+			return c1 >= 0 && c2 >= c1
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}

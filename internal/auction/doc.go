@@ -1,0 +1,31 @@
+// Package auction implements FMore, the multi-dimensional procurement
+// auction with K winners from "FMore: An Incentive Scheme of Multi-dimensional
+// Auction for Federated Learning in MEC" (Zeng et al., ICDCS 2020).
+//
+// The auction proceeds in three incentive steps per federated round (§III-A):
+//
+//  1. Bid ask — the aggregator broadcasts a quasi-linear scoring rule
+//     S(q₁..qₘ, p) = s(q₁..qₘ) − p. Supported s(·) families are the perfect
+//     substitution (additive), perfect complementary (Leontief/min) and
+//     Cobb–Douglas utility functions.
+//  2. Bid collection — each edge node privately knows its cost parameter θ
+//     (i.i.d. with CDF F on [θ̲, θ̄]) and a cost function c(q, θ) satisfying
+//     the single-crossing conditions. A rational node bids the Nash
+//     equilibrium strategy of Theorem 1: quality qˢ(θ) = argmax s(q) − c(q, θ)
+//     (Che's Theorem 1 — quality separates from payment) and payment
+//     pˢ(θ) = c(qˢ, θ) + ∫₀ᵘ g(x)dx / g(u), computed numerically with the
+//     Euler method as the paper prescribes (quadrature and RK4 variants are
+//     provided as cross-checks).
+//  3. Winner determination — the aggregator keeps the K best scores
+//     (first-price payments by default, second-price optionally; ties broken
+//     by coin flip). The ψ-FMore extension (§III-C) admits each node in score
+//     order only with probability ψ, trading selection pressure for data
+//     diversity.
+//
+// The theoretical results of §IV are exposed as executable artifacts:
+// expected-profit curves (Theorems 2 and 3), social surplus / Pareto
+// efficiency (Theorem 4), incentive compatibility (Theorem 5), ψ-neutrality
+// under identical θ (Proposition 2), quality/payment separation
+// (Proposition 3), and the aggregator's expected-utility resource-mix
+// guidance (Proposition 4).
+package auction

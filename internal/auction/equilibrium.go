@@ -1,0 +1,451 @@
+package auction
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fmore/internal/dist"
+	"fmore/internal/numeric"
+)
+
+// SolverKind selects the numerical method used to evaluate the equilibrium
+// payment pˢ(θ) of Theorem 1.
+type SolverKind int
+
+const (
+	// SolverQuadrature evaluates pˢ(θ) = c + ∫ g(x)dx / g(u) directly by
+	// trapezoid quadrature over the score grid. It is the most robust method
+	// and the default.
+	SolverQuadrature SolverKind = iota + 1
+	// SolverEuler solves the first-order ODE (Eq 12) for the bid margin with
+	// the explicit Euler method, the method named in the paper
+	// ("Node i obtains its p using Euler's method", Algorithm 1 line 7).
+	SolverEuler
+	// SolverRK4 solves the same ODE with classical Runge–Kutta, the paper's
+	// suggested higher-order alternative.
+	SolverRK4
+)
+
+// String implements fmt.Stringer.
+func (s SolverKind) String() string {
+	switch s {
+	case SolverQuadrature:
+		return "quadrature"
+	case SolverEuler:
+		return "euler"
+	case SolverRK4:
+		return "rk4"
+	default:
+		return fmt.Sprintf("SolverKind(%d)", int(s))
+	}
+}
+
+// WinProbModel selects the winning-probability expression g(u).
+type WinProbModel int
+
+const (
+	// WinProbPaper is Eq (9) of the paper:
+	// g(u) = Σ_{i=1..K} [1−H(u)]^{i−1} [H(u)]^{N−i}.
+	// For K = 1 it reduces to H^{N−1} (Che's Theorem 2) and for K = 2 it
+	// telescopes to H^{N−2} (Proposition 1).
+	WinProbPaper WinProbModel = iota + 1
+	// WinProbExact is the exact order-statistic probability that at most
+	// K−1 of the N−1 rivals outscore u:
+	// g(u) = Σ_{i=0..K−1} C(N−1, i) (1−H)^i H^{N−1−i}.
+	// The paper's Eq (9) omits the binomial coefficients; this model is the
+	// combinatorially exact alternative, offered as an ablation.
+	WinProbExact
+)
+
+// String implements fmt.Stringer.
+func (w WinProbModel) String() string {
+	switch w {
+	case WinProbPaper:
+		return "paper-eq9"
+	case WinProbExact:
+		return "exact-orderstat"
+	default:
+		return fmt.Sprintf("WinProbModel(%d)", int(w))
+	}
+}
+
+// EquilibriumConfig parameterizes SolveEquilibrium. Rule, Cost, Theta, N, K
+// and the quality box are required; grid sizes default sensibly when zero.
+type EquilibriumConfig struct {
+	// Rule is the broadcast scoring rule s(·).
+	Rule ScoringRule
+	// Cost is the bidder cost family c(q, θ).
+	Cost CostFunction
+	// Theta is the common-knowledge distribution F of the private parameter.
+	Theta dist.Distribution
+	// N is the total number of bidders in the game.
+	N int
+	// K is the number of winners (1 <= K < N).
+	K int
+	// QLo, QHi bound the feasible quality box per dimension.
+	QLo, QHi []float64
+
+	// ThetaGridPoints is the resolution of the θ grid (default 129).
+	ThetaGridPoints int
+	// QualityGridPoints is the per-axis resolution of the argmax search
+	// (default 96).
+	QualityGridPoints int
+	// AscentSweeps bounds coordinate-ascent sweeps for multi-dimensional
+	// quality (default 8).
+	AscentSweeps int
+	// Solver selects the payment method (default SolverQuadrature).
+	Solver SolverKind
+	// WinProb selects the winning-probability model (default WinProbPaper).
+	WinProb WinProbModel
+}
+
+func (c *EquilibriumConfig) setDefaults() {
+	if c.ThetaGridPoints == 0 {
+		c.ThetaGridPoints = 129
+	}
+	if c.QualityGridPoints == 0 {
+		c.QualityGridPoints = 96
+	}
+	if c.AscentSweeps == 0 {
+		c.AscentSweeps = 8
+	}
+	if c.Solver == 0 {
+		c.Solver = SolverQuadrature
+	}
+	if c.WinProb == 0 {
+		c.WinProb = WinProbPaper
+	}
+}
+
+func (c *EquilibriumConfig) validate() error {
+	if c.Rule == nil || c.Cost == nil || c.Theta == nil {
+		return errors.New("auction: Rule, Cost and Theta are required")
+	}
+	if c.Rule.Dims() != c.Cost.Dims() {
+		return fmt.Errorf("%w: rule %d vs cost %d", ErrDimensionMismatch, c.Rule.Dims(), c.Cost.Dims())
+	}
+	if c.N < 2 {
+		return fmt.Errorf("auction: need N >= 2 bidders, got %d", c.N)
+	}
+	if c.K < 1 || c.K >= c.N {
+		return fmt.Errorf("auction: need 1 <= K < N, got K=%d N=%d", c.K, c.N)
+	}
+	if len(c.QLo) != c.Rule.Dims() || len(c.QHi) != c.Rule.Dims() {
+		return fmt.Errorf("%w: quality box %d/%d vs rule %d", ErrDimensionMismatch, len(c.QLo), len(c.QHi), c.Rule.Dims())
+	}
+	for i := range c.QLo {
+		if !(c.QLo[i] <= c.QHi[i]) {
+			return fmt.Errorf("auction: inverted quality bound dim %d: [%v, %v]", i, c.QLo[i], c.QHi[i])
+		}
+	}
+	if c.ThetaGridPoints < 8 {
+		return fmt.Errorf("auction: ThetaGridPoints must be >= 8, got %d", c.ThetaGridPoints)
+	}
+	return nil
+}
+
+// Strategy is the precomputed Nash equilibrium strategy tne(θ) =
+// (qˢ(θ), pˢ(θ)) of Theorem 1 for one auction game (fixed rule, cost family,
+// F, N and K). All evaluation methods interpolate over the solved θ grid.
+type Strategy struct {
+	cfg EquilibriumConfig
+
+	thetas    []float64   // ascending θ grid
+	qualities [][]float64 // qˢ per grid point
+	costs     []float64   // c(qˢ(θ), θ)
+	scores    []float64   // u(θ) = s(qˢ) − c, strictly decreasing
+	payments  []float64   // pˢ(θ)
+
+	scoreOf *numeric.MonotoneInterp // θ → u (decreasing)
+}
+
+// SolveEquilibrium computes the unique symmetric Nash equilibrium strategy
+// of the first-price K-winner auction (Theorem 1):
+//
+//	qˢ(θ) = argmax_q s(q) − c(q, θ)            (Che's Theorem 1)
+//	pˢ(θ) = c(qˢ, θ) + ∫₀ᵘ g(x)dx / g(u)       (Eq 8)
+//	g(u)  = Σ_{i=1..K} [1−H(u)]^{i−1} H(u)^{N−i}  (Eq 9)
+//	u(θ)  = s(qˢ(θ)) − c(qˢ(θ), θ)             (Eq 10)
+//
+// with H(x) = 1 − F(X⁻¹(x)) obtained by inverting the score map X(θ) = u(θ)
+// via the Envelope theorem.
+func SolveEquilibrium(cfg EquilibriumConfig) (*Strategy, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	thetaLo, thetaHi := cfg.Theta.Support()
+	thetas := numeric.Linspace(thetaLo, thetaHi, cfg.ThetaGridPoints)
+
+	s := &Strategy{
+		cfg:       cfg,
+		thetas:    thetas,
+		qualities: make([][]float64, len(thetas)),
+		costs:     make([]float64, len(thetas)),
+		scores:    make([]float64, len(thetas)),
+		payments:  make([]float64, len(thetas)),
+	}
+
+	// Stage 1: per-θ quality choice (Che's Theorem 1 / Proposition 3 —
+	// quality separates from payment and maximizes s − c pointwise).
+	for i, theta := range thetas {
+		q, u, err := maximizeQuality(cfg, theta)
+		if err != nil {
+			return nil, fmt.Errorf("auction: quality argmax at θ=%v: %w", theta, err)
+		}
+		s.qualities[i] = q
+		s.costs[i] = cfg.Cost.Cost(q, theta)
+		s.scores[i] = u
+	}
+
+	// Stage 2: enforce strict monotonicity of u(θ). The Envelope theorem
+	// gives du/dθ = −c_θ < 0 under single crossing; numerical argmax noise
+	// can produce microscopic violations which we shave off.
+	enforceStrictlyDecreasing(s.scores)
+
+	interp, err := numeric.NewMonotoneInterp(s.thetas, s.scores)
+	if err != nil {
+		return nil, fmt.Errorf("auction: score map u(θ) is not invertible: %w", err)
+	}
+	s.scoreOf = interp
+
+	// Stage 3: payments.
+	if err := s.solvePayments(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// maximizeQuality solves argmax_q s(q) − c(q, θ) over the quality box.
+func maximizeQuality(cfg EquilibriumConfig, theta float64) ([]float64, float64, error) {
+	objective := func(q []float64) float64 {
+		return cfg.Rule.Value(q) - cfg.Cost.Cost(q, theta)
+	}
+	if cfg.Rule.Dims() == 1 {
+		x, fx := numeric.GridMax(func(v float64) float64 {
+			return objective([]float64{v})
+		}, cfg.QLo[0], cfg.QHi[0], cfg.QualityGridPoints)
+		return []float64{x}, fx, nil
+	}
+	return numeric.CoordinateAscentMax(objective, cfg.QLo, cfg.QHi, cfg.AscentSweeps, cfg.QualityGridPoints)
+}
+
+// enforceStrictlyDecreasing shaves numerical ties so scores[i] <
+// scores[i-1] strictly, preserving the envelope-theorem monotonicity.
+func enforceStrictlyDecreasing(scores []float64) {
+	if len(scores) == 0 {
+		return
+	}
+	scale := math.Max(1, math.Abs(scores[0]))
+	minSep := scale * 1e-12
+	for i := 1; i < len(scores); i++ {
+		if scores[i] >= scores[i-1]-minSep {
+			scores[i] = scores[i-1] - minSep
+		}
+	}
+}
+
+// hOf evaluates H(x) = 1 − F(X⁻¹(x)): the probability that a rival's
+// equilibrium score falls below x.
+func (s *Strategy) hOf(x float64) float64 {
+	umin, umax := s.scoreOf.Range()
+	switch {
+	case x <= umin:
+		return 0
+	case x >= umax:
+		return 1
+	}
+	theta := s.scoreOf.Inverse(x)
+	return 1 - s.cfg.Theta.CDF(theta)
+}
+
+// gOf evaluates the winning probability g at score u under the configured
+// model.
+func (s *Strategy) gOf(u float64) float64 {
+	h := s.hOf(u)
+	return winProbability(h, s.cfg.N, s.cfg.K, s.cfg.WinProb)
+}
+
+// winProbability evaluates g given H(u) = h.
+func winProbability(h float64, n, k int, model WinProbModel) float64 {
+	if h <= 0 {
+		return 0
+	}
+	if h >= 1 {
+		return 1
+	}
+	switch model {
+	case WinProbExact:
+		// Σ_{i=0..K−1} C(N−1, i) (1−h)^i h^{N−1−i}
+		sum := 0.0
+		for i := 0; i < k; i++ {
+			sum += binomialCoeff(n-1, i) * math.Pow(1-h, float64(i)) * math.Pow(h, float64(n-1-i))
+		}
+		return math.Min(sum, 1)
+	default:
+		// Paper Eq (9): Σ_{i=1..K} (1−h)^{i−1} h^{N−i}
+		sum := 0.0
+		for i := 1; i <= k; i++ {
+			sum += math.Pow(1-h, float64(i-1)) * math.Pow(h, float64(n-i))
+		}
+		return math.Min(sum, 1)
+	}
+}
+
+// solvePayments fills s.payments for every θ grid point using the configured
+// solver.
+func (s *Strategy) solvePayments() error {
+	n := len(s.thetas)
+	// Ascending score grid: vs[j] = u(θ_{n−1−j}).
+	vs := make([]float64, n)
+	gs := make([]float64, n)
+	for j := 0; j < n; j++ {
+		vs[j] = s.scores[n-1-j]
+		gs[j] = s.gOf(vs[j])
+	}
+
+	// Cumulative ∫ g over the ascending score grid (trapezoid), refined with
+	// mid-point subdivision for accuracy on coarse grids.
+	cum := make([]float64, n)
+	for j := 1; j < n; j++ {
+		a, b := vs[j-1], vs[j]
+		mid := (a + b) / 2
+		gm := s.gOf(mid)
+		// Simpson on the segment.
+		cum[j] = cum[j-1] + (b-a)/6*(gs[j-1]+4*gm+gs[j])
+	}
+
+	margin := make([]float64, n) // pˢ − c as a function of ascending score index
+	switch s.cfg.Solver {
+	case SolverEuler, SolverRK4:
+		s.solveMarginODE(vs, gs, cum, margin)
+	default:
+		for j := 0; j < n; j++ {
+			if gs[j] <= 0 {
+				margin[j] = 0 // L'Hôpital limit of ∫g/g at the lowest score
+				continue
+			}
+			margin[j] = cum[j] / gs[j]
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		m := margin[n-1-i]
+		if m < 0 {
+			m = 0 // individual rationality: never bid below cost
+		}
+		s.payments[i] = s.costs[i] + m
+	}
+	return nil
+}
+
+// solveMarginODE integrates the bid-margin ODE m'(u) = 1 − m(u)·φ(u) with
+// φ = g'/g (the first-order linear ODE of Eq 12 rewritten for the margin
+// m = u − b(u) = pˢ − c) across the ascending score grid vs. The origin
+// u = u_min is a removable singularity (g(u_min) = 0); the first segment is
+// initialized from the quadrature limit before the ODE takes over.
+func (s *Strategy) solveMarginODE(vs, gs, cum, margin []float64) {
+	n := len(vs)
+	margin[0] = 0
+	// Initialize past the singular origin with the quadrature value.
+	if n > 1 {
+		if gs[1] > 0 {
+			margin[1] = cum[1] / gs[1]
+		}
+	}
+	phi := func(u float64) float64 {
+		g := s.gOf(u)
+		if g < 1e-14 {
+			return 0 // treated by the quadrature bootstrap below u₁
+		}
+		h := (vs[n-1] - vs[0]) * 1e-6
+		gp := (s.gOf(u+h) - s.gOf(u-h)) / (2 * h)
+		return gp / g
+	}
+	rhs := func(u, m float64) float64 { return 1 - m*phi(u) }
+	const stepsPerSegment = 24
+	for j := 2; j < n; j++ {
+		if s.cfg.Solver == SolverRK4 {
+			margin[j] = numeric.RK4Solve(rhs, vs[j-1], margin[j-1], vs[j], stepsPerSegment)
+		} else {
+			margin[j] = numeric.EulerSolve(rhs, vs[j-1], margin[j-1], vs[j], stepsPerSegment*4)
+		}
+		if margin[j] < 0 {
+			margin[j] = 0
+		}
+	}
+}
+
+// Bid returns the equilibrium bid (qˢ(θ), pˢ(θ)) for a node of type theta,
+// interpolated over the solved grid. theta is clamped to the support.
+func (s *Strategy) Bid(theta float64) ([]float64, float64) {
+	return s.Quality(theta), s.Payment(theta)
+}
+
+// Quality returns qˢ(θ) per Che's Theorem 1.
+func (s *Strategy) Quality(theta float64) []float64 {
+	i, t := s.locate(theta)
+	q := make([]float64, len(s.qualities[i]))
+	for d := range q {
+		q[d] = s.qualities[i][d] + t*(s.qualities[i+1][d]-s.qualities[i][d])
+	}
+	return q
+}
+
+// Payment returns pˢ(θ) per Eq (8).
+func (s *Strategy) Payment(theta float64) float64 {
+	i, t := s.locate(theta)
+	return s.payments[i] + t*(s.payments[i+1]-s.payments[i])
+}
+
+// ScoreAt returns the equilibrium score u(θ) = s(qˢ(θ)) − c(qˢ(θ), θ).
+func (s *Strategy) ScoreAt(theta float64) float64 {
+	return s.scoreOf.At(theta)
+}
+
+// Cost returns c(qˢ(θ), θ).
+func (s *Strategy) Cost(theta float64) float64 {
+	i, t := s.locate(theta)
+	return s.costs[i] + t*(s.costs[i+1]-s.costs[i])
+}
+
+// WinProbability returns g(u(θ)), the equilibrium probability of being among
+// the K winners.
+func (s *Strategy) WinProbability(theta float64) float64 {
+	return s.gOf(s.ScoreAt(theta))
+}
+
+// ExpectedProfit returns π(θ) = (pˢ − c)·g(u(θ)) (Eq 11 at equilibrium).
+func (s *Strategy) ExpectedProfit(theta float64) float64 {
+	return (s.Payment(theta) - s.Cost(theta)) * s.WinProbability(theta)
+}
+
+// Config returns the configuration the strategy was solved under.
+func (s *Strategy) Config() EquilibriumConfig { return s.cfg }
+
+// ThetaSupport returns the support of the solved θ distribution.
+func (s *Strategy) ThetaSupport() (lo, hi float64) { return s.cfg.Theta.Support() }
+
+// locate finds the grid segment containing theta and the interpolation
+// fraction within it, clamping to the support.
+func (s *Strategy) locate(theta float64) (int, float64) {
+	n := len(s.thetas)
+	switch {
+	case theta <= s.thetas[0]:
+		return 0, 0
+	case theta >= s.thetas[n-1]:
+		return n - 2, 1
+	}
+	lo, hi := 0, n-2
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.thetas[mid+1] <= theta {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	t := (theta - s.thetas[lo]) / (s.thetas[lo+1] - s.thetas[lo])
+	return lo, t
+}

@@ -1,0 +1,432 @@
+package auction
+
+import (
+	"math"
+	"testing"
+
+	"fmore/internal/dist"
+	"fmore/internal/numeric"
+)
+
+// analyticCase returns the benchmark game with a closed-form solution:
+// s(q) = 2√q, c(q, θ) = θq, θ ~ Uniform[1, 2]. Then
+// qˢ(θ) = 1/θ², u(θ) = 1/θ, H(x) = 2 − 1/x on [1/2, 1].
+func analyticCase(t *testing.T, n, k int, solver SolverKind, model WinProbModel) EquilibriumConfig {
+	t.Helper()
+	rule, err := NewCobbDouglas(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := NewLinearCost(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta, err := dist.NewUniform(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return EquilibriumConfig{
+		Rule:  rule,
+		Cost:  cost,
+		Theta: theta,
+		N:     n,
+		K:     k,
+		QLo:   []float64{0},
+		QHi:   []float64{1.5},
+		// Finer grid than default: the tests below compare against closed
+		// forms.
+		ThetaGridPoints:   257,
+		QualityGridPoints: 256,
+		Solver:            solver,
+		WinProb:           model,
+	}
+}
+
+func TestEquilibriumQualityMatchesClosedForm(t *testing.T) {
+	s, err := SolveEquilibrium(analyticCase(t, 3, 1, SolverQuadrature, WinProbPaper))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, theta := range []float64{1, 1.2, 1.5, 1.8, 2} {
+		want := 1 / (theta * theta)
+		got := s.Quality(theta)[0]
+		if math.Abs(got-want) > 2e-3 {
+			t.Errorf("qs(%v) = %v, want %v", theta, got, want)
+		}
+		wantU := 1 / theta
+		if gotU := s.ScoreAt(theta); math.Abs(gotU-wantU) > 2e-3 {
+			t.Errorf("u(%v) = %v, want %v", theta, gotU, wantU)
+		}
+	}
+}
+
+func TestEquilibriumPaymentMatchesHandComputedIntegral(t *testing.T) {
+	// For N=3, K=1: g = H², H(x) = 2 − 1/x. At θ=1 (u=1):
+	// p = c + ∫_{1/2}^{1} (2−1/x)² dx = 1 + [4x − 4ln x − 1/x]_{1/2}^1
+	//   = 1 + (3 − 4ln 2) ≈ 1.22741.
+	s, err := SolveEquilibrium(analyticCase(t, 3, 1, SolverQuadrature, WinProbPaper))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + 3 - 4*math.Ln2
+	got := s.Payment(1)
+	if math.Abs(got-want) > 5e-3 {
+		t.Errorf("ps(1) = %v, want %v", got, want)
+	}
+	// At θ = θ̄ the node never wins; the margin vanishes and p = c = 2·(1/4).
+	if got := s.Payment(2); math.Abs(got-0.5) > 5e-3 {
+		t.Errorf("ps(2) = %v, want 0.5 (cost, zero margin)", got)
+	}
+}
+
+func TestEquilibriumSolverAgreement(t *testing.T) {
+	solvers := []SolverKind{SolverQuadrature, SolverEuler, SolverRK4}
+	payments := make([][]float64, len(solvers))
+	thetas := numeric.Linspace(1.05, 1.95, 7)
+	for i, solver := range solvers {
+		s, err := SolveEquilibrium(analyticCase(t, 5, 2, solver, WinProbPaper))
+		if err != nil {
+			t.Fatalf("solver %v: %v", solver, err)
+		}
+		payments[i] = make([]float64, len(thetas))
+		for j, theta := range thetas {
+			payments[i][j] = s.Payment(theta)
+		}
+	}
+	for i := 1; i < len(solvers); i++ {
+		for j := range thetas {
+			base := payments[0][j]
+			diff := math.Abs(payments[i][j] - base)
+			if diff > 0.02*math.Max(1, math.Abs(base)) {
+				t.Errorf("solver %v payment at θ=%v: %v vs quadrature %v",
+					solvers[i], thetas[j], payments[i][j], base)
+			}
+		}
+	}
+}
+
+func TestEquilibriumTheorem1MatchesCheClosedFormK1AndK2(t *testing.T) {
+	for _, k := range []int{1, 2} {
+		s, err := SolveEquilibrium(analyticCase(t, 6, k, SolverQuadrature, WinProbPaper))
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		for _, theta := range []float64{1.1, 1.4, 1.7} {
+			closed, err := CheClosedFormPayment(s, theta)
+			if err != nil {
+				t.Fatalf("closed form: %v", err)
+			}
+			got := s.Payment(theta)
+			if math.Abs(got-closed) > 0.01*math.Max(1, closed) {
+				t.Errorf("K=%d θ=%v: Theorem 1 payment %v vs Che closed form %v", k, theta, got, closed)
+			}
+		}
+	}
+	// Closed form is only defined for K in {1, 2}.
+	s, err := SolveEquilibrium(analyticCase(t, 6, 3, SolverQuadrature, WinProbPaper))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheClosedFormPayment(s, 1.5); err == nil {
+		t.Error("K=3 closed form: want error")
+	}
+}
+
+// TestNashEquilibriumNoProfitableDeviation is the core game-theoretic check
+// (Definition 1): a node of any type cannot increase its expected profit by
+// unilaterally deviating in its asked payment while rivals play the
+// equilibrium.
+func TestNashEquilibriumNoProfitableDeviation(t *testing.T) {
+	s, err := SolveEquilibrium(analyticCase(t, 8, 3, SolverQuadrature, WinProbPaper))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, theta := range []float64{1.05, 1.2, 1.5, 1.8} {
+		eq := s.ExpectedProfit(theta)
+		pStar := s.Payment(theta)
+		for _, factor := range []float64{0.7, 0.85, 0.95, 1.05, 1.15, 1.3} {
+			dev := DeviationProfit(s, theta, pStar*factor)
+			if dev > eq+0.015*math.Max(1, eq) {
+				t.Errorf("θ=%v: deviation p=%.4f yields %v > equilibrium %v",
+					theta, pStar*factor, dev, eq)
+			}
+		}
+	}
+}
+
+func TestEquilibriumProfitDecreasingInTheta(t *testing.T) {
+	s, err := SolveEquilibrium(analyticCase(t, 6, 2, SolverQuadrature, WinProbPaper))
+	if err != nil {
+		t.Fatal(err)
+	}
+	thetas, profits := ProfitCurve(s, 33)
+	for i := 1; i < len(profits); i++ {
+		if profits[i] > profits[i-1]+1e-6 {
+			t.Errorf("π(%v)=%v > π(%v)=%v: profit should fall with cost type",
+				thetas[i], profits[i], thetas[i-1], profits[i-1])
+		}
+	}
+	// IR: profits are non-negative and payments cover costs.
+	for _, theta := range thetas {
+		if p := s.ExpectedProfit(theta); p < -1e-9 {
+			t.Errorf("π(%v) = %v < 0 violates IR", theta, p)
+		}
+		if s.Payment(theta) < s.Cost(theta)-1e-9 {
+			t.Errorf("payment %v < cost %v at θ=%v", s.Payment(theta), s.Cost(theta), theta)
+		}
+	}
+}
+
+// TestTheorem2ProfitDecreasingInN: with more rivals, every type's expected
+// profit falls.
+func TestTheorem2ProfitDecreasingInN(t *testing.T) {
+	small, err := SolveEquilibrium(analyticCase(t, 5, 2, SolverQuadrature, WinProbPaper))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := SolveEquilibrium(analyticCase(t, 15, 2, SolverQuadrature, WinProbPaper))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, theta := range numeric.Linspace(1.05, 1.9, 9) {
+		ps, pl := small.ExpectedProfit(theta), large.ExpectedProfit(theta)
+		if pl > ps+1e-6 {
+			t.Errorf("θ=%v: π(N=15)=%v > π(N=5)=%v, violates Theorem 2", theta, pl, ps)
+		}
+	}
+}
+
+// TestTheorem3ProfitIncreasingInK: with more winners, every type's expected
+// profit rises.
+func TestTheorem3ProfitIncreasingInK(t *testing.T) {
+	k2, err := SolveEquilibrium(analyticCase(t, 10, 2, SolverQuadrature, WinProbPaper))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k5, err := SolveEquilibrium(analyticCase(t, 10, 5, SolverQuadrature, WinProbPaper))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, theta := range numeric.Linspace(1.05, 1.9, 9) {
+		p2, p5 := k2.ExpectedProfit(theta), k5.ExpectedProfit(theta)
+		if p5 < p2-1e-6 {
+			t.Errorf("θ=%v: π(K=5)=%v < π(K=2)=%v, violates Theorem 3", theta, p5, p2)
+		}
+	}
+}
+
+// TestTheorem5IncentiveCompatible: under-declaring any quality dimension
+// strictly lowers the achieved score, so winning probability only falls.
+func TestTheorem5IncentiveCompatible(t *testing.T) {
+	s, err := SolveEquilibrium(analyticCase(t, 6, 2, SolverQuadrature, WinProbPaper))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, theta := range []float64{1.1, 1.5, 1.9} {
+		q := s.Quality(theta)
+		truthful, err := DeclaredQualityScore(s, theta, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shave := range []float64{0.5, 0.8, 0.95} {
+			qHat := []float64{q[0] * shave}
+			lied, err := DeclaredQualityScore(s, theta, qHat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lied >= truthful {
+				t.Errorf("θ=%v: declaring %v scores %v >= truthful %v, violates IC",
+					theta, qHat, lied, truthful)
+			}
+		}
+	}
+}
+
+// TestTheorem4ParetoEfficiency: the equilibrium quality maximizes the social
+// surplus term s(q) − c(q, θ) pointwise; no alternative quality does better.
+func TestTheorem4ParetoEfficiency(t *testing.T) {
+	cfg := analyticCase(t, 6, 2, SolverQuadrature, WinProbPaper)
+	s, err := SolveEquilibrium(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, theta := range []float64{1.1, 1.5, 1.9} {
+		q := s.Quality(theta)
+		best := cfg.Rule.Value(q) - cfg.Cost.Cost(q, theta)
+		for _, alt := range numeric.Linspace(cfg.QLo[0], cfg.QHi[0], 101) {
+			val := cfg.Rule.Value([]float64{alt}) - cfg.Cost.Cost([]float64{alt}, theta)
+			if val > best+1e-4 {
+				t.Errorf("θ=%v: alternative q=%v surplus %v beats equilibrium %v",
+					theta, alt, val, best)
+			}
+		}
+	}
+}
+
+// TestProposition3QualityIndependentOfCompetition: qˢ(θ) depends only on θ
+// (via s and c), not on N, K, or the payment environment.
+func TestProposition3QualityIndependentOfCompetition(t *testing.T) {
+	a, err := SolveEquilibrium(analyticCase(t, 5, 1, SolverQuadrature, WinProbPaper))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SolveEquilibrium(analyticCase(t, 20, 7, SolverQuadrature, WinProbExact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, theta := range numeric.Linspace(1.05, 1.95, 7) {
+		qa, qb := a.Quality(theta)[0], b.Quality(theta)[0]
+		if math.Abs(qa-qb) > 1e-9 {
+			t.Errorf("θ=%v: quality differs across games: %v vs %v", theta, qa, qb)
+		}
+	}
+}
+
+func TestWinProbPaperTelescopesForK1K2(t *testing.T) {
+	// K=1: paper g = H^{N−1}; K=2: paper g telescopes to H^{N−2}.
+	for _, h := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		if got, want := winProbability(h, 7, 1, WinProbPaper), math.Pow(h, 6); math.Abs(got-want) > 1e-12 {
+			t.Errorf("K=1 g(%v) = %v, want H^6 = %v", h, got, want)
+		}
+		if got, want := winProbability(h, 7, 2, WinProbPaper), math.Pow(h, 5); math.Abs(got-want) > 1e-12 {
+			t.Errorf("K=2 g(%v) = %v, want H^5 = %v", h, got, want)
+		}
+	}
+}
+
+func TestWinProbExactIsProperProbability(t *testing.T) {
+	for _, h := range []float64{0, 0.2, 0.5, 0.8, 1} {
+		for _, k := range []int{1, 3, 5} {
+			g := winProbability(h, 10, k, WinProbExact)
+			if g < 0 || g > 1 {
+				t.Errorf("exact g(h=%v, K=%d) = %v outside [0,1]", h, k, g)
+			}
+		}
+	}
+	// Exact model at K=1 coincides with the paper model.
+	for _, h := range []float64{0.2, 0.5, 0.8} {
+		if p, e := winProbability(h, 9, 1, WinProbPaper), winProbability(h, 9, 1, WinProbExact); math.Abs(p-e) > 1e-12 {
+			t.Errorf("K=1: paper %v != exact %v", p, e)
+		}
+	}
+	// Monotone in h.
+	prev := -1.0
+	for _, h := range numeric.Linspace(0, 1, 21) {
+		g := winProbability(h, 10, 3, WinProbExact)
+		if g < prev-1e-12 {
+			t.Errorf("exact g not monotone at h=%v", h)
+		}
+		prev = g
+	}
+}
+
+func TestEquilibriumConfigValidation(t *testing.T) {
+	base := analyticCase(t, 5, 2, SolverQuadrature, WinProbPaper)
+
+	bad := base
+	bad.K = 5 // K must be < N
+	if _, err := SolveEquilibrium(bad); err == nil {
+		t.Error("K=N: want error")
+	}
+	bad = base
+	bad.N = 1
+	if _, err := SolveEquilibrium(bad); err == nil {
+		t.Error("N=1: want error")
+	}
+	bad = base
+	bad.Rule = nil
+	if _, err := SolveEquilibrium(bad); err == nil {
+		t.Error("nil rule: want error")
+	}
+	bad = base
+	bad.QLo = []float64{1, 2}
+	if _, err := SolveEquilibrium(bad); err == nil {
+		t.Error("box dims mismatch: want error")
+	}
+	bad = base
+	bad.QLo = []float64{2}
+	bad.QHi = []float64{1}
+	if _, err := SolveEquilibrium(bad); err == nil {
+		t.Error("inverted box: want error")
+	}
+	bad = base
+	twoDim, err := NewAdditive(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Rule = twoDim
+	if _, err := SolveEquilibrium(bad); err == nil {
+		t.Error("rule/cost dims mismatch: want error")
+	}
+}
+
+func TestStrategyAccessorsClampToSupport(t *testing.T) {
+	s, err := SolveEquilibrium(analyticCase(t, 5, 2, SolverQuadrature, WinProbPaper))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := s.ThetaSupport()
+	if q := s.Quality(lo - 10); math.Abs(q[0]-s.Quality(lo)[0]) > 1e-12 {
+		t.Error("Quality below support should clamp")
+	}
+	if p := s.Payment(hi + 10); math.Abs(p-s.Payment(hi)) > 1e-12 {
+		t.Error("Payment above support should clamp")
+	}
+	if g := s.WinProbability(hi); g > 1e-6 {
+		t.Errorf("win probability at θ̄ = %v, want ~0 (never wins)", g)
+	}
+	if g := s.WinProbability(lo); g < 1-1e-6 {
+		t.Errorf("win probability at θ̲ = %v, want ~1 (best type always wins)", g)
+	}
+}
+
+func TestSolverAndModelStrings(t *testing.T) {
+	if SolverQuadrature.String() != "quadrature" || SolverEuler.String() != "euler" || SolverRK4.String() != "rk4" {
+		t.Error("SolverKind.String mismatch")
+	}
+	if WinProbPaper.String() != "paper-eq9" || WinProbExact.String() != "exact-orderstat" {
+		t.Error("WinProbModel.String mismatch")
+	}
+	if SolverKind(9).String() == "" || WinProbModel(9).String() == "" {
+		t.Error("unknown enums should still format")
+	}
+}
+
+// TestMultiDimensionalEquilibrium exercises the coordinate-ascent path with
+// a two-dimensional quality space and verifies Che's Theorem 1 pointwise.
+func TestMultiDimensionalEquilibrium(t *testing.T) {
+	rule, err := NewAdditive(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := NewQuadraticCost(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta, err := dist.NewUniform(0.5, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SolveEquilibrium(EquilibriumConfig{
+		Rule:  rule,
+		Cost:  cost,
+		Theta: theta,
+		N:     6,
+		K:     2,
+		QLo:   []float64{0, 0},
+		QHi:   []float64{3, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic: max 2q1 + q2 − θ(q1² + q2²) -> q1 = 1/θ, q2 = 1/(2θ).
+	for _, th := range []float64{0.6, 1, 1.4} {
+		q := s.Quality(th)
+		if math.Abs(q[0]-1/th) > 0.02 {
+			t.Errorf("q1(%v) = %v, want %v", th, q[0], 1/th)
+		}
+		if math.Abs(q[1]-1/(2*th)) > 0.02 {
+			t.Errorf("q2(%v) = %v, want %v", th, q[1], 1/(2*th))
+		}
+	}
+}

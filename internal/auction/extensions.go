@@ -1,0 +1,182 @@
+package auction
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file implements the two extensions the paper's conclusion names as
+// future work:
+//
+//	"In this paper, the budget constraint of the aggregator is not
+//	 considered, which is left for future work. In addition, whether the
+//	 probability ψ should be identical or distinct for each node remains
+//	 to be studied."
+//
+// DetermineWinnersBudget adds a per-round payment budget to winner
+// determination; DetermineWinnersPsiVector generalizes ψ-FMore to per-node
+// admission probabilities.
+
+// DetermineWinnersBudget runs FMore winner determination under an
+// aggregator budget: bids are admitted in descending score order while the
+// cumulative payment stays within budget, stopping at K winners. A bid too
+// expensive for the remaining budget is skipped (not terminal), so cheaper
+// lower-score bids can still fill the set — the greedy knapsack heuristic.
+func DetermineWinnersBudget(rule ScoringRule, bids []Bid, k int, budget float64, payment PaymentRule, rng *rand.Rand) (Outcome, error) {
+	if k < 1 {
+		return Outcome{}, fmt.Errorf("auction: K must be >= 1, got %d", k)
+	}
+	if budget <= 0 || math.IsNaN(budget) {
+		return Outcome{}, fmt.Errorf("auction: budget must be positive, got %v", budget)
+	}
+	ranked, scores, err := rankBids(rule, bids, rng)
+	if err != nil {
+		return Outcome{}, err
+	}
+	remaining := budget
+	selected := make([]scoredBid, 0, k)
+	for _, sb := range ranked {
+		if len(selected) >= k {
+			break
+		}
+		if sb.score < 0 {
+			break // sorted: everything after violates aggregator IR too
+		}
+		if sb.bid.Payment > remaining {
+			continue // skip, cheaper bids may still fit
+		}
+		selected = append(selected, sb)
+		remaining -= sb.bid.Payment
+	}
+	out, err := buildOutcome(rule, ranked, selected, scores, payment)
+	if err != nil {
+		return Outcome{}, err
+	}
+	// Under second-price payments the raise could exceed the budget; clamp
+	// the raises so the total stays within it, preserving per-winner
+	// payment >= asked payment.
+	if payment == SecondPrice {
+		clampToBudget(rule, &out, budget)
+	}
+	return out, nil
+}
+
+// clampToBudget scales down second-price raises (the payment above the
+// asked price) uniformly so TotalPayment() <= budget, then recomputes the
+// aggregator profit.
+func clampToBudget(rule ScoringRule, out *Outcome, budget float64) {
+	total := out.TotalPayment()
+	if total <= budget {
+		return
+	}
+	asked, raise := 0.0, 0.0
+	for _, w := range out.Winners {
+		asked += w.Bid.Payment
+		raise += w.Payment - w.Bid.Payment
+	}
+	if raise <= 0 {
+		return // nothing to scale; asked payments alone exceed the budget
+	}
+	scale := (budget - asked) / raise
+	if scale < 0 {
+		scale = 0
+	}
+	out.AggregatorProfit = 0
+	for i := range out.Winners {
+		w := &out.Winners[i]
+		w.Payment = w.Bid.Payment + scale*(w.Payment-w.Bid.Payment)
+		out.AggregatorProfit += rule.Value(w.Bid.Qualities) - w.Payment
+	}
+}
+
+// DetermineWinnersPsiVector generalizes ψ-FMore to a distinct admission
+// probability per node: psiOf(nodeID) returns that node's ψ in (0, 1].
+// Nodes are visited in descending score order and admitted with their own
+// probability, with repeated passes until K winners are found or all
+// eligible bids are admitted. Uniform psiOf recovers DetermineWinnersPsi.
+func DetermineWinnersPsiVector(rule ScoringRule, bids []Bid, k int, psiOf func(nodeID int) float64, payment PaymentRule, rng *rand.Rand) (Outcome, error) {
+	if k < 1 {
+		return Outcome{}, fmt.Errorf("auction: K must be >= 1, got %d", k)
+	}
+	if psiOf == nil {
+		return Outcome{}, fmt.Errorf("auction: psiOf is required")
+	}
+	ranked, scores, err := rankBids(rule, bids, rng)
+	if err != nil {
+		return Outcome{}, err
+	}
+	eligible := ranked[:0:0]
+	for _, sb := range ranked {
+		if sb.score < 0 {
+			continue
+		}
+		psi := psiOf(sb.bid.NodeID)
+		if psi <= 0 || psi > 1 || math.IsNaN(psi) {
+			return Outcome{}, fmt.Errorf("auction: psi for node %d = %v outside (0, 1]", sb.bid.NodeID, psi)
+		}
+		eligible = append(eligible, sb)
+	}
+	if len(eligible) == 0 {
+		return Outcome{Scores: scores}, nil
+	}
+	const maxPasses = 1 << 16
+	selected := make([]scoredBid, 0, k)
+	remaining := append([]scoredBid(nil), eligible...)
+	for pass := 0; len(selected) < k && len(remaining) > 0 && pass < maxPasses; pass++ {
+		next := remaining[:0]
+		for _, sb := range remaining {
+			if len(selected) >= k {
+				next = append(next, sb)
+				continue
+			}
+			if rng.Float64() < psiOf(sb.bid.NodeID) {
+				selected = append(selected, sb)
+			} else {
+				next = append(next, sb)
+			}
+		}
+		remaining = next
+	}
+	return buildOutcome(rule, ranked, selected, scores, payment)
+}
+
+// RankPsi builds a per-node ψ assignment that decays with score rank:
+// the r-th ranked node gets psiTop·decay^r (floored at psiFloor). It is one
+// concrete answer to the paper's open question of distinct ψ per node —
+// strong nodes stay near-deterministic, weak nodes keep a diversity chance.
+func RankPsi(rule ScoringRule, bids []Bid, psiTop, decay, psiFloor float64) (func(nodeID int) float64, error) {
+	if psiTop <= 0 || psiTop > 1 || decay <= 0 || decay > 1 || psiFloor <= 0 || psiFloor > psiTop {
+		return nil, fmt.Errorf("auction: invalid RankPsi parameters top=%v decay=%v floor=%v", psiTop, decay, psiFloor)
+	}
+	type ranked struct {
+		id    int
+		score float64
+	}
+	rs := make([]ranked, 0, len(bids))
+	for _, b := range bids {
+		s, err := Score(rule, b.Qualities, b.Payment)
+		if err != nil {
+			return nil, err
+		}
+		rs = append(rs, ranked{id: b.NodeID, score: s})
+	}
+	// Insertion sort by descending score (bid pools are small).
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].score > rs[j-1].score; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+	psis := make(map[int]float64, len(rs))
+	psi := psiTop
+	for _, r := range rs {
+		psis[r.id] = math.Max(psi, psiFloor)
+		psi *= decay
+	}
+	return func(nodeID int) float64 {
+		if p, ok := psis[nodeID]; ok {
+			return p
+		}
+		return psiFloor
+	}, nil
+}

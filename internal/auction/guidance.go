@@ -1,0 +1,191 @@
+package auction
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Proposition 4 of the paper: with the general Cobb–Douglas utility
+// s(q) = Π qᵢ^αᵢ (Σαᵢ = 1) and the additive cost c(q) = θ·Σ β̃ᵢqᵢ (Σβ̃ᵢ = 1),
+// the aggregator's expected-utility-optimal resource mix satisfies
+//
+//	q*ᵢ / q*ⱼ = (αᵢ/αⱼ) · (β̃ⱼ/β̃ᵢ),
+//
+// so by tuning α it can steer the proportion of resources it procures.
+// This file exposes that guidance in three forms: the optimal mix itself,
+// the budget-constrained optimal quantities, and the inverse problem of
+// calibrating α to hit a desired mix.
+
+// ErrCoefficients reports invalid guidance coefficients.
+var ErrCoefficients = errors.New("auction: invalid guidance coefficients")
+
+// OptimalQuantities solves the aggregator's expected-utility problem of
+// Proposition 4: maximize Π qᵢ^αᵢ subject to θ·Σ β̃ᵢqᵢ = budget. The
+// Lagrangian solution spends the budget share αᵢ on resource i:
+//
+//	q*ᵢ = αᵢ · budget / (θ · β̃ᵢ)   (after normalizing Σαᵢ = 1).
+func OptimalQuantities(alpha, betaTilde []float64, theta, budget float64) ([]float64, error) {
+	if err := checkGuidanceInputs(alpha, betaTilde); err != nil {
+		return nil, err
+	}
+	if theta <= 0 || budget <= 0 || math.IsNaN(theta) || math.IsNaN(budget) {
+		return nil, fmt.Errorf("%w: theta=%v budget=%v must be positive", ErrCoefficients, theta, budget)
+	}
+	alphaSum := 0.0
+	for _, a := range alpha {
+		alphaSum += a
+	}
+	q := make([]float64, len(alpha))
+	for i := range alpha {
+		q[i] = (alpha[i] / alphaSum) * budget / (theta * betaTilde[i])
+	}
+	return q, nil
+}
+
+// OptimalMix returns the optimal resource proportions q*ᵢ normalized to sum
+// to one; the pairwise ratios equal (αᵢ/αⱼ)(β̃ⱼ/β̃ᵢ) as stated by
+// Proposition 4, independent of θ and budget.
+func OptimalMix(alpha, betaTilde []float64) ([]float64, error) {
+	q, err := OptimalQuantities(alpha, betaTilde, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	total := 0.0
+	for _, v := range q {
+		total += v
+	}
+	for i := range q {
+		q[i] /= total
+	}
+	return q, nil
+}
+
+// CalibrateAlpha inverts Proposition 4: given the resource mix the
+// aggregator wants (desired, up to scale) and the market cost estimates β̃,
+// it returns the Cobb–Douglas exponents α (normalized to Σα = 1) that make
+// that mix optimal: αᵢ ∝ desiredᵢ · β̃ᵢ.
+func CalibrateAlpha(desired, betaTilde []float64) ([]float64, error) {
+	if err := checkGuidanceInputs(desired, betaTilde); err != nil {
+		return nil, err
+	}
+	alpha := make([]float64, len(desired))
+	total := 0.0
+	for i := range desired {
+		alpha[i] = desired[i] * betaTilde[i]
+		total += alpha[i]
+	}
+	for i := range alpha {
+		alpha[i] /= total
+	}
+	return alpha, nil
+}
+
+// EstimateBetaTilde estimates the per-resource cost coefficients β̃ from
+// historical winning bids in "the public and efficient market": it solves
+// the least-squares fit payment ≈ θ̄·Σ β̃ᵢqᵢ over observed (q, p) pairs with
+// the mean cost parameter θ̄ absorbed into the coefficients, then normalizes
+// Σβ̃ = 1 as Proposition 4 assumes.
+func EstimateBetaTilde(qualities [][]float64, payments []float64) ([]float64, error) {
+	if len(qualities) == 0 || len(qualities) != len(payments) {
+		return nil, fmt.Errorf("%w: %d quality rows vs %d payments", ErrCoefficients, len(qualities), len(payments))
+	}
+	m := len(qualities[0])
+	if m == 0 {
+		return nil, fmt.Errorf("%w: empty quality vectors", ErrCoefficients)
+	}
+	// Normal equations AᵀA x = Aᵀb for x = θ̄·β̃.
+	ata := make([][]float64, m)
+	for i := range ata {
+		ata[i] = make([]float64, m)
+	}
+	atb := make([]float64, m)
+	for r, q := range qualities {
+		if len(q) != m {
+			return nil, fmt.Errorf("%w: ragged quality row %d", ErrCoefficients, r)
+		}
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				ata[i][j] += q[i] * q[j]
+			}
+			atb[i] += q[i] * payments[r]
+		}
+	}
+	x, err := solveSPD(ata, atb)
+	if err != nil {
+		return nil, err
+	}
+	total := 0.0
+	for i := range x {
+		if x[i] < 0 {
+			x[i] = 0
+		}
+		total += x[i]
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("%w: degenerate fit (all coefficients <= 0)", ErrCoefficients)
+	}
+	for i := range x {
+		x[i] /= total
+	}
+	return x, nil
+}
+
+// solveSPD solves Ax = b for a small symmetric positive-definite A by
+// Gaussian elimination with partial pivoting and Tikhonov regularization.
+func solveSPD(a [][]float64, b []float64) ([]float64, error) {
+	m := len(b)
+	// Regularize: auctions with collinear quality dims would otherwise be
+	// singular.
+	trace := 0.0
+	for i := 0; i < m; i++ {
+		trace += a[i][i]
+	}
+	lambda := 1e-9 * math.Max(trace/float64(m), 1)
+	aug := make([][]float64, m)
+	for i := range aug {
+		aug[i] = make([]float64, m+1)
+		copy(aug[i], a[i])
+		aug[i][i] += lambda
+		aug[i][m] = b[i]
+	}
+	for col := 0; col < m; col++ {
+		pivot := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(aug[r][col]) > math.Abs(aug[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(aug[pivot][col]) < 1e-15 {
+			return nil, errors.New("auction: singular normal equations in beta estimation")
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		for r := col + 1; r < m; r++ {
+			f := aug[r][col] / aug[col][col]
+			for c := col; c <= m; c++ {
+				aug[r][c] -= f * aug[col][c]
+			}
+		}
+	}
+	x := make([]float64, m)
+	for i := m - 1; i >= 0; i-- {
+		sum := aug[i][m]
+		for j := i + 1; j < m; j++ {
+			sum -= aug[i][j] * x[j]
+		}
+		x[i] = sum / aug[i][i]
+	}
+	return x, nil
+}
+
+func checkGuidanceInputs(alpha, betaTilde []float64) error {
+	if len(alpha) == 0 || len(alpha) != len(betaTilde) {
+		return fmt.Errorf("%w: alpha has %d entries, betaTilde %d", ErrCoefficients, len(alpha), len(betaTilde))
+	}
+	for i := range alpha {
+		if alpha[i] <= 0 || betaTilde[i] <= 0 || math.IsNaN(alpha[i]) || math.IsNaN(betaTilde[i]) {
+			return fmt.Errorf("%w: entry %d must be positive (alpha=%v, betaTilde=%v)", ErrCoefficients, i, alpha[i], betaTilde[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package auction
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestOptimalQuantitiesBudgetShares(t *testing.T) {
+	// Proposition 4 with Σα = 1: spend share αᵢ of the budget on resource i.
+	alpha := []float64{0.5, 0.3, 0.2}
+	beta := []float64{0.4, 0.4, 0.2}
+	theta, budget := 2.0, 100.0
+	q, err := OptimalQuantities(alpha, beta, theta, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget is exhausted: θ·Σ βᵢqᵢ = budget.
+	spend := 0.0
+	for i := range q {
+		spend += beta[i] * q[i]
+	}
+	spend *= theta
+	if math.Abs(spend-budget) > 1e-9 {
+		t.Errorf("spend = %v, want %v", spend, budget)
+	}
+	// Ratio law: q*ᵢ/q*ⱼ = (αᵢ/αⱼ)(β̃ⱼ/β̃ᵢ).
+	for i := range q {
+		for j := range q {
+			want := (alpha[i] / alpha[j]) * (beta[j] / beta[i])
+			got := q[i] / q[j]
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("q%d/q%d = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestOptimalQuantitiesNormalizesAlpha(t *testing.T) {
+	// Unnormalized α is scaled internally; doubling α changes nothing.
+	q1, err := OptimalQuantities([]float64{1, 1}, []float64{0.5, 0.5}, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := OptimalQuantities([]float64{2, 2}, []float64{0.5, 0.5}, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range q1 {
+		if math.Abs(q1[i]-q2[i]) > 1e-12 {
+			t.Errorf("alpha scaling changed quantities: %v vs %v", q1, q2)
+		}
+	}
+}
+
+func TestOptimalMixSumsToOne(t *testing.T) {
+	mix, err := OptimalMix([]float64{0.6, 0.4}, []float64{0.3, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range mix {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("mix sums to %v, want 1", sum)
+	}
+	// Higher α and cheaper β̃ both tilt the mix toward a resource.
+	if mix[0] <= mix[1] {
+		t.Errorf("mix = %v: resource 0 has higher α and lower β̃, should dominate", mix)
+	}
+}
+
+func TestCalibrateAlphaRoundTrip(t *testing.T) {
+	beta := []float64{0.25, 0.45, 0.3}
+	desired := []float64{0.5, 0.2, 0.3}
+	alpha, err := CalibrateAlpha(desired, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, a := range alpha {
+		sum += a
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("alpha sums to %v, want 1", sum)
+	}
+	mix, err := OptimalMix(alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The calibrated α reproduces the desired proportions.
+	total := 0.0
+	for _, d := range desired {
+		total += d
+	}
+	for i := range mix {
+		if math.Abs(mix[i]-desired[i]/total) > 1e-9 {
+			t.Errorf("mix[%d] = %v, want %v", i, mix[i], desired[i]/total)
+		}
+	}
+}
+
+func TestGuidanceInputValidation(t *testing.T) {
+	if _, err := OptimalQuantities([]float64{1}, []float64{1, 2}, 1, 1); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := OptimalQuantities([]float64{1}, []float64{1}, -1, 1); err == nil {
+		t.Error("negative theta: want error")
+	}
+	if _, err := OptimalQuantities([]float64{1}, []float64{1}, 1, 0); err == nil {
+		t.Error("zero budget: want error")
+	}
+	if _, err := OptimalMix([]float64{0, 1}, []float64{1, 1}); err == nil {
+		t.Error("zero alpha: want error")
+	}
+	if _, err := CalibrateAlpha(nil, nil); err == nil {
+		t.Error("empty inputs: want error")
+	}
+}
+
+func TestEstimateBetaTildeRecoversCoefficients(t *testing.T) {
+	// Synthetic market history: payments = θ̄·(0.7q1 + 0.3q2) + noise.
+	trueBeta := []float64{0.7, 0.3}
+	const thetaBar = 1.5
+	rng := rand.New(rand.NewSource(5))
+	var qualities [][]float64
+	var payments []float64
+	for i := 0; i < 400; i++ {
+		q := []float64{rng.Float64() * 10, rng.Float64() * 10}
+		p := thetaBar * (trueBeta[0]*q[0] + trueBeta[1]*q[1])
+		p *= 1 + 0.02*(rng.Float64()-0.5)
+		qualities = append(qualities, q)
+		payments = append(payments, p)
+	}
+	beta, err := EstimateBetaTilde(qualities, payments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// θ̄ is absorbed by normalization; proportions should match.
+	for i := range trueBeta {
+		if math.Abs(beta[i]-trueBeta[i]) > 0.02 {
+			t.Errorf("beta[%d] = %v, want ~%v", i, beta[i], trueBeta[i])
+		}
+	}
+}
+
+func TestEstimateBetaTildeErrors(t *testing.T) {
+	if _, err := EstimateBetaTilde(nil, nil); err == nil {
+		t.Error("empty history: want error")
+	}
+	if _, err := EstimateBetaTilde([][]float64{{1, 2}}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := EstimateBetaTilde([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("ragged rows: want error")
+	}
+	if _, err := EstimateBetaTilde([][]float64{{}}, []float64{1}); err == nil {
+		t.Error("empty quality vectors: want error")
+	}
+}
+
+func TestSocialSurplus(t *testing.T) {
+	rule, err := NewAdditive(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := NewLinearCost(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	winners := []Winner{
+		{Bid: Bid{NodeID: 1, Qualities: []float64{2}, Payment: 0.5}},
+		{Bid: Bid{NodeID: 2, Qualities: []float64{4}, Payment: 0.9}},
+	}
+	thetaOf := func(id int) float64 {
+		if id == 1 {
+			return 1
+		}
+		return 2
+	}
+	// SS = (2 − 1·0.5·2) + (4 − 2·0.5·4) = 1 + 0 = 1.
+	if got := SocialSurplus(rule, cost, winners, thetaOf); math.Abs(got-1) > 1e-12 {
+		t.Errorf("SocialSurplus = %v, want 1", got)
+	}
+}

@@ -1,0 +1,114 @@
+package auction
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// DetermineWinnersPsi implements ψ-FMore (§III-C): bids are visited in
+// descending score order and each is admitted to the winner set with
+// probability psi, repeating passes over the remaining candidates until K
+// winners are chosen or every eligible bid has been admitted. FMore is the
+// special case psi = 1.
+//
+// Like DetermineWinners, bids with negative scores are excluded by the
+// aggregator's individual-rationality constraint.
+func DetermineWinnersPsi(rule ScoringRule, bids []Bid, k int, psi float64, payment PaymentRule, rng *rand.Rand) (Outcome, error) {
+	if k < 1 {
+		return Outcome{}, fmt.Errorf("auction: K must be >= 1, got %d", k)
+	}
+	if psi <= 0 || psi > 1 || math.IsNaN(psi) {
+		return Outcome{}, fmt.Errorf("auction: psi must be in (0, 1], got %v", psi)
+	}
+	ranked, scores, err := rankBids(rule, bids, rng)
+	if err != nil {
+		return Outcome{}, err
+	}
+	// Drop IR-violating bids up front.
+	eligible := ranked[:0:0]
+	for _, sb := range ranked {
+		if sb.score >= 0 {
+			eligible = append(eligible, sb)
+		}
+	}
+	if len(eligible) == 0 {
+		return Outcome{Scores: scores}, nil
+	}
+
+	// A pass may select nobody (every ψ-flip fails), so termination is only
+	// almost-sure; the pass cap keeps it deterministic against a pathological
+	// rng while being unreachable in practice (P(no progress per pass) =
+	// (1−ψ)^len(remaining)).
+	const maxPasses = 1 << 16
+	selected := make([]scoredBid, 0, k)
+	remaining := append([]scoredBid(nil), eligible...)
+	for pass := 0; len(selected) < k && len(remaining) > 0 && pass < maxPasses; pass++ {
+		next := remaining[:0]
+		for _, sb := range remaining {
+			if len(selected) >= k {
+				next = append(next, sb)
+				continue
+			}
+			if psi >= 1 || rng.Float64() < psi {
+				selected = append(selected, sb)
+			} else {
+				next = append(next, sb)
+			}
+		}
+		remaining = next
+	}
+	return buildOutcome(rule, ranked, selected, scores, payment)
+}
+
+// PaperSelectionProbability is the paper's closed form (§III-C) for the
+// probability that ψ-FMore fills the winner set:
+//
+//	Pr(ψ) = Σ_{i=0}^{N−K} C(i+K, i) (1−ψ)^i ψ^K.
+//
+// It is reproduced verbatim for comparison; see ExactSelectionProbability
+// for the standard negative-binomial form.
+func PaperSelectionProbability(n, k int, psi float64) float64 {
+	if k < 1 || n < k {
+		return 0
+	}
+	if psi >= 1 {
+		return 1
+	}
+	sum := 0.0
+	for i := 0; i <= n-k; i++ {
+		sum += binomialCoeff(i+k, i) * math.Pow(1-psi, float64(i)) * math.Pow(psi, float64(k))
+	}
+	return math.Min(sum, 1)
+}
+
+// ExactSelectionProbability is the negative-binomial probability that K
+// admissions occur within N independent ψ-Bernoulli visits — the exact
+// chance that a single pass over N candidates fills the winner set:
+//
+//	Pr = Σ_{i=0}^{N−K} C(K−1+i, i) ψ^K (1−ψ)^i.
+func ExactSelectionProbability(n, k int, psi float64) float64 {
+	if k < 1 || n < k {
+		return 0
+	}
+	if psi >= 1 {
+		return 1
+	}
+	sum := 0.0
+	for i := 0; i <= n-k; i++ {
+		sum += binomialCoeff(k-1+i, i) * math.Pow(psi, float64(k)) * math.Pow(1-psi, float64(i))
+	}
+	return math.Min(sum, 1)
+}
+
+// binomialCoeff computes C(n, k) in floating point via lgamma to avoid
+// overflow for the population sizes used in experiments.
+func binomialCoeff(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	ln, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return math.Exp(ln - lk - lnk)
+}

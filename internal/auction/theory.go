@@ -1,0 +1,93 @@
+package auction
+
+import (
+	"fmt"
+	"math"
+
+	"fmore/internal/numeric"
+)
+
+// CheClosedFormPayment evaluates the closed-form equilibrium payment of
+// Che's Theorem 2 (K = 1) and its Proposition 1 extension (K = 2):
+//
+//	pˢ(θ) = c(qˢ, θ) + ∫_θ^θ̄ c_θ(qˢ(t), t) [(1−F(t))/(1−F(θ))]^{N−K} dt
+//
+// for K ∈ {1, 2}. It is used to cross-validate the general Theorem 1 solver:
+// for these two cases the paper's g(u) telescopes to H^{N−K}, making both
+// formulas mathematically identical.
+func CheClosedFormPayment(s *Strategy, theta float64) (float64, error) {
+	cfg := s.Config()
+	if cfg.K != 1 && cfg.K != 2 {
+		return 0, fmt.Errorf("auction: closed form defined for K in {1,2}, got K=%d", cfg.K)
+	}
+	_, thetaHi := cfg.Theta.Support()
+	exp := float64(cfg.N - cfg.K)
+	oneMinusF := 1 - cfg.Theta.CDF(theta)
+	if oneMinusF <= 0 {
+		// θ = θ̄: the integral is empty; the payment equals the cost.
+		return cfg.Cost.Cost(s.Quality(theta), theta), nil
+	}
+	integrand := func(t float64) float64 {
+		q := s.Quality(t)
+		ct := CostThetaDeriv(cfg.Cost, q, t)
+		ratio := (1 - cfg.Theta.CDF(t)) / oneMinusF
+		if ratio <= 0 {
+			return 0
+		}
+		return ct * math.Pow(ratio, exp)
+	}
+	integral := numeric.Simpson(integrand, theta, thetaHi, 512)
+	return cfg.Cost.Cost(s.Quality(theta), theta) + integral, nil
+}
+
+// DeviationProfit returns the expected profit of a node of type theta that
+// deviates to asking payment p while keeping the optimal quality qˢ(θ) and
+// while all rivals play the equilibrium strategy. At the equilibrium payment
+// this function is maximized (the Nash property, Definition 1); tests verify
+// that no unilateral payment deviation is profitable.
+func DeviationProfit(s *Strategy, theta, p float64) float64 {
+	q := s.Quality(theta)
+	cfg := s.Config()
+	cost := cfg.Cost.Cost(q, theta)
+	score := cfg.Rule.Value(q) - p
+	return (p - cost) * s.gOf(score)
+}
+
+// DeclaredQualityScore returns the score a node of type theta would obtain
+// by declaring quality qHat (at its equilibrium payment). Theorem 5 (IC):
+// declaring any qHat with some q̂ⱼ < qⱼ strictly reduces the score, so
+// truthful declaration maximizes the winning probability.
+func DeclaredQualityScore(s *Strategy, theta float64, qHat []float64) (float64, error) {
+	cfg := s.Config()
+	if err := CheckDims(cfg.Rule.Dims(), qHat); err != nil {
+		return 0, err
+	}
+	return cfg.Rule.Value(qHat) - s.Payment(theta), nil
+}
+
+// SocialSurplus computes SS = Σ_{i∈W} [s(qᵢ) − c(qᵢ, θᵢ)] (Theorem 4). When
+// the aggregator's utility U equals s and has the additive form, FMore
+// maximizes this quantity — Pareto efficiency.
+func SocialSurplus(rule ScoringRule, cost CostFunction, winners []Winner, thetaOf func(nodeID int) float64) float64 {
+	ss := 0.0
+	for _, w := range winners {
+		ss += rule.Value(w.Bid.Qualities) - cost.Cost(w.Bid.Qualities, thetaOf(w.Bid.NodeID))
+	}
+	return ss
+}
+
+// ProfitCurve samples the equilibrium expected profit π(θ) over the support,
+// the quantity whose monotonicity in N (Theorem 2, decreasing) and K
+// (Theorem 3, increasing) the paper proves.
+func ProfitCurve(s *Strategy, points int) (thetas, profits []float64) {
+	if points < 2 {
+		points = 2
+	}
+	lo, hi := s.ThetaSupport()
+	thetas = numeric.Linspace(lo, hi, points)
+	profits = make([]float64, len(thetas))
+	for i, t := range thetas {
+		profits[i] = s.ExpectedProfit(t)
+	}
+	return thetas, profits
+}

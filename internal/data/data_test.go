@@ -1,0 +1,306 @@
+package data
+
+import (
+	"math/rand"
+	"testing"
+
+	"fmore/internal/ml"
+)
+
+func TestGenerateTaskShapes(t *testing.T) {
+	cases := []struct {
+		kind    TaskKind
+		wantDim int
+		isImage bool
+	}{
+		{MNISTO, 1 * ImageSize * ImageSize, true},
+		{MNISTF, 1 * ImageSize * ImageSize, true},
+		{CIFAR10, 3 * ImageSize * ImageSize, true},
+		{HPNews, 0, false},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.kind.String(), func(t *testing.T) {
+			corpus, err := GenerateTask(c.kind, 200, 100, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(corpus.Train) != 200 || len(corpus.Test) != 100 {
+				t.Fatalf("sizes %d/%d, want 200/100", len(corpus.Train), len(corpus.Test))
+			}
+			if corpus.Classes != NumClasses {
+				t.Errorf("Classes = %d, want %d", corpus.Classes, NumClasses)
+			}
+			if corpus.FeatureDim != c.wantDim {
+				t.Errorf("FeatureDim = %d, want %d", corpus.FeatureDim, c.wantDim)
+			}
+			if c.kind.IsImage() != c.isImage {
+				t.Errorf("IsImage = %v, want %v", c.kind.IsImage(), c.isImage)
+			}
+			labels := map[int]int{}
+			for _, s := range corpus.Train {
+				if c.isImage {
+					if len(s.Features) != c.wantDim {
+						t.Fatalf("feature len %d, want %d", len(s.Features), c.wantDim)
+					}
+				} else {
+					if len(s.Tokens) != TextSeqLen {
+						t.Fatalf("token len %d, want %d", len(s.Tokens), TextSeqLen)
+					}
+					for _, tok := range s.Tokens {
+						if tok < 0 || tok >= TextVocab {
+							t.Fatalf("token %d outside vocab", tok)
+						}
+					}
+				}
+				if s.Label < 0 || s.Label >= NumClasses {
+					t.Fatalf("label %d outside range", s.Label)
+				}
+				labels[s.Label]++
+			}
+			if len(labels) != NumClasses {
+				t.Errorf("train set covers %d classes, want %d", len(labels), NumClasses)
+			}
+		})
+	}
+}
+
+func TestGenerateTaskErrors(t *testing.T) {
+	if _, err := GenerateTask(MNISTO, 5, 100, 1); err == nil {
+		t.Error("tiny train set: want error")
+	}
+	if _, err := GenerateTask(TaskKind(99), 100, 100, 1); err == nil {
+		t.Error("unknown kind: want error")
+	}
+}
+
+func TestGenerateTaskDeterministic(t *testing.T) {
+	a, err := GenerateTask(CIFAR10, 50, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateTask(CIFAR10, 50, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Train {
+		if a.Train[i].Label != b.Train[i].Label {
+			t.Fatal("same seed produced different labels")
+		}
+		for d := range a.Train[i].Features {
+			if a.Train[i].Features[d] != b.Train[i].Features[d] {
+				t.Fatal("same seed produced different features")
+			}
+		}
+	}
+}
+
+// TestDifficultyOrdering trains the same small model on each image tier and
+// checks the paper's ordering: MNIST-O easiest, CIFAR-10 hardest.
+func TestDifficultyOrdering(t *testing.T) {
+	accOf := func(kind TaskKind) float64 {
+		corpus, err := GenerateTask(kind, 400, 200, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := 1
+		if kind == CIFAR10 {
+			ch = 3
+		}
+		m, err := ml.NewImageCNN(ml.ImageModelConfig{
+			Channels: ch, Height: ImageSize, Width: ImageSize, Classes: NumClasses,
+			ConvChannels: []int{6}, Hidden: 24, DropoutRate: 0, Momentum: 0.9,
+		}, rand.New(rand.NewSource(13)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(14))
+		for epoch := 0; epoch < 4; epoch++ {
+			if _, err := m.TrainEpoch(corpus.Train, 16, 0.02, rng); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_, acc, err := m.Evaluate(corpus.Test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return acc
+	}
+	easy, mid, hard := accOf(MNISTO), accOf(MNISTF), accOf(CIFAR10)
+	t.Logf("accuracy after 4 epochs: mnist-o=%.3f mnist-f=%.3f cifar=%.3f", easy, mid, hard)
+	if easy < mid-0.05 {
+		t.Errorf("MNIST-O (%.3f) should be no harder than MNIST-F (%.3f)", easy, mid)
+	}
+	if mid < hard-0.05 {
+		t.Errorf("MNIST-F (%.3f) should be no harder than CIFAR-10 (%.3f)", mid, hard)
+	}
+	if easy < 0.6 {
+		t.Errorf("MNIST-O accuracy %.3f too low; generator may be broken", easy)
+	}
+}
+
+func TestPartitionShardsInvariants(t *testing.T) {
+	corpus, err := GenerateTask(MNISTO, 400, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PartitionShards(corpus.Train, NumClasses, 20, 2, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Nodes) != 20 {
+		t.Fatalf("nodes = %d, want 20", len(p.Nodes))
+	}
+	// No sample lost or duplicated.
+	if p.TotalSamples() != len(corpus.Train) {
+		t.Errorf("total = %d, want %d", p.TotalSamples(), len(corpus.Train))
+	}
+	// Shard partition limits per-node label diversity: with 2 shards a node
+	// sees at most a handful of classes.
+	for i := range p.Nodes {
+		if prop := p.CategoryProportion(i); prop > 0.5 {
+			t.Errorf("node %d category proportion %v; shards should limit diversity", i, prop)
+		}
+		if p.NodeSize(i) == 0 {
+			t.Errorf("node %d received no data", i)
+		}
+	}
+}
+
+func TestPartitionDirichletInvariants(t *testing.T) {
+	corpus, err := GenerateTask(MNISTO, 500, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PartitionDirichlet(corpus.Train, NumClasses, 10, 0.5, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalSamples() != len(corpus.Train) {
+		t.Errorf("total = %d, want %d", p.TotalSamples(), len(corpus.Train))
+	}
+	// Severe skew (alpha=0.5) should leave at least one node without full
+	// class coverage.
+	full := 0
+	for i := range p.Nodes {
+		if p.CategoryProportion(i) == 1 {
+			full++
+		}
+	}
+	if full == len(p.Nodes) {
+		t.Error("alpha=0.5 should produce label skew, but every node has all classes")
+	}
+}
+
+func TestPartitionDirichletAlphaControlsSkew(t *testing.T) {
+	corpus, err := GenerateTask(MNISTO, 1000, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanProp := func(alpha float64) float64 {
+		p, err := PartitionDirichlet(corpus.Train, NumClasses, 10, alpha, rand.New(rand.NewSource(9)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for i := range p.Nodes {
+			sum += p.CategoryProportion(i)
+		}
+		return sum / float64(len(p.Nodes))
+	}
+	skewed := meanProp(0.1)
+	iid := meanProp(100)
+	if skewed >= iid {
+		t.Errorf("category coverage at alpha=0.1 (%v) should be below alpha=100 (%v)", skewed, iid)
+	}
+}
+
+func TestPartitionHeterogeneous(t *testing.T) {
+	corpus, err := GenerateTask(MNISTF, 600, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nodes, minSize, maxSize = 25, 20, 120
+	p, err := PartitionHeterogeneous(corpus.Train, NumClasses, nodes, minSize, maxSize, 2, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawSmall, sawLarge := false, false
+	for i := 0; i < nodes; i++ {
+		size := p.NodeSize(i)
+		if size < minSize || size > maxSize {
+			t.Errorf("node %d size %d outside [%d, %d]", i, size, minSize, maxSize)
+		}
+		if size < minSize+(maxSize-minSize)/4 {
+			sawSmall = true
+		}
+		if size > maxSize-(maxSize-minSize)/4 {
+			sawLarge = true
+		}
+		if prop := p.CategoryProportion(i); prop <= 0 || prop > 1 {
+			t.Errorf("node %d category proportion %v outside (0, 1]", i, prop)
+		}
+	}
+	if !sawSmall || !sawLarge {
+		t.Error("heterogeneous partition should produce a wide size spread")
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	corpus, err := GenerateTask(MNISTO, 100, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := PartitionShards(corpus.Train, NumClasses, 0, 1, rng); err == nil {
+		t.Error("zero nodes: want error")
+	}
+	if _, err := PartitionShards(corpus.Train, NumClasses, 200, 2, rng); err == nil {
+		t.Error("more shards than samples: want error")
+	}
+	if _, err := PartitionDirichlet(corpus.Train, NumClasses, 5, 0, rng); err == nil {
+		t.Error("alpha=0: want error")
+	}
+	if _, err := PartitionDirichlet(nil, NumClasses, 5, 1, rng); err == nil {
+		t.Error("no samples: want error")
+	}
+	if _, err := PartitionHeterogeneous(corpus.Train, NumClasses, 5, 10, 5, 1, rng); err == nil {
+		t.Error("maxSize < minSize: want error")
+	}
+	if _, err := PartitionHeterogeneous(corpus.Train, NumClasses, 5, 10, 20, 99, rng); err == nil {
+		t.Error("minClasses > classes: want error")
+	}
+	bad := []ml.Sample{{Features: []float64{1}, Label: 99}}
+	if _, err := PartitionDirichlet(bad, NumClasses, 5, 1, rng); err == nil {
+		t.Error("out-of-range label: want error")
+	}
+	if _, err := PartitionHeterogeneous(bad, NumClasses, 5, 1, 2, 1, rng); err == nil {
+		t.Error("out-of-range label: want error")
+	}
+}
+
+func TestDirichletSamplesAreDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, alpha := range []float64{0.1, 1, 10} {
+		w := dirichlet(8, alpha, rng)
+		sum := 0.0
+		for _, v := range w {
+			if v < 0 {
+				t.Fatalf("alpha=%v: negative weight %v", alpha, v)
+			}
+			sum += v
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("alpha=%v: weights sum to %v", alpha, sum)
+		}
+	}
+}
+
+func TestTaskKindString(t *testing.T) {
+	if MNISTO.String() != "mnist-o" || HPNews.String() != "hpnews" {
+		t.Error("TaskKind.String mismatch")
+	}
+	if TaskKind(42).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}

@@ -1,0 +1,187 @@
+package data
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"fmore/internal/ml"
+)
+
+// This file loads datasets in the IDX format used by the real MNIST and
+// Fashion-MNIST distributions (http://yann.lecun.com/exdb/mnist/). The
+// reproduction ships synthetic stand-ins because the module is offline, but
+// a user holding the actual files can run the paper's true workloads:
+//
+//	corpus, err := data.LoadIDXCorpus(data.IDXPaths{
+//		TrainImages: "train-images-idx3-ubyte",
+//		TrainLabels: "train-labels-idx1-ubyte",
+//		TestImages:  "t10k-images-idx3-ubyte",
+//		TestLabels:  "t10k-labels-idx1-ubyte",
+//	}, data.MNISTO)
+//
+// Pixels are scaled to [0, 1] and kept at native resolution; models accept
+// any height/width via ml.ImageModelConfig.
+
+const (
+	idxMagicUByte = 0x08
+	idxMaxDims    = 4
+	// idxMaxElements caps allocations against corrupt headers (enough for
+	// MNIST-scale files: 60000 × 28 × 28 ≈ 47M).
+	idxMaxElements = 1 << 27
+)
+
+// ErrIDXFormat reports a malformed IDX file.
+var ErrIDXFormat = errors.New("data: malformed IDX file")
+
+// readIDX parses one IDX file: magic (0x00 0x00 type dims), big-endian
+// dimension sizes, then raw unsigned bytes.
+func readIDX(r io.Reader) (dims []int, payload []byte, err error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, nil, fmt.Errorf("%w: reading magic: %v", ErrIDXFormat, err)
+	}
+	if magic[0] != 0 || magic[1] != 0 {
+		return nil, nil, fmt.Errorf("%w: bad magic prefix %x", ErrIDXFormat, magic)
+	}
+	if magic[2] != idxMagicUByte {
+		return nil, nil, fmt.Errorf("%w: element type 0x%02x unsupported (want unsigned byte 0x08)", ErrIDXFormat, magic[2])
+	}
+	nDims := int(magic[3])
+	if nDims < 1 || nDims > idxMaxDims {
+		return nil, nil, fmt.Errorf("%w: %d dimensions unsupported", ErrIDXFormat, nDims)
+	}
+	dims = make([]int, nDims)
+	total := 1
+	for i := 0; i < nDims; i++ {
+		var sz uint32
+		if err := binary.Read(r, binary.BigEndian, &sz); err != nil {
+			return nil, nil, fmt.Errorf("%w: reading dimension %d: %v", ErrIDXFormat, i, err)
+		}
+		dims[i] = int(sz)
+		if dims[i] <= 0 || total > idxMaxElements/maxInt(dims[i], 1) {
+			return nil, nil, fmt.Errorf("%w: implausible dimension %d = %d", ErrIDXFormat, i, dims[i])
+		}
+		total *= dims[i]
+	}
+	payload = make([]byte, total)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, nil, fmt.Errorf("%w: reading %d payload bytes: %v", ErrIDXFormat, total, err)
+	}
+	return dims, payload, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// LoadIDXImages reads an idx3-ubyte image file into per-sample [0, 1]
+// feature vectors, returning the image height and width.
+func LoadIDXImages(path string) (features [][]float64, h, w int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer f.Close() //nolint:errcheck // read-only
+
+	dims, payload, err := readIDX(f)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(dims) != 3 {
+		return nil, 0, 0, fmt.Errorf("%s: %w: want 3 dims (n, h, w), got %d", path, ErrIDXFormat, len(dims))
+	}
+	n, h, w := dims[0], dims[1], dims[2]
+	per := h * w
+	features = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		x := make([]float64, per)
+		row := payload[i*per : (i+1)*per]
+		for j, b := range row {
+			x[j] = float64(b) / 255
+		}
+		features[i] = x
+	}
+	return features, h, w, nil
+}
+
+// LoadIDXLabels reads an idx1-ubyte label file.
+func LoadIDXLabels(path string) ([]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() //nolint:errcheck // read-only
+
+	dims, payload, err := readIDX(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(dims) != 1 {
+		return nil, fmt.Errorf("%s: %w: want 1 dim, got %d", path, ErrIDXFormat, len(dims))
+	}
+	labels := make([]int, dims[0])
+	for i, b := range payload {
+		labels[i] = int(b)
+	}
+	return labels, nil
+}
+
+// IDXPaths names the four files of a standard MNIST-layout distribution.
+type IDXPaths struct {
+	TrainImages, TrainLabels string
+	TestImages, TestLabels   string
+}
+
+// LoadIDXCorpus assembles a Corpus from real IDX files, tagged with the
+// given task kind so the experiment harness treats it like the matching
+// synthetic workload.
+func LoadIDXCorpus(paths IDXPaths, kind TaskKind) (*Corpus, error) {
+	if !kind.IsImage() {
+		return nil, fmt.Errorf("data: IDX loading is for image tasks, got %v", kind)
+	}
+	build := func(imgPath, lblPath string) ([]ml.Sample, int, error) {
+		features, h, w, err := LoadIDXImages(imgPath)
+		if err != nil {
+			return nil, 0, err
+		}
+		labels, err := LoadIDXLabels(lblPath)
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(features) != len(labels) {
+			return nil, 0, fmt.Errorf("data: %d images vs %d labels", len(features), len(labels))
+		}
+		samples := make([]ml.Sample, len(features))
+		for i := range features {
+			if labels[i] < 0 || labels[i] >= NumClasses {
+				return nil, 0, fmt.Errorf("data: label %d outside [0, %d)", labels[i], NumClasses)
+			}
+			samples[i] = ml.Sample{Features: features[i], Label: labels[i]}
+		}
+		return samples, h * w, nil
+	}
+	train, dim, err := build(paths.TrainImages, paths.TrainLabels)
+	if err != nil {
+		return nil, err
+	}
+	test, testDim, err := build(paths.TestImages, paths.TestLabels)
+	if err != nil {
+		return nil, err
+	}
+	if dim != testDim {
+		return nil, fmt.Errorf("data: train dim %d != test dim %d", dim, testDim)
+	}
+	return &Corpus{
+		Kind:       kind,
+		Train:      train,
+		Test:       test,
+		Classes:    NumClasses,
+		FeatureDim: dim,
+	}, nil
+}

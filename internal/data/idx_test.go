@@ -1,0 +1,174 @@
+package data
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeIDX writes a synthetic IDX file for tests.
+func writeIDX(t *testing.T, path string, elemType byte, dims []int, payload []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, elemType, byte(len(dims))})
+	for _, d := range dims {
+		if err := binary.Write(&buf, binary.BigEndian, uint32(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf.Write(payload)
+	if err := os.WriteFile(path, buf.Bytes(), 0o600); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadIDXImagesAndLabels(t *testing.T) {
+	dir := t.TempDir()
+	imgPath := filepath.Join(dir, "images")
+	lblPath := filepath.Join(dir, "labels")
+
+	// Two 2x3 images.
+	writeIDX(t, imgPath, idxMagicUByte, []int{2, 2, 3}, []byte{
+		0, 51, 102, 153, 204, 255,
+		255, 204, 153, 102, 51, 0,
+	})
+	writeIDX(t, lblPath, idxMagicUByte, []int{2}, []byte{3, 7})
+
+	features, h, w, err := LoadIDXImages(imgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 2 || w != 3 || len(features) != 2 {
+		t.Fatalf("got %d images of %dx%d, want 2 of 2x3", len(features), h, w)
+	}
+	if features[0][0] != 0 || features[0][5] != 1 {
+		t.Errorf("pixel scaling wrong: %v", features[0])
+	}
+	if got := features[1][0]; got != 1 {
+		t.Errorf("second image first pixel = %v, want 1", got)
+	}
+
+	labels, err := LoadIDXLabels(lblPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 2 || labels[0] != 3 || labels[1] != 7 {
+		t.Errorf("labels = %v, want [3 7]", labels)
+	}
+}
+
+func TestLoadIDXCorpus(t *testing.T) {
+	dir := t.TempDir()
+	paths := IDXPaths{
+		TrainImages: filepath.Join(dir, "train-img"),
+		TrainLabels: filepath.Join(dir, "train-lbl"),
+		TestImages:  filepath.Join(dir, "test-img"),
+		TestLabels:  filepath.Join(dir, "test-lbl"),
+	}
+	mk := func(imgPath, lblPath string, n int) {
+		img := make([]byte, n*4)
+		lbl := make([]byte, n)
+		for i := range lbl {
+			lbl[i] = byte(i % NumClasses)
+			for j := 0; j < 4; j++ {
+				img[i*4+j] = byte(i + j)
+			}
+		}
+		writeIDX(t, imgPath, idxMagicUByte, []int{n, 2, 2}, img)
+		writeIDX(t, lblPath, idxMagicUByte, []int{n}, lbl)
+	}
+	mk(paths.TrainImages, paths.TrainLabels, 12)
+	mk(paths.TestImages, paths.TestLabels, 5)
+
+	corpus, err := LoadIDXCorpus(paths, MNISTO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus.Train) != 12 || len(corpus.Test) != 5 {
+		t.Fatalf("sizes %d/%d, want 12/5", len(corpus.Train), len(corpus.Test))
+	}
+	if corpus.FeatureDim != 4 {
+		t.Errorf("FeatureDim = %d, want 4", corpus.FeatureDim)
+	}
+	if corpus.Kind != MNISTO {
+		t.Errorf("Kind = %v", corpus.Kind)
+	}
+}
+
+func TestLoadIDXCorpusRejectsTextTask(t *testing.T) {
+	if _, err := LoadIDXCorpus(IDXPaths{}, HPNews); err == nil {
+		t.Error("text task: want error")
+	}
+}
+
+func TestLoadIDXErrors(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "f")
+
+	// Missing file.
+	if _, _, _, err := LoadIDXImages(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file: want error")
+	}
+	// Bad magic prefix.
+	if err := os.WriteFile(p, []byte{1, 2, 3, 4, 5}, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIDXLabels(p); !errors.Is(err, ErrIDXFormat) {
+		t.Errorf("bad magic: got %v, want ErrIDXFormat", err)
+	}
+	// Unsupported element type (float 0x0D).
+	writeIDX(t, p, 0x0D, []int{1}, []byte{0, 0, 0, 0})
+	if _, err := LoadIDXLabels(p); !errors.Is(err, ErrIDXFormat) {
+		t.Errorf("bad elem type: got %v, want ErrIDXFormat", err)
+	}
+	// Truncated payload.
+	writeIDX(t, p, idxMagicUByte, []int{10}, []byte{1, 2})
+	if _, err := LoadIDXLabels(p); !errors.Is(err, ErrIDXFormat) {
+		t.Errorf("truncated: got %v, want ErrIDXFormat", err)
+	}
+	// Wrong dimensionality for images.
+	writeIDX(t, p, idxMagicUByte, []int{2, 2}, []byte{1, 2, 3, 4})
+	if _, _, _, err := LoadIDXImages(p); !errors.Is(err, ErrIDXFormat) {
+		t.Errorf("2-dim images: got %v, want ErrIDXFormat", err)
+	}
+	// Wrong dimensionality for labels.
+	writeIDX(t, p, idxMagicUByte, []int{2, 2}, []byte{1, 2, 3, 4})
+	if _, err := LoadIDXLabels(p); !errors.Is(err, ErrIDXFormat) {
+		t.Errorf("2-dim labels: got %v, want ErrIDXFormat", err)
+	}
+	// Implausible dimension (overflow guard).
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, idxMagicUByte, 2})
+	if err := binary.Write(&buf, binary.BigEndian, uint32(1<<31-1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := binary.Write(&buf, binary.BigEndian, uint32(1<<31-1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, buf.Bytes(), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIDXLabels(p); !errors.Is(err, ErrIDXFormat) {
+		t.Errorf("huge dims: got %v, want ErrIDXFormat", err)
+	}
+}
+
+func TestLoadIDXCorpusMismatchedCounts(t *testing.T) {
+	dir := t.TempDir()
+	paths := IDXPaths{
+		TrainImages: filepath.Join(dir, "ti"),
+		TrainLabels: filepath.Join(dir, "tl"),
+		TestImages:  filepath.Join(dir, "si"),
+		TestLabels:  filepath.Join(dir, "sl"),
+	}
+	writeIDX(t, paths.TrainImages, idxMagicUByte, []int{2, 2, 2}, make([]byte, 8))
+	writeIDX(t, paths.TrainLabels, idxMagicUByte, []int{3}, []byte{0, 1, 2}) // mismatch
+	writeIDX(t, paths.TestImages, idxMagicUByte, []int{1, 2, 2}, make([]byte, 4))
+	writeIDX(t, paths.TestLabels, idxMagicUByte, []int{1}, []byte{0})
+	if _, err := LoadIDXCorpus(paths, MNISTO); err == nil {
+		t.Error("mismatched counts: want error")
+	}
+}

@@ -1,0 +1,214 @@
+package data
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"fmore/internal/ml"
+)
+
+// Partition is the assignment of training samples to edge nodes. It exposes
+// the two resource dimensions the paper's simulator bids with: per-node data
+// size (q₁) and data-category proportion (q₂ ∈ (0, 1]).
+type Partition struct {
+	// Nodes holds each node's local training samples.
+	Nodes [][]ml.Sample
+	// Classes is the label arity of the underlying task.
+	Classes int
+}
+
+// NodeSize returns the number of local samples at node i (q₁).
+func (p *Partition) NodeSize(i int) int { return len(p.Nodes[i]) }
+
+// CategoryProportion returns the fraction of all classes present in node
+// i's local data (q₂), the second resource dimension of the paper's
+// simulator.
+func (p *Partition) CategoryProportion(i int) float64 {
+	if p.Classes == 0 {
+		return 0
+	}
+	seen := make(map[int]bool, p.Classes)
+	for _, s := range p.Nodes[i] {
+		seen[s.Label] = true
+	}
+	return float64(len(seen)) / float64(p.Classes)
+}
+
+// TotalSamples returns the number of samples across all nodes.
+func (p *Partition) TotalSamples() int {
+	total := 0
+	for _, n := range p.Nodes {
+		total += len(n)
+	}
+	return total
+}
+
+// ErrPartition reports invalid partitioning arguments.
+var ErrPartition = errors.New("data: invalid partition arguments")
+
+// PartitionShards implements the McMahan-style pathological non-IID split:
+// samples are sorted by label, cut into equal shards, and each node receives
+// shardsPerNode shards — so each node sees only a few classes. All samples
+// are assigned (trailing remainder joins the last shard).
+func PartitionShards(samples []ml.Sample, classes, nodes, shardsPerNode int, rng *rand.Rand) (*Partition, error) {
+	if nodes < 1 || shardsPerNode < 1 {
+		return nil, fmt.Errorf("%w: nodes=%d shardsPerNode=%d", ErrPartition, nodes, shardsPerNode)
+	}
+	if len(samples) < nodes*shardsPerNode {
+		return nil, fmt.Errorf("%w: %d samples cannot fill %d shards", ErrPartition, len(samples), nodes*shardsPerNode)
+	}
+	bylabel := append([]ml.Sample(nil), samples...)
+	sort.SliceStable(bylabel, func(a, b int) bool { return bylabel[a].Label < bylabel[b].Label })
+
+	numShards := nodes * shardsPerNode
+	shardSize := len(bylabel) / numShards
+	shards := make([][]ml.Sample, numShards)
+	for i := 0; i < numShards; i++ {
+		lo := i * shardSize
+		hi := lo + shardSize
+		if i == numShards-1 {
+			hi = len(bylabel)
+		}
+		shards[i] = bylabel[lo:hi]
+	}
+	order := rng.Perm(numShards)
+	p := &Partition{Nodes: make([][]ml.Sample, nodes), Classes: classes}
+	for n := 0; n < nodes; n++ {
+		for s := 0; s < shardsPerNode; s++ {
+			shard := shards[order[n*shardsPerNode+s]]
+			p.Nodes[n] = append(p.Nodes[n], shard...)
+		}
+	}
+	return p, nil
+}
+
+// PartitionDirichlet assigns each sample to a node according to per-class
+// node weights drawn from a symmetric Dirichlet(alpha). Small alpha yields
+// severe label skew; large alpha approaches IID.
+func PartitionDirichlet(samples []ml.Sample, classes, nodes int, alpha float64, rng *rand.Rand) (*Partition, error) {
+	if nodes < 1 || alpha <= 0 {
+		return nil, fmt.Errorf("%w: nodes=%d alpha=%v", ErrPartition, nodes, alpha)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("%w: no samples", ErrPartition)
+	}
+	// Per class, draw node weights ~ Dir(alpha).
+	weights := make([][]float64, classes)
+	for c := range weights {
+		weights[c] = dirichlet(nodes, alpha, rng)
+	}
+	p := &Partition{Nodes: make([][]ml.Sample, nodes), Classes: classes}
+	for _, s := range samples {
+		if s.Label < 0 || s.Label >= classes {
+			return nil, fmt.Errorf("%w: label %d outside [0, %d)", ErrPartition, s.Label, classes)
+		}
+		n := sampleCategorical(weights[s.Label], rng)
+		p.Nodes[n] = append(p.Nodes[n], s)
+	}
+	return p, nil
+}
+
+// PartitionHeterogeneous models the MEC population of the paper's
+// simulator: node data sizes vary widely (uniform in [minSize, maxSize])
+// and label diversity varies per node (each node draws a random subset of
+// classes, between minClasses and the full set). Samples are drawn with
+// replacement from the per-class pools, mimicking independent local data
+// collection at each edge device.
+func PartitionHeterogeneous(samples []ml.Sample, classes, nodes, minSize, maxSize, minClasses int, rng *rand.Rand) (*Partition, error) {
+	if nodes < 1 || minSize < 1 || maxSize < minSize || minClasses < 1 || minClasses > classes {
+		return nil, fmt.Errorf("%w: nodes=%d size=[%d,%d] minClasses=%d", ErrPartition, nodes, minSize, maxSize, minClasses)
+	}
+	pools := make([][]ml.Sample, classes)
+	for _, s := range samples {
+		if s.Label < 0 || s.Label >= classes {
+			return nil, fmt.Errorf("%w: label %d outside [0, %d)", ErrPartition, s.Label, classes)
+		}
+		pools[s.Label] = append(pools[s.Label], s)
+	}
+	for c, pool := range pools {
+		if len(pool) == 0 {
+			return nil, fmt.Errorf("%w: class %d has no samples", ErrPartition, c)
+		}
+	}
+	p := &Partition{Nodes: make([][]ml.Sample, nodes), Classes: classes}
+	for n := 0; n < nodes; n++ {
+		size := minSize + rng.Intn(maxSize-minSize+1)
+		numClasses := minClasses + rng.Intn(classes-minClasses+1)
+		classPick := rng.Perm(classes)[:numClasses]
+		local := make([]ml.Sample, 0, size)
+		for len(local) < size {
+			c := classPick[rng.Intn(len(classPick))]
+			pool := pools[c]
+			local = append(local, pool[rng.Intn(len(pool))])
+		}
+		p.Nodes[n] = local
+	}
+	return p, nil
+}
+
+// dirichlet draws one symmetric Dirichlet(alpha) sample of length n using
+// Gamma(alpha, 1) marginals (Marsaglia–Tsang).
+func dirichlet(n int, alpha float64, rng *rand.Rand) []float64 {
+	w := make([]float64, n)
+	sum := 0.0
+	for i := range w {
+		w[i] = gammaSample(alpha, rng)
+		sum += w[i]
+	}
+	if sum <= 0 {
+		// Numerically possible for tiny alpha; fall back to uniform.
+		for i := range w {
+			w[i] = 1 / float64(n)
+		}
+		return w
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// gammaSample draws Gamma(shape, 1) via Marsaglia–Tsang, with the boost
+// trick for shape < 1.
+func gammaSample(shape float64, rng *rand.Rand) float64 {
+	if shape < 1 {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaSample(shape+1, rng) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3
+	c := 1 / (3 * math.Sqrt(d))
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// sampleCategorical draws an index proportional to weights.
+func sampleCategorical(weights []float64, rng *rand.Rand) int {
+	r := rng.Float64()
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if r < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,238 @@
+// Package fl implements the federated-learning engine of the reproduction:
+// FedAvg global aggregation (Eq 3), local mini-batch SGD (Eq 2), and the
+// three client-selection strategies compared in the paper's evaluation —
+// RandFL (McMahan's random selection), FixFL (a fixed winner set), and FMore
+// (the multi-dimensional auction of internal/auction, including ψ-FMore).
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"fmore/internal/auction"
+	"fmore/internal/mec"
+)
+
+// Selection is one node chosen for a training round, with its auction
+// observables (zero for the non-auction baselines).
+type Selection struct {
+	Node *mec.EdgeNode
+	// Score is the bid's evaluated score S(q, p); 0 for baselines.
+	Score float64
+	// Payment is the granted payment; 0 for baselines.
+	Payment float64
+}
+
+// RoundAuction carries the per-round auction telemetry used by the paper's
+// figures (score distributions, payments). It is nil for baselines.
+type RoundAuction struct {
+	// AllScores are the evaluated scores of every bidder this round.
+	AllScores []float64
+	// TotalPayment is the aggregator's outlay this round.
+	TotalPayment float64
+}
+
+// Selector chooses the round's participants from the active population.
+type Selector interface {
+	// Select returns the chosen nodes in preference order. The auction
+	// telemetry return is nil for non-auction selectors.
+	Select(round int, nodes []*mec.EdgeNode, rng *rand.Rand) ([]Selection, *RoundAuction, error)
+	// Name identifies the strategy in experiment output.
+	Name() string
+}
+
+// ErrNoNodes reports selection over an empty population.
+var ErrNoNodes = errors.New("fl: no nodes available for selection")
+
+// RandomSelector implements RandFL: K nodes uniformly at random, the
+// selection rule of classic federated learning (McMahan et al.).
+type RandomSelector struct {
+	K int
+}
+
+var _ Selector = RandomSelector{}
+
+// Select implements Selector.
+func (r RandomSelector) Select(_ int, nodes []*mec.EdgeNode, rng *rand.Rand) ([]Selection, *RoundAuction, error) {
+	if len(nodes) == 0 {
+		return nil, nil, ErrNoNodes
+	}
+	if r.K < 1 {
+		return nil, nil, fmt.Errorf("fl: RandomSelector.K must be >= 1, got %d", r.K)
+	}
+	k := r.K
+	if k > len(nodes) {
+		k = len(nodes)
+	}
+	perm := rng.Perm(len(nodes))[:k]
+	out := make([]Selection, k)
+	for i, idx := range perm {
+		out[i] = Selection{Node: nodes[idx]}
+	}
+	return out, nil, nil
+}
+
+// Name implements Selector.
+func (r RandomSelector) Name() string { return "RandFL" }
+
+// FixedSelector implements FixFL: the same K node IDs every round,
+// frozen at construction.
+type FixedSelector struct {
+	ids map[int]bool
+	k   int
+}
+
+var _ Selector = (*FixedSelector)(nil)
+
+// NewFixedSelector freezes a random K-subset of the given population as the
+// permanent winner set.
+func NewFixedSelector(populationIDs []int, k int, rng *rand.Rand) (*FixedSelector, error) {
+	if k < 1 || k > len(populationIDs) {
+		return nil, fmt.Errorf("fl: fixed selector needs 1 <= K <= %d, got %d", len(populationIDs), k)
+	}
+	perm := rng.Perm(len(populationIDs))[:k]
+	ids := make(map[int]bool, k)
+	for _, i := range perm {
+		ids[populationIDs[i]] = true
+	}
+	return &FixedSelector{ids: ids, k: k}, nil
+}
+
+// Select implements Selector.
+func (f *FixedSelector) Select(_ int, nodes []*mec.EdgeNode, _ *rand.Rand) ([]Selection, *RoundAuction, error) {
+	if len(nodes) == 0 {
+		return nil, nil, ErrNoNodes
+	}
+	out := make([]Selection, 0, f.k)
+	for _, n := range nodes {
+		if f.ids[n.ID] {
+			out = append(out, Selection{Node: n})
+		}
+	}
+	if len(out) == 0 {
+		return nil, nil, fmt.Errorf("fl: none of the %d fixed nodes are active", f.k)
+	}
+	return out, nil, nil
+}
+
+// Name implements Selector.
+func (f *FixedSelector) Name() string { return "FixFL" }
+
+// BidFunc builds a node's sealed bid for the current round from its offered
+// resources and equilibrium strategy.
+type BidFunc func(node *mec.EdgeNode) (auction.Bid, error)
+
+// FMoreSelector implements the paper's scheme: each active node submits its
+// equilibrium bid, and the auctioneer's winner determination (optionally
+// ψ-randomized) picks the round's participants.
+type FMoreSelector struct {
+	auctioneer *auction.Auctioneer
+	bid        BidFunc
+	name       string
+}
+
+var _ Selector = (*FMoreSelector)(nil)
+
+// NewFMoreSelector wires an auctioneer and a bid builder. name defaults to
+// "FMore" (use e.g. "psi-FMore(0.5)" for variants).
+func NewFMoreSelector(a *auction.Auctioneer, bid BidFunc, name string) (*FMoreSelector, error) {
+	if a == nil || bid == nil {
+		return nil, errors.New("fl: auctioneer and bid func are required")
+	}
+	if name == "" {
+		name = "FMore"
+	}
+	return &FMoreSelector{auctioneer: a, bid: bid, name: name}, nil
+}
+
+// Select implements Selector.
+func (s *FMoreSelector) Select(_ int, nodes []*mec.EdgeNode, _ *rand.Rand) ([]Selection, *RoundAuction, error) {
+	if len(nodes) == 0 {
+		return nil, nil, ErrNoNodes
+	}
+	bids := make([]auction.Bid, 0, len(nodes))
+	byID := make(map[int]*mec.EdgeNode, len(nodes))
+	for _, n := range nodes {
+		b, err := s.bid(n)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fl: bid for node %d: %w", n.ID, err)
+		}
+		b.NodeID = n.ID
+		bids = append(bids, b)
+		byID[n.ID] = n
+	}
+	outcome, err := s.auctioneer.Run(bids)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fl: auction round: %w", err)
+	}
+	out := make([]Selection, 0, len(outcome.Winners))
+	for _, w := range outcome.Winners {
+		node, ok := byID[w.Bid.NodeID]
+		if !ok {
+			return nil, nil, fmt.Errorf("fl: auction returned unknown node %d", w.Bid.NodeID)
+		}
+		out = append(out, Selection{Node: node, Score: w.Score, Payment: w.Payment})
+	}
+	telemetry := &RoundAuction{
+		AllScores:    outcome.Scores,
+		TotalPayment: outcome.TotalPayment(),
+	}
+	return out, telemetry, nil
+}
+
+// Name implements Selector.
+func (s *FMoreSelector) Name() string { return s.name }
+
+// SimulatorBid reproduces the paper simulator's bidding (§V-A): the quality
+// vector is (q₁, q₂) = (offered data size / DataScale, category proportion)
+// and the payment is the node's Nash equilibrium payment pˢ(θ) under the
+// shared strategy. The offered data size caps the ideal quality (a node
+// cannot promise samples it does not hold this round).
+func SimulatorBid(strategy *auction.Strategy, dataScale float64) BidFunc {
+	return func(node *mec.EdgeNode) (auction.Bid, error) {
+		if dataScale <= 0 {
+			return auction.Bid{}, fmt.Errorf("fl: dataScale must be positive, got %v", dataScale)
+		}
+		q := []float64{
+			float64(node.Offered.DataSize) / dataScale,
+			node.Offered.CategoryProportion,
+		}
+		return auction.Bid{
+			Qualities: q,
+			Payment:   strategy.Payment(node.Theta),
+		}, nil
+	}
+}
+
+// ClusterBid reproduces the real-deployment bidding (§V-A): the quality
+// vector is (computing power, bandwidth, data size), each min–max normalized
+// by the supplied ranges, under the additive scoring rule with coefficients
+// 0.4/0.3/0.3.
+func ClusterBid(strategy *auction.Strategy, cpuMax, bwMax, dataMax float64) BidFunc {
+	return func(node *mec.EdgeNode) (auction.Bid, error) {
+		if cpuMax <= 0 || bwMax <= 0 || dataMax <= 0 {
+			return auction.Bid{}, fmt.Errorf("fl: normalization maxima must be positive (%v, %v, %v)", cpuMax, bwMax, dataMax)
+		}
+		q := []float64{
+			clamp01(node.Offered.CPUCores / cpuMax),
+			clamp01(node.Offered.BandwidthMbps / bwMax),
+			clamp01(float64(node.Offered.DataSize) / dataMax),
+		}
+		return auction.Bid{
+			Qualities: q,
+			Payment:   strategy.Payment(node.Theta),
+		}, nil
+	}
+}
+
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	default:
+		return v
+	}
+}

@@ -1,0 +1,257 @@
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"fmore/internal/mec"
+	"fmore/internal/ml"
+)
+
+// Config parameterizes one federated training run (Algorithm 1 of the
+// paper, with the selection step pluggable so RandFL/FixFL/FMore share the
+// same engine).
+type Config struct {
+	// Global is the shared model; it is trained in place.
+	Global ml.Classifier
+	// Test is the held-out evaluation set.
+	Test []ml.Sample
+	// Selector chooses each round's participants.
+	Selector Selector
+	// Population is the MEC edge population.
+	Population *mec.Population
+	// Rounds is the number of global rounds T.
+	Rounds int
+	// LocalEpochs is the number of local passes per round (default 1).
+	LocalEpochs int
+	// BatchSize is the local mini-batch size (default 16).
+	BatchSize int
+	// LR is the local learning rate η of Eq (2) (default 0.05).
+	LR float64
+	// MaxSamplesPerRound caps the per-node local subset per round
+	// (0 = no cap beyond the node's offered data size).
+	MaxSamplesPerRound int
+	// Timing, when set, accumulates simulated wall time per round.
+	Timing *mec.TimingModel
+	// Seed drives all run-level randomness (selection, subsets, dynamics).
+	Seed int64
+}
+
+func (c *Config) setDefaults() {
+	if c.LocalEpochs == 0 {
+		c.LocalEpochs = 1
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Global == nil {
+		return errors.New("fl: Config.Global model is required")
+	}
+	if len(c.Test) == 0 {
+		return errors.New("fl: Config.Test set is required")
+	}
+	if c.Selector == nil {
+		return errors.New("fl: Config.Selector is required")
+	}
+	if c.Population == nil {
+		return errors.New("fl: Config.Population is required")
+	}
+	if c.Rounds < 1 {
+		return fmt.Errorf("fl: Config.Rounds must be >= 1, got %d", c.Rounds)
+	}
+	if c.LocalEpochs < 1 || c.BatchSize < 1 || c.LR <= 0 {
+		return fmt.Errorf("fl: invalid training hyperparameters (epochs=%d batch=%d lr=%v)",
+			c.LocalEpochs, c.BatchSize, c.LR)
+	}
+	return nil
+}
+
+// RoundMetrics records one global round.
+type RoundMetrics struct {
+	Round       int
+	Accuracy    float64
+	Loss        float64
+	SelectedIDs []int
+	// WinnerScores/AllScores/TotalPayment are auction telemetry (empty for
+	// baselines).
+	WinnerScores []float64
+	AllScores    []float64
+	TotalPayment float64
+	// TrainSamples is the total number of local samples consumed.
+	TrainSamples int
+	// SimTimeSec/CumTimeSec are simulated wall times (0 without Timing).
+	SimTimeSec float64
+	CumTimeSec float64
+}
+
+// History is the full trace of a run.
+type History struct {
+	Selector string
+	Rounds   []RoundMetrics
+}
+
+// Final returns the last round's metrics.
+func (h *History) Final() RoundMetrics {
+	if len(h.Rounds) == 0 {
+		return RoundMetrics{}
+	}
+	return h.Rounds[len(h.Rounds)-1]
+}
+
+// RoundsToAccuracy returns the first round index (1-based) whose evaluation
+// accuracy reached target, or 0 if never.
+func (h *History) RoundsToAccuracy(target float64) int {
+	for _, r := range h.Rounds {
+		if r.Accuracy >= target {
+			return r.Round
+		}
+	}
+	return 0
+}
+
+// TimeToAccuracy returns the cumulative simulated seconds at which accuracy
+// first reached target, or 0 if never.
+func (h *History) TimeToAccuracy(target float64) float64 {
+	for _, r := range h.Rounds {
+		if r.Accuracy >= target {
+			return r.CumTimeSec
+		}
+	}
+	return 0
+}
+
+// Accuracies returns the per-round accuracy series.
+func (h *History) Accuracies() []float64 {
+	out := make([]float64, len(h.Rounds))
+	for i, r := range h.Rounds {
+		out[i] = r.Accuracy
+	}
+	return out
+}
+
+// Losses returns the per-round evaluation loss series.
+func (h *History) Losses() []float64 {
+	out := make([]float64, len(h.Rounds))
+	for i, r := range h.Rounds {
+		out[i] = r.Loss
+	}
+	return out
+}
+
+// Run executes federated training per Algorithm 1: each round the selector
+// picks participants, every participant trains the current global model on
+// its local data (Eq 2), and the aggregator merges the results weighted by
+// local data size (Eq 3).
+func Run(cfg Config) (*History, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	hist := &History{Selector: cfg.Selector.Name()}
+	cumTime := 0.0
+
+	for round := 1; round <= cfg.Rounds; round++ {
+		cfg.Population.Step(rng)
+		selections, telemetry, err := cfg.Selector.Select(round, cfg.Population.Active(), rng)
+		if err != nil {
+			return nil, fmt.Errorf("fl: round %d selection: %w", round, err)
+		}
+
+		metrics := RoundMetrics{Round: round}
+		if telemetry != nil {
+			metrics.AllScores = telemetry.AllScores
+			metrics.TotalPayment = telemetry.TotalPayment
+		}
+
+		if len(selections) > 0 {
+			globalParams := cfg.Global.ParamVector()
+			agg := make([]float64, len(globalParams))
+			totalWeight := 0.0
+			var winners []*mec.EdgeNode
+			var samplesPer []int
+
+			for _, sel := range selections {
+				subset := localSubset(sel.Node, cfg.MaxSamplesPerRound, rng)
+				if len(subset) == 0 {
+					continue
+				}
+				local := cfg.Global.Clone()
+				if err := local.SetParamVector(globalParams); err != nil {
+					return nil, fmt.Errorf("fl: round %d node %d: %w", round, sel.Node.ID, err)
+				}
+				for e := 0; e < cfg.LocalEpochs; e++ {
+					if _, err := local.TrainEpoch(subset, cfg.BatchSize, cfg.LR, rng); err != nil {
+						return nil, fmt.Errorf("fl: round %d node %d local training: %w", round, sel.Node.ID, err)
+					}
+				}
+				w := float64(len(subset))
+				for j, v := range local.ParamVector() {
+					agg[j] += w * v
+				}
+				totalWeight += w
+				metrics.SelectedIDs = append(metrics.SelectedIDs, sel.Node.ID)
+				metrics.WinnerScores = append(metrics.WinnerScores, sel.Score)
+				metrics.TrainSamples += len(subset)
+				winners = append(winners, sel.Node)
+				samplesPer = append(samplesPer, len(subset))
+			}
+			if totalWeight > 0 {
+				for j := range agg {
+					agg[j] /= totalWeight
+				}
+				if err := cfg.Global.SetParamVector(agg); err != nil {
+					return nil, fmt.Errorf("fl: round %d aggregation: %w", round, err)
+				}
+			}
+			if cfg.Timing != nil && len(winners) > 0 {
+				rt, err := cfg.Timing.RoundTime(winners, samplesPer, cfg.LocalEpochs)
+				if err != nil {
+					return nil, fmt.Errorf("fl: round %d timing: %w", round, err)
+				}
+				metrics.SimTimeSec = rt
+			}
+		}
+		cumTime += metrics.SimTimeSec
+		metrics.CumTimeSec = cumTime
+
+		loss, acc, err := cfg.Global.Evaluate(cfg.Test)
+		if err != nil {
+			return nil, fmt.Errorf("fl: round %d evaluation: %w", round, err)
+		}
+		metrics.Loss, metrics.Accuracy = loss, acc
+		hist.Rounds = append(hist.Rounds, metrics)
+	}
+	return hist, nil
+}
+
+// localSubset draws the node's per-round training subset: a uniform sample
+// of its local data, sized by its offered data volume (and the global cap).
+func localSubset(node *mec.EdgeNode, maxSamples int, rng *rand.Rand) []ml.Sample {
+	n := node.Offered.DataSize
+	if n > len(node.Local) {
+		n = len(node.Local)
+	}
+	if maxSamples > 0 && n > maxSamples {
+		n = maxSamples
+	}
+	if n <= 0 {
+		return nil
+	}
+	if n == len(node.Local) {
+		return node.Local
+	}
+	idx := rng.Perm(len(node.Local))[:n]
+	out := make([]ml.Sample, n)
+	for i, j := range idx {
+		out[i] = node.Local[j]
+	}
+	return out
+}

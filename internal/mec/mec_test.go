@@ -1,0 +1,175 @@
+package mec
+
+import (
+	"math/rand"
+	"testing"
+
+	"fmore/internal/dist"
+	"fmore/internal/ml"
+)
+
+func testPartition(n, perNode, classes int) [][]ml.Sample {
+	part := make([][]ml.Sample, n)
+	for i := range part {
+		for j := 0; j < perNode; j++ {
+			part[i] = append(part[i], ml.Sample{Features: []float64{1}, Label: j % classes})
+		}
+	}
+	return part
+}
+
+func testPopulation(t *testing.T, n int) *Population {
+	t.Helper()
+	theta, err := dist.NewUniform(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := NewPopulation(PopulationConfig{
+		N:         n,
+		Theta:     theta,
+		Partition: testPartition(n, 40, 4),
+		Classes:   4,
+	}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pop
+}
+
+func TestNewPopulation(t *testing.T) {
+	pop := testPopulation(t, 10)
+	if pop.N() != 10 {
+		t.Fatalf("N = %d, want 10", pop.N())
+	}
+	for i, n := range pop.Nodes {
+		if n.ID != i {
+			t.Errorf("node %d has ID %d", i, n.ID)
+		}
+		if n.Theta < 1 || n.Theta > 3 {
+			t.Errorf("node %d theta %v outside support", i, n.Theta)
+		}
+		if n.Capacity.DataSize != 40 {
+			t.Errorf("node %d capacity %d, want 40", i, n.Capacity.DataSize)
+		}
+		if n.Capacity.CategoryProportion != 1 {
+			t.Errorf("node %d category proportion %v, want 1 (all 4 classes present)", i, n.Capacity.CategoryProportion)
+		}
+		if n.Capacity.BandwidthMbps < 5 || n.Capacity.BandwidthMbps > 100 {
+			t.Errorf("node %d bandwidth %v outside default [5, 100]", i, n.Capacity.BandwidthMbps)
+		}
+		if n.Capacity.CPUCores < 1 || n.Capacity.CPUCores > 8 {
+			t.Errorf("node %d cores %v outside default [1, 8]", i, n.Capacity.CPUCores)
+		}
+	}
+}
+
+func TestPopulationValidation(t *testing.T) {
+	theta, err := dist.NewUniform(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		name string
+		cfg  PopulationConfig
+	}{
+		{"zero N", PopulationConfig{N: 0, Theta: theta, Partition: nil, Classes: 2}},
+		{"nil theta", PopulationConfig{N: 2, Partition: testPartition(2, 5, 2), Classes: 2}},
+		{"partition mismatch", PopulationConfig{N: 3, Theta: theta, Partition: testPartition(2, 5, 2), Classes: 2}},
+		{"zero classes", PopulationConfig{N: 2, Theta: theta, Partition: testPartition(2, 5, 2), Classes: 0}},
+		{"bad bandwidth", PopulationConfig{N: 2, Theta: theta, Partition: testPartition(2, 5, 2), Classes: 2, BandwidthMin: -1, BandwidthMax: 5}},
+		{"bad dynamics", PopulationConfig{N: 2, Theta: theta, Partition: testPartition(2, 5, 2), Classes: 2, DynamicMin: 0.9, DynamicMax: 0.5}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := NewPopulation(c.cfg, rng); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+	good := PopulationConfig{N: 2, Theta: theta, Partition: testPartition(2, 5, 2), Classes: 2}
+	if _, err := NewPopulation(good, nil); err == nil {
+		t.Error("nil rng: want error")
+	}
+}
+
+func TestStepKeepsOfferedWithinCapacity(t *testing.T) {
+	pop := testPopulation(t, 8)
+	rng := rand.New(rand.NewSource(2))
+	changed := false
+	for round := 0; round < 10; round++ {
+		pop.Step(rng)
+		for _, n := range pop.Nodes {
+			if n.Offered.DataSize > n.Capacity.DataSize || n.Offered.DataSize < 1 {
+				t.Fatalf("offered size %d outside [1, %d]", n.Offered.DataSize, n.Capacity.DataSize)
+			}
+			if n.Offered.BandwidthMbps > n.Capacity.BandwidthMbps+1e-12 {
+				t.Fatalf("offered bandwidth exceeds capacity")
+			}
+			if n.Offered.CPUCores > n.Capacity.CPUCores+1e-12 {
+				t.Fatalf("offered cores exceed capacity")
+			}
+			if n.Offered.DataSize != n.Capacity.DataSize {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Error("dynamics never reduced any offering; resources should fluctuate")
+	}
+}
+
+func TestActiveExcludesBlacklisted(t *testing.T) {
+	pop := testPopulation(t, 5)
+	pop.Nodes[2].Blacklisted = true
+	active := pop.Active()
+	if len(active) != 4 {
+		t.Fatalf("active = %d, want 4", len(active))
+	}
+	for _, n := range active {
+		if n.ID == 2 {
+			t.Error("blacklisted node still active")
+		}
+	}
+}
+
+func TestTimingModel(t *testing.T) {
+	tm := TimingModel{ComputeSecPerSample: 0.01, ModelBytes: 1000000, RoundOverheadSec: 0.5}
+	node := &EdgeNode{Offered: Resources{CPUCores: 2, BandwidthMbps: 8}}
+	// compute: 100 samples × 2 epochs × 0.01 / 2 cores = 1s;
+	// comm: 2 × 1e6 bytes × 8 bits / (8 Mbps × 1e6) = 2s.
+	got := tm.NodeRoundTime(node, 100, 2)
+	if want := 3.0; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("NodeRoundTime = %v, want %v", got, want)
+	}
+
+	fast := &EdgeNode{Offered: Resources{CPUCores: 8, BandwidthMbps: 100}}
+	rt, err := tm.RoundTime([]*EdgeNode{node, fast}, []int{100, 100}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slow node gates the round; plus overhead.
+	if want := 3.5; rt < want-1e-9 || rt > want+1e-9 {
+		t.Errorf("RoundTime = %v, want %v", rt, want)
+	}
+	if _, err := tm.RoundTime([]*EdgeNode{node}, []int{1, 2}, 1); err == nil {
+		t.Error("mismatched lengths: want error")
+	}
+}
+
+func TestTimingModelGuardsAgainstZeroResources(t *testing.T) {
+	tm := DefaultTimingModel(1000)
+	node := &EdgeNode{Offered: Resources{CPUCores: 0, BandwidthMbps: 0}}
+	got := tm.NodeRoundTime(node, 10, 1)
+	if got <= 0 || got > 1e6 {
+		t.Errorf("NodeRoundTime with zero resources = %v; want positive and finite", got)
+	}
+}
+
+func TestDefaultTimingModelScalesWithParams(t *testing.T) {
+	small := DefaultTimingModel(1000)
+	big := DefaultTimingModel(100000)
+	if big.ModelBytes <= small.ModelBytes {
+		t.Error("model bytes should grow with parameter count")
+	}
+}

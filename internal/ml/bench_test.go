@@ -1,0 +1,97 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkCNNTrainEpoch measures one local-training epoch of the
+// MNIST-shaped CNN on a 64-sample shard — a winner's per-round work.
+func BenchmarkCNNTrainEpoch(b *testing.B) {
+	m, err := NewImageCNN(MNISTCNNConfig(12, 12), rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	samples := make([]Sample, 64)
+	for i := range samples {
+		x := make([]float64, 12*12)
+		for d := range x {
+			x[d] = rng.NormFloat64()
+		}
+		samples[i] = Sample{Features: x, Label: i % 10}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.TrainEpoch(samples, 16, 0.04, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLSTMTrainEpoch measures the text model's local epoch.
+func BenchmarkLSTMTrainEpoch(b *testing.B) {
+	m, err := NewLSTMClassifier(LSTMConfig{Vocab: 48, Embed: 10, Hidden: 20, Classes: 10, Momentum: 0.9},
+		rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	samples := make([]Sample, 64)
+	for i := range samples {
+		toks := make([]int, 10)
+		for j := range toks {
+			toks[j] = rng.Intn(48)
+		}
+		samples[i] = Sample{Tokens: toks, Label: i % 10}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.TrainEpoch(samples, 16, 0.05, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParamVectorRoundTrip measures the FedAvg serialization path:
+// flattening and restoring a full model parameter vector.
+func BenchmarkParamVectorRoundTrip(b *testing.B) {
+	m, err := NewImageCNN(CIFARCNNConfig(12, 12), rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := m.ParamVector()
+		if err := m.SetParamVector(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCNNEvaluate measures the aggregator's per-round test evaluation.
+func BenchmarkCNNEvaluate(b *testing.B) {
+	m, err := NewImageCNN(MNISTCNNConfig(12, 12), rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	samples := make([]Sample, 200)
+	for i := range samples {
+		x := make([]float64, 12*12)
+		for d := range x {
+			x[d] = rng.NormFloat64()
+		}
+		samples[i] = Sample{Features: x, Label: i % 10}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.Evaluate(samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

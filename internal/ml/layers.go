@@ -1,0 +1,412 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Layer is one differentiable stage of a feed-forward network. Layers carry
+// their own parameters and cache the forward activations they need for the
+// backward pass, so a Layer instance must not be shared between networks.
+type Layer interface {
+	// Forward maps a batch of n samples (x has n*InDim entries) to n*OutDim.
+	Forward(x []float64, n int, train bool) []float64
+	// Backward receives dLoss/dOut (n*OutDim) and returns dLoss/dIn
+	// (n*InDim), accumulating parameter gradients.
+	Backward(grad []float64, n int) []float64
+	// Params exposes trainable tensors (empty for stateless layers).
+	Params() []Param
+	// InDim and OutDim are the flattened per-sample sizes.
+	InDim() int
+	OutDim() int
+	// Name identifies the layer in errors and logs.
+	Name() string
+}
+
+// Dense is a fully connected layer: y = Wx + b.
+type Dense struct {
+	in, out int
+	w, b    Param
+	lastX   []float64
+}
+
+var _ Layer = (*Dense)(nil)
+
+// NewDense builds a fully connected layer with Xavier-initialized weights.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{in: in, out: out, w: newParam(in * out), b: newParam(out)}
+	xavierInit(d.w.W, in, out, rng)
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x []float64, n int, _ bool) []float64 {
+	d.lastX = x
+	y := make([]float64, n*d.out)
+	for s := 0; s < n; s++ {
+		xi := x[s*d.in : (s+1)*d.in]
+		yi := y[s*d.out : (s+1)*d.out]
+		for o := 0; o < d.out; o++ {
+			sum := d.b.W[o]
+			row := d.w.W[o*d.in : (o+1)*d.in]
+			for i, xv := range xi {
+				sum += row[i] * xv
+			}
+			yi[o] = sum
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad []float64, n int) []float64 {
+	gx := make([]float64, n*d.in)
+	for s := 0; s < n; s++ {
+		xi := d.lastX[s*d.in : (s+1)*d.in]
+		gi := grad[s*d.out : (s+1)*d.out]
+		gxi := gx[s*d.in : (s+1)*d.in]
+		for o := 0; o < d.out; o++ {
+			g := gi[o]
+			if g == 0 {
+				continue
+			}
+			d.b.G[o] += g
+			row := d.w.W[o*d.in : (o+1)*d.in]
+			growRow := d.w.G[o*d.in : (o+1)*d.in]
+			for i, xv := range xi {
+				growRow[i] += g * xv
+				gxi[i] += g * row[i]
+			}
+		}
+	}
+	return gx
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []Param { return []Param{d.w, d.b} }
+
+// InDim implements Layer.
+func (d *Dense) InDim() int { return d.in }
+
+// OutDim implements Layer.
+func (d *Dense) OutDim() int { return d.out }
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("dense(%d→%d)", d.in, d.out) }
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	dim  int
+	mask []bool
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// NewReLU builds a ReLU over dim features.
+func NewReLU(dim int) *ReLU { return &ReLU{dim: dim} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x []float64, n int, _ bool) []float64 {
+	y := make([]float64, len(x))
+	if cap(r.mask) < len(x) {
+		r.mask = make([]bool, len(x))
+	}
+	r.mask = r.mask[:len(x)]
+	for i, v := range x {
+		if v > 0 {
+			y[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad []float64, _ int) []float64 {
+	gx := make([]float64, len(grad))
+	for i, g := range grad {
+		if r.mask[i] {
+			gx[i] = g
+		}
+	}
+	return gx
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []Param { return nil }
+
+// InDim implements Layer.
+func (r *ReLU) InDim() int { return r.dim }
+
+// OutDim implements Layer.
+func (r *ReLU) OutDim() int { return r.dim }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// Dropout zeroes activations with probability Rate during training (inverted
+// dropout: survivors are scaled by 1/(1−Rate)), and is the identity at
+// evaluation time.
+type Dropout struct {
+	dim  int
+	rate float64
+	rng  *rand.Rand
+	keep []bool
+}
+
+var _ Layer = (*Dropout)(nil)
+
+// NewDropout builds a dropout layer; rate is clamped to [0, 0.95].
+func NewDropout(dim int, rate float64, rng *rand.Rand) *Dropout {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 0.95 {
+		rate = 0.95
+	}
+	return &Dropout{dim: dim, rate: rate, rng: rng}
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x []float64, _ int, train bool) []float64 {
+	if !train || d.rate == 0 {
+		d.keep = nil
+		return x
+	}
+	y := make([]float64, len(x))
+	if cap(d.keep) < len(x) {
+		d.keep = make([]bool, len(x))
+	}
+	d.keep = d.keep[:len(x)]
+	scale := 1 / (1 - d.rate)
+	for i, v := range x {
+		if d.rng.Float64() >= d.rate {
+			y[i] = v * scale
+			d.keep[i] = true
+		} else {
+			d.keep[i] = false
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad []float64, _ int) []float64 {
+	if d.keep == nil {
+		return grad
+	}
+	gx := make([]float64, len(grad))
+	scale := 1 / (1 - d.rate)
+	for i, g := range grad {
+		if d.keep[i] {
+			gx[i] = g * scale
+		}
+	}
+	return gx
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []Param { return nil }
+
+// InDim implements Layer.
+func (d *Dropout) InDim() int { return d.dim }
+
+// OutDim implements Layer.
+func (d *Dropout) OutDim() int { return d.dim }
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return fmt.Sprintf("dropout(%.2g)", d.rate) }
+
+// Conv2D is a valid-padding, stride-1 2D convolution over channel-major
+// feature maps ([c][h][w] flattened).
+type Conv2D struct {
+	inC, inH, inW int
+	outC, k       int
+	outH, outW    int
+	w, b          Param
+	lastX         []float64
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// NewConv2D builds a convolution with outC kernels of size k×k over an
+// inC×inH×inW input.
+func NewConv2D(inC, inH, inW, outC, k int, rng *rand.Rand) (*Conv2D, error) {
+	if k < 1 || inH < k || inW < k {
+		return nil, fmt.Errorf("ml: conv kernel %d does not fit input %dx%d", k, inH, inW)
+	}
+	c := &Conv2D{
+		inC: inC, inH: inH, inW: inW,
+		outC: outC, k: k,
+		outH: inH - k + 1, outW: inW - k + 1,
+		w: newParam(outC * inC * k * k),
+		b: newParam(outC),
+	}
+	xavierInit(c.w.W, inC*k*k, outC*k*k, rng)
+	return c, nil
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x []float64, n int, _ bool) []float64 {
+	c.lastX = x
+	inSize := c.InDim()
+	outSize := c.OutDim()
+	y := make([]float64, n*outSize)
+	for s := 0; s < n; s++ {
+		xi := x[s*inSize : (s+1)*inSize]
+		yi := y[s*outSize : (s+1)*outSize]
+		for oc := 0; oc < c.outC; oc++ {
+			bias := c.b.W[oc]
+			for oh := 0; oh < c.outH; oh++ {
+				for ow := 0; ow < c.outW; ow++ {
+					sum := bias
+					for ic := 0; ic < c.inC; ic++ {
+						base := ic * c.inH * c.inW
+						wBase := (oc*c.inC + ic) * c.k * c.k
+						for kh := 0; kh < c.k; kh++ {
+							rowOff := base + (oh+kh)*c.inW + ow
+							wOff := wBase + kh*c.k
+							for kw := 0; kw < c.k; kw++ {
+								sum += xi[rowOff+kw] * c.w.W[wOff+kw]
+							}
+						}
+					}
+					yi[oc*c.outH*c.outW+oh*c.outW+ow] = sum
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad []float64, n int) []float64 {
+	inSize := c.InDim()
+	outSize := c.OutDim()
+	gx := make([]float64, n*inSize)
+	for s := 0; s < n; s++ {
+		xi := c.lastX[s*inSize : (s+1)*inSize]
+		gi := grad[s*outSize : (s+1)*outSize]
+		gxi := gx[s*inSize : (s+1)*inSize]
+		for oc := 0; oc < c.outC; oc++ {
+			for oh := 0; oh < c.outH; oh++ {
+				for ow := 0; ow < c.outW; ow++ {
+					g := gi[oc*c.outH*c.outW+oh*c.outW+ow]
+					if g == 0 {
+						continue
+					}
+					c.b.G[oc] += g
+					for ic := 0; ic < c.inC; ic++ {
+						base := ic * c.inH * c.inW
+						wBase := (oc*c.inC + ic) * c.k * c.k
+						for kh := 0; kh < c.k; kh++ {
+							rowOff := base + (oh+kh)*c.inW + ow
+							wOff := wBase + kh*c.k
+							for kw := 0; kw < c.k; kw++ {
+								c.w.G[wOff+kw] += g * xi[rowOff+kw]
+								gxi[rowOff+kw] += g * c.w.W[wOff+kw]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return gx
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []Param { return []Param{c.w, c.b} }
+
+// InDim implements Layer.
+func (c *Conv2D) InDim() int { return c.inC * c.inH * c.inW }
+
+// OutDim implements Layer.
+func (c *Conv2D) OutDim() int { return c.outC * c.outH * c.outW }
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("conv(%dx%dx%d→%d,k=%d)", c.inC, c.inH, c.inW, c.outC, c.k)
+}
+
+// OutShape returns the output channel count and spatial dims, for stacking.
+func (c *Conv2D) OutShape() (ch, h, w int) { return c.outC, c.outH, c.outW }
+
+// MaxPool2D is a 2×2, stride-2 max pool over channel-major feature maps.
+// Odd trailing rows/columns are dropped, matching common framework defaults.
+type MaxPool2D struct {
+	ch, inH, inW int
+	outH, outW   int
+	argmax       []int
+}
+
+var _ Layer = (*MaxPool2D)(nil)
+
+// NewMaxPool2D builds the pool for a ch×inH×inW input.
+func NewMaxPool2D(ch, inH, inW int) (*MaxPool2D, error) {
+	if inH < 2 || inW < 2 {
+		return nil, fmt.Errorf("ml: maxpool input %dx%d too small", inH, inW)
+	}
+	return &MaxPool2D{ch: ch, inH: inH, inW: inW, outH: inH / 2, outW: inW / 2}, nil
+}
+
+// Forward implements Layer.
+func (m *MaxPool2D) Forward(x []float64, n int, _ bool) []float64 {
+	inSize := m.InDim()
+	outSize := m.OutDim()
+	y := make([]float64, n*outSize)
+	if cap(m.argmax) < n*outSize {
+		m.argmax = make([]int, n*outSize)
+	}
+	m.argmax = m.argmax[:n*outSize]
+	for s := 0; s < n; s++ {
+		xi := x[s*inSize : (s+1)*inSize]
+		for c := 0; c < m.ch; c++ {
+			base := c * m.inH * m.inW
+			for oh := 0; oh < m.outH; oh++ {
+				for ow := 0; ow < m.outW; ow++ {
+					bestIdx := base + (2*oh)*m.inW + 2*ow
+					best := xi[bestIdx]
+					for dh := 0; dh < 2; dh++ {
+						for dw := 0; dw < 2; dw++ {
+							idx := base + (2*oh+dh)*m.inW + (2*ow + dw)
+							if xi[idx] > best {
+								best, bestIdx = xi[idx], idx
+							}
+						}
+					}
+					out := s*outSize + c*m.outH*m.outW + oh*m.outW + ow
+					y[out] = best
+					m.argmax[out] = s*inSize + bestIdx
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (m *MaxPool2D) Backward(grad []float64, n int) []float64 {
+	gx := make([]float64, n*m.InDim())
+	for i, g := range grad {
+		gx[m.argmax[i]] += g
+	}
+	return gx
+}
+
+// Params implements Layer.
+func (m *MaxPool2D) Params() []Param { return nil }
+
+// InDim implements Layer.
+func (m *MaxPool2D) InDim() int { return m.ch * m.inH * m.inW }
+
+// OutDim implements Layer.
+func (m *MaxPool2D) OutDim() int { return m.ch * m.outH * m.outW }
+
+// Name implements Layer.
+func (m *MaxPool2D) Name() string { return "maxpool2" }
+
+// OutShape returns the output channel count and spatial dims, for stacking.
+func (m *MaxPool2D) OutShape() (ch, h, w int) { return m.ch, m.outH, m.outW }

@@ -1,0 +1,309 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LSTMConfig sizes the sequence classifier used for the HPNews experiments
+// (embedding → LSTM → dense softmax head, mirroring the paper's LSTM model).
+type LSTMConfig struct {
+	// Vocab is the token id space; every token must be in [0, Vocab).
+	Vocab int
+	// Embed is the embedding width.
+	Embed int
+	// Hidden is the LSTM state width.
+	Hidden int
+	// Classes is the output arity.
+	Classes int
+	// Momentum is the SGD momentum coefficient.
+	Momentum float64
+}
+
+// LSTMClassifier is a single-layer LSTM text classifier trained with
+// truncated-free full BPTT (sequences in the synthetic corpus are short).
+type LSTMClassifier struct {
+	cfg LSTMConfig
+
+	embed Param // [vocab][embed]
+	wx    Param // [4H][embed], gate order i,f,g,o
+	wh    Param // [4H][H]
+	b     Param // [4H]
+	headW Param // [classes][H]
+	headB Param // [classes]
+
+	opt *SGD
+	rng *rand.Rand
+}
+
+var _ Classifier = (*LSTMClassifier)(nil)
+
+// NewLSTMClassifier builds and initializes the model. Forget-gate biases
+// start at 1 per standard practice.
+func NewLSTMClassifier(cfg LSTMConfig, rng *rand.Rand) (*LSTMClassifier, error) {
+	if cfg.Vocab < 2 || cfg.Embed < 1 || cfg.Hidden < 1 || cfg.Classes < 2 {
+		return nil, fmt.Errorf("ml: invalid LSTM config %+v", cfg)
+	}
+	if rng == nil {
+		return nil, errors.New("ml: rng is required")
+	}
+	m := &LSTMClassifier{
+		cfg:   cfg,
+		embed: newParam(cfg.Vocab * cfg.Embed),
+		wx:    newParam(4 * cfg.Hidden * cfg.Embed),
+		wh:    newParam(4 * cfg.Hidden * cfg.Hidden),
+		b:     newParam(4 * cfg.Hidden),
+		headW: newParam(cfg.Classes * cfg.Hidden),
+		headB: newParam(cfg.Classes),
+		rng:   rng,
+	}
+	xavierInit(m.embed.W, cfg.Vocab, cfg.Embed, rng)
+	xavierInit(m.wx.W, cfg.Embed, cfg.Hidden, rng)
+	xavierInit(m.wh.W, cfg.Hidden, cfg.Hidden, rng)
+	xavierInit(m.headW.W, cfg.Hidden, cfg.Classes, rng)
+	for h := 0; h < cfg.Hidden; h++ {
+		m.b.W[cfg.Hidden+h] = 1 // forget gate bias
+	}
+	m.opt = NewSGD(m.params(), cfg.Momentum)
+	return m, nil
+}
+
+func (m *LSTMClassifier) params() []Param {
+	return []Param{m.embed, m.wx, m.wh, m.b, m.headW, m.headB}
+}
+
+// lstmTrace caches one sample's forward pass for BPTT.
+type lstmTrace struct {
+	tokens []int
+	xs     [][]float64 // embedded inputs per step
+	gates  [][]float64 // post-activation i,f,g,o per step (4H)
+	cs     [][]float64 // cell states per step
+	hs     [][]float64 // hidden states per step (hs[0] = zeros)
+	logits []float64
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// forward runs one sample and returns the trace (kept only when train).
+func (m *LSTMClassifier) forward(tokens []int, keep bool) (*lstmTrace, []float64, error) {
+	H, E := m.cfg.Hidden, m.cfg.Embed
+	if len(tokens) == 0 {
+		return nil, nil, errors.New("ml: empty token sequence")
+	}
+	tr := &lstmTrace{tokens: tokens}
+	h := make([]float64, H)
+	c := make([]float64, H)
+	if keep {
+		tr.hs = append(tr.hs, append([]float64(nil), h...))
+		tr.cs = append(tr.cs, append([]float64(nil), c...))
+	}
+	for _, tok := range tokens {
+		if tok < 0 || tok >= m.cfg.Vocab {
+			return nil, nil, fmt.Errorf("ml: token %d outside vocab [0, %d)", tok, m.cfg.Vocab)
+		}
+		x := m.embed.W[tok*E : (tok+1)*E]
+		z := make([]float64, 4*H)
+		for g := 0; g < 4*H; g++ {
+			sum := m.b.W[g]
+			rowX := m.wx.W[g*E : (g+1)*E]
+			for e := 0; e < E; e++ {
+				sum += rowX[e] * x[e]
+			}
+			rowH := m.wh.W[g*H : (g+1)*H]
+			for j := 0; j < H; j++ {
+				sum += rowH[j] * h[j]
+			}
+			z[g] = sum
+		}
+		newH := make([]float64, H)
+		newC := make([]float64, H)
+		for j := 0; j < H; j++ {
+			iG := sigmoid(z[j])
+			fG := sigmoid(z[H+j])
+			gG := math.Tanh(z[2*H+j])
+			oG := sigmoid(z[3*H+j])
+			newC[j] = fG*c[j] + iG*gG
+			newH[j] = oG * math.Tanh(newC[j])
+			z[j], z[H+j], z[2*H+j], z[3*H+j] = iG, fG, gG, oG
+		}
+		h, c = newH, newC
+		if keep {
+			tr.xs = append(tr.xs, append([]float64(nil), x...))
+			tr.gates = append(tr.gates, z)
+			tr.hs = append(tr.hs, newH)
+			tr.cs = append(tr.cs, newC)
+		}
+	}
+	logits := make([]float64, m.cfg.Classes)
+	for k := 0; k < m.cfg.Classes; k++ {
+		sum := m.headB.W[k]
+		row := m.headW.W[k*H : (k+1)*H]
+		for j := 0; j < H; j++ {
+			sum += row[j] * h[j]
+		}
+		logits[k] = sum
+	}
+	if keep {
+		tr.logits = logits
+	}
+	return tr, logits, nil
+}
+
+// backward accumulates gradients for one sample given dLoss/dLogits.
+func (m *LSTMClassifier) backward(tr *lstmTrace, dLogits []float64) {
+	H, E := m.cfg.Hidden, m.cfg.Embed
+	T := len(tr.tokens)
+	dh := make([]float64, H)
+	lastH := tr.hs[T]
+	for k := 0; k < m.cfg.Classes; k++ {
+		g := dLogits[k]
+		if g == 0 {
+			continue
+		}
+		m.headB.G[k] += g
+		row := m.headW.W[k*H : (k+1)*H]
+		growRow := m.headW.G[k*H : (k+1)*H]
+		for j := 0; j < H; j++ {
+			growRow[j] += g * lastH[j]
+			dh[j] += g * row[j]
+		}
+	}
+	dc := make([]float64, H)
+	for t := T - 1; t >= 0; t-- {
+		gates := tr.gates[t]
+		cPrev := tr.cs[t]
+		cCur := tr.cs[t+1]
+		hPrev := tr.hs[t]
+		dz := make([]float64, 4*H)
+		for j := 0; j < H; j++ {
+			iG, fG, gG, oG := gates[j], gates[H+j], gates[2*H+j], gates[3*H+j]
+			tanhC := math.Tanh(cCur[j])
+			dO := dh[j] * tanhC
+			dcTotal := dc[j] + dh[j]*oG*(1-tanhC*tanhC)
+			dI := dcTotal * gG
+			dG := dcTotal * iG
+			dF := dcTotal * cPrev[j]
+			dc[j] = dcTotal * fG
+			dz[j] = dI * iG * (1 - iG)
+			dz[H+j] = dF * fG * (1 - fG)
+			dz[2*H+j] = dG * (1 - gG*gG)
+			dz[3*H+j] = dO * oG * (1 - oG)
+		}
+		x := tr.xs[t]
+		dx := make([]float64, E)
+		dhPrev := make([]float64, H)
+		for g := 0; g < 4*H; g++ {
+			gz := dz[g]
+			if gz == 0 {
+				continue
+			}
+			m.b.G[g] += gz
+			rowX := m.wx.W[g*E : (g+1)*E]
+			growX := m.wx.G[g*E : (g+1)*E]
+			for e := 0; e < E; e++ {
+				growX[e] += gz * x[e]
+				dx[e] += gz * rowX[e]
+			}
+			rowH := m.wh.W[g*H : (g+1)*H]
+			growH := m.wh.G[g*H : (g+1)*H]
+			for j := 0; j < H; j++ {
+				growH[j] += gz * hPrev[j]
+				dhPrev[j] += gz * rowH[j]
+			}
+		}
+		tok := tr.tokens[t]
+		embRow := m.embed.G[tok*E : (tok+1)*E]
+		for e := 0; e < E; e++ {
+			embRow[e] += dx[e]
+		}
+		dh = dhPrev
+	}
+}
+
+// TrainEpoch implements Classifier.
+func (m *LSTMClassifier) TrainEpoch(samples []Sample, batchSize int, lr float64, rng *rand.Rand) (float64, error) {
+	if len(samples) == 0 {
+		return 0, ErrNoSamples
+	}
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	if rng == nil {
+		rng = m.rng
+	}
+	idx := shuffledIndices(len(samples), rng)
+	totalLoss := 0.0
+	dLogits := make([]float64, m.cfg.Classes)
+	for start := 0; start < len(idx); start += batchSize {
+		end := start + batchSize
+		if end > len(idx) {
+			end = len(idx)
+		}
+		b := end - start
+		zeroGrads(m.params())
+		for i := start; i < end; i++ {
+			s := samples[idx[i]]
+			if s.Label < 0 || s.Label >= m.cfg.Classes {
+				return 0, fmt.Errorf("ml: label %d outside [0, %d)", s.Label, m.cfg.Classes)
+			}
+			tr, logits, err := m.forward(s.Tokens, true)
+			if err != nil {
+				return 0, err
+			}
+			totalLoss += softmaxCrossEntropy(logits, s.Label, dLogits)
+			invB := 1 / float64(b)
+			for k := range dLogits {
+				dLogits[k] *= invB
+			}
+			m.backward(tr, dLogits)
+		}
+		m.opt.Step(lr)
+	}
+	return totalLoss / float64(len(samples)), nil
+}
+
+// Evaluate implements Classifier.
+func (m *LSTMClassifier) Evaluate(samples []Sample) (float64, float64, error) {
+	if len(samples) == 0 {
+		return 0, 0, ErrNoSamples
+	}
+	totalLoss, correct := 0.0, 0
+	grad := make([]float64, m.cfg.Classes)
+	for _, s := range samples {
+		_, logits, err := m.forward(s.Tokens, false)
+		if err != nil {
+			return 0, 0, err
+		}
+		totalLoss += softmaxCrossEntropy(logits, s.Label, grad)
+		if Argmax(logits) == s.Label {
+			correct++
+		}
+	}
+	return totalLoss / float64(len(samples)), float64(correct) / float64(len(samples)), nil
+}
+
+// ParamVector implements Classifier.
+func (m *LSTMClassifier) ParamVector() []float64 { return flatten(m.params()) }
+
+// SetParamVector implements Classifier.
+func (m *LSTMClassifier) SetParamVector(v []float64) error { return unflatten(m.params(), v) }
+
+// NumParams implements Classifier.
+func (m *LSTMClassifier) NumParams() int { return countParams(m.params()) }
+
+// Clone implements Classifier.
+func (m *LSTMClassifier) Clone() Classifier {
+	cl, err := NewLSTMClassifier(m.cfg, rand.New(rand.NewSource(m.rng.Int63())))
+	if err != nil {
+		panic(fmt.Sprintf("ml: clone rebuild failed: %v", err))
+	}
+	if err := cl.SetParamVector(m.ParamVector()); err != nil {
+		panic(fmt.Sprintf("ml: clone parameter copy failed: %v", err))
+	}
+	return cl
+}
+
+// Config returns the model's configuration.
+func (m *LSTMClassifier) Config() LSTMConfig { return m.cfg }

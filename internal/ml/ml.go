@@ -1,0 +1,169 @@
+// Package ml is a compact, dependency-free deep-learning substrate built for
+// the FMore reproduction. The paper trains its federated models (two CNNs and
+// an LSTM) on TensorFlow; this package provides the equivalent building
+// blocks in pure Go: dense/convolution/pooling/dropout layers, an LSTM
+// sequence classifier, softmax cross-entropy, and SGD with momentum — plus
+// the flat parameter-vector accessors FedAvg aggregation needs.
+//
+// Models are deliberately narrower than the paper's (the incentive results
+// depend on relative convergence behaviour, not absolute accuracy), but the
+// architectures keep the same shape: conv → pool → dropout → dense → softmax
+// for images, embedding → LSTM → dense for text.
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Sample is one training or test example. Image/tabular models read
+// Features; sequence models read Tokens. Label is the class index.
+type Sample struct {
+	Features []float64
+	Tokens   []int
+	Label    int
+}
+
+// Classifier is the training-side contract the federated-learning engine
+// depends on: local mini-batch training, evaluation, and flat parameter
+// access for global aggregation (Eqs 2 and 3 of the paper).
+type Classifier interface {
+	// TrainEpoch runs one epoch of mini-batch SGD over samples and returns
+	// the mean training loss.
+	TrainEpoch(samples []Sample, batchSize int, lr float64, rng *rand.Rand) (float64, error)
+	// Evaluate returns mean cross-entropy loss and accuracy over samples.
+	Evaluate(samples []Sample) (loss, acc float64, err error)
+	// ParamVector returns a copy of all trainable parameters, flattened.
+	ParamVector() []float64
+	// SetParamVector overwrites all trainable parameters from v.
+	SetParamVector(v []float64) error
+	// NumParams returns the total number of trainable parameters.
+	NumParams() int
+	// Clone returns an independent copy with identical parameters.
+	Clone() Classifier
+}
+
+// Param is one trainable tensor: the weight storage and its gradient
+// accumulator, always the same length.
+type Param struct {
+	W []float64
+	G []float64
+}
+
+// newParam allocates a parameter of length n.
+func newParam(n int) Param {
+	return Param{W: make([]float64, n), G: make([]float64, n)}
+}
+
+// zeroGrads clears the gradient accumulators of all params.
+func zeroGrads(params []Param) {
+	for _, p := range params {
+		for i := range p.G {
+			p.G[i] = 0
+		}
+	}
+}
+
+// flatten copies all weights into a single vector.
+func flatten(params []Param) []float64 {
+	n := 0
+	for _, p := range params {
+		n += len(p.W)
+	}
+	out := make([]float64, 0, n)
+	for _, p := range params {
+		out = append(out, p.W...)
+	}
+	return out
+}
+
+// unflatten copies v into the weights; v must have exactly the right length.
+func unflatten(params []Param, v []float64) error {
+	n := 0
+	for _, p := range params {
+		n += len(p.W)
+	}
+	if len(v) != n {
+		return fmt.Errorf("ml: parameter vector has %d entries, model needs %d", len(v), n)
+	}
+	off := 0
+	for _, p := range params {
+		copy(p.W, v[off:off+len(p.W)])
+		off += len(p.W)
+	}
+	return nil
+}
+
+// countParams sums the weight lengths.
+func countParams(params []Param) int {
+	n := 0
+	for _, p := range params {
+		n += len(p.W)
+	}
+	return n
+}
+
+// ErrNoSamples reports training or evaluation on an empty sample set.
+var ErrNoSamples = errors.New("ml: no samples")
+
+// Argmax returns the index of the largest value.
+func Argmax(v []float64) int {
+	best, bestIdx := math.Inf(-1), 0
+	for i, x := range v {
+		if x > best {
+			best, bestIdx = x, i
+		}
+	}
+	return bestIdx
+}
+
+// softmaxCrossEntropy computes, in place over logits, the softmax
+// probabilities; it returns the cross-entropy loss against label and writes
+// the gradient (probs − onehot) into grad.
+func softmaxCrossEntropy(logits []float64, label int, grad []float64) float64 {
+	maxLogit := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxLogit {
+			maxLogit = v
+		}
+	}
+	sum := 0.0
+	for i, v := range logits {
+		e := math.Exp(v - maxLogit)
+		grad[i] = e
+		sum += e
+	}
+	loss := 0.0
+	for i := range grad {
+		grad[i] /= sum
+		if i == label {
+			p := grad[i]
+			if p < 1e-12 {
+				p = 1e-12
+			}
+			loss = -math.Log(p)
+			grad[i] -= 1
+		}
+	}
+	return loss
+}
+
+// xavierInit fills w with Glorot-uniform values for fanIn/fanOut.
+func xavierInit(w []float64, fanIn, fanOut int, rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range w {
+		w[i] = (2*rng.Float64() - 1) * limit
+	}
+}
+
+// shuffledIndices returns a permutation of [0, n).
+func shuffledIndices(n int, rng *rand.Rand) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	return idx
+}

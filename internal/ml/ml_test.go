@@ -1,0 +1,445 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// gradCheck verifies backprop end-to-end: with momentum 0 and a single
+// full-batch TrainEpoch step, the implied gradient (wBefore − wAfter)/lr
+// must match the central finite difference of the evaluation loss.
+func gradCheck(t *testing.T, build func() Classifier, samples []Sample, probes int, tol float64) {
+	t.Helper()
+	const lr = 1e-3
+	model := build()
+	before := model.ParamVector()
+
+	stepped := build()
+	if err := stepped.SetParamVector(before); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stepped.TrainEpoch(samples, len(samples), lr, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	after := stepped.ParamVector()
+
+	lossAt := func(v []float64) float64 {
+		probe := build()
+		if err := probe.SetParamVector(v); err != nil {
+			t.Fatal(err)
+		}
+		loss, _, err := probe.Evaluate(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return loss
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	n := len(before)
+	for probe := 0; probe < probes; probe++ {
+		i := rng.Intn(n)
+		gBackprop := (before[i] - after[i]) / lr
+		h := 1e-5 * math.Max(1, math.Abs(before[i]))
+		vp := append([]float64(nil), before...)
+		vm := append([]float64(nil), before...)
+		vp[i] += h
+		vm[i] -= h
+		gNumeric := (lossAt(vp) - lossAt(vm)) / (2 * h)
+		scale := math.Max(1, math.Max(math.Abs(gBackprop), math.Abs(gNumeric)))
+		if math.Abs(gBackprop-gNumeric)/scale > tol {
+			t.Errorf("param %d: backprop grad %v vs numeric %v", i, gBackprop, gNumeric)
+		}
+	}
+}
+
+func blobSamples(rng *rand.Rand, n, dim, classes int) []Sample {
+	centers := make([][]float64, classes)
+	for c := range centers {
+		centers[c] = make([]float64, dim)
+		for d := range centers[c] {
+			centers[c][d] = rng.NormFloat64() * 2
+		}
+	}
+	samples := make([]Sample, n)
+	for i := range samples {
+		c := i % classes
+		x := make([]float64, dim)
+		for d := range x {
+			x[d] = centers[c][d] + rng.NormFloat64()*0.4
+		}
+		samples[i] = Sample{Features: x, Label: c}
+	}
+	return samples
+}
+
+func TestDenseNetworkGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	samples := blobSamples(rng, 12, 5, 3)
+	build := func() Classifier {
+		m, err := NewMLP(5, []int{7}, 3, 0, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	gradCheck(t, build, samples, 30, 1e-3)
+}
+
+func TestConvNetworkGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	samples := make([]Sample, 6)
+	for i := range samples {
+		x := make([]float64, 2*6*6)
+		for d := range x {
+			x[d] = rng.NormFloat64()
+		}
+		samples[i] = Sample{Features: x, Label: i % 3}
+	}
+	build := func() Classifier {
+		m, err := NewImageCNN(ImageModelConfig{
+			Channels: 2, Height: 6, Width: 6, Classes: 3,
+			ConvChannels: []int{4},
+			Hidden:       8,
+			DropoutRate:  0, // dropout breaks determinism of the check
+			Momentum:     0,
+		}, rand.New(rand.NewSource(13)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	gradCheck(t, build, samples, 30, 2e-3)
+}
+
+func TestLSTMGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	samples := make([]Sample, 6)
+	for i := range samples {
+		toks := make([]int, 5)
+		for j := range toks {
+			toks[j] = rng.Intn(8)
+		}
+		samples[i] = Sample{Tokens: toks, Label: i % 3}
+	}
+	build := func() Classifier {
+		m, err := NewLSTMClassifier(LSTMConfig{Vocab: 8, Embed: 4, Hidden: 6, Classes: 3}, rand.New(rand.NewSource(17)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	gradCheck(t, build, samples, 30, 2e-3)
+}
+
+func TestNetworkLearnsBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	train := blobSamples(rng, 300, 6, 4)
+	test := blobSamples(rng, 100, 6, 4)
+	// Same centers are required for train/test to agree; rebuild with one rng
+	// source means centers differ, so regenerate jointly instead.
+	all := blobSamples(rand.New(rand.NewSource(22)), 400, 6, 4)
+	train, test = all[:300], all[300:]
+
+	m, err := NewMLP(6, []int{16}, 4, 0.9, rand.New(rand.NewSource(23)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainRng := rand.New(rand.NewSource(24))
+	for epoch := 0; epoch < 30; epoch++ {
+		if _, err := m.TrainEpoch(train, 16, 0.05, trainRng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, acc, err := m.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("MLP accuracy on separable blobs = %v, want >= 0.9", acc)
+	}
+}
+
+func TestCNNLearnsOrientationTask(t *testing.T) {
+	// Class 0: bright horizontal band; class 1: bright vertical band.
+	rng := rand.New(rand.NewSource(31))
+	mk := func(n int) []Sample {
+		out := make([]Sample, n)
+		for i := range out {
+			x := make([]float64, 8*8)
+			label := i % 2
+			pos := 2 + rng.Intn(4)
+			for j := 0; j < 8; j++ {
+				if label == 0 {
+					x[pos*8+j] = 1
+				} else {
+					x[j*8+pos] = 1
+				}
+			}
+			for d := range x {
+				x[d] += rng.NormFloat64() * 0.1
+			}
+			out[i] = Sample{Features: x, Label: label}
+		}
+		return out
+	}
+	train, test := mk(240), mk(80)
+	m, err := NewImageCNN(ImageModelConfig{
+		Channels: 1, Height: 8, Width: 8, Classes: 2,
+		ConvChannels: []int{6}, Hidden: 16, DropoutRate: 0.1, Momentum: 0.9,
+	}, rand.New(rand.NewSource(33)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainRng := rand.New(rand.NewSource(34))
+	for epoch := 0; epoch < 12; epoch++ {
+		if _, err := m.TrainEpoch(train, 16, 0.03, trainRng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, acc, err := m.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("CNN accuracy on orientation task = %v, want >= 0.9", acc)
+	}
+}
+
+func TestLSTMLearnsMajorityToken(t *testing.T) {
+	// The class is the token that appears most often in the sequence.
+	rng := rand.New(rand.NewSource(41))
+	const classes = 3
+	mk := func(n int) []Sample {
+		out := make([]Sample, n)
+		for i := range out {
+			label := i % classes
+			toks := make([]int, 8)
+			for j := range toks {
+				if rng.Float64() < 0.7 {
+					toks[j] = label
+				} else {
+					toks[j] = rng.Intn(classes + 3)
+				}
+			}
+			out[i] = Sample{Tokens: toks, Label: label}
+		}
+		return out
+	}
+	train, test := mk(300), mk(90)
+	m, err := NewLSTMClassifier(LSTMConfig{Vocab: classes + 3, Embed: 6, Hidden: 12, Classes: classes, Momentum: 0.9}, rand.New(rand.NewSource(43)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainRng := rand.New(rand.NewSource(44))
+	for epoch := 0; epoch < 15; epoch++ {
+		if _, err := m.TrainEpoch(train, 16, 0.05, trainRng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, acc, err := m.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 {
+		t.Errorf("LSTM accuracy on majority-token task = %v, want >= 0.85", acc)
+	}
+}
+
+func TestParamVectorRoundTrip(t *testing.T) {
+	models := map[string]Classifier{}
+	m1, err := NewMLP(4, []int{5}, 3, 0.9, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	models["mlp"] = m1
+	m2, err := NewLSTMClassifier(LSTMConfig{Vocab: 5, Embed: 3, Hidden: 4, Classes: 2}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	models["lstm"] = m2
+	for name, m := range models {
+		m := m
+		t.Run(name, func(t *testing.T) {
+			v := m.ParamVector()
+			if len(v) != m.NumParams() {
+				t.Fatalf("ParamVector len %d != NumParams %d", len(v), m.NumParams())
+			}
+			mod := append([]float64(nil), v...)
+			for i := range mod {
+				mod[i] += 0.5
+			}
+			if err := m.SetParamVector(mod); err != nil {
+				t.Fatal(err)
+			}
+			got := m.ParamVector()
+			for i := range got {
+				if math.Abs(got[i]-mod[i]) > 1e-15 {
+					t.Fatalf("round trip mismatch at %d", i)
+				}
+			}
+			if err := m.SetParamVector(mod[:len(mod)-1]); err == nil {
+				t.Error("short vector: want error")
+			}
+		})
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	m, err := NewMLP(4, []int{5}, 3, 0.9, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := m.Clone()
+	origVec := m.ParamVector()
+	cloneVec := clone.ParamVector()
+	for i := range origVec {
+		if origVec[i] != cloneVec[i] {
+			t.Fatal("clone parameters differ from original")
+		}
+	}
+	// Training the clone must not move the original.
+	samples := blobSamples(rand.New(rand.NewSource(2)), 20, 4, 3)
+	if _, err := clone.TrainEpoch(samples, 10, 0.1, rand.New(rand.NewSource(3))); err != nil {
+		t.Fatal(err)
+	}
+	after := m.ParamVector()
+	for i := range origVec {
+		if origVec[i] != after[i] {
+			t.Fatal("training the clone mutated the original")
+		}
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewMLP(4, nil, 1, 0, rng); err == nil {
+		t.Error("single class: want error")
+	}
+	if _, err := NewNetwork(3, 0, nil, func(r *rand.Rand) ([]Layer, error) {
+		return []Layer{NewDense(2, 3, r)}, nil
+	}); err == nil {
+		t.Error("nil rng: want error")
+	}
+	if _, err := NewNetwork(3, 0, rng, func(r *rand.Rand) ([]Layer, error) {
+		return []Layer{NewDense(2, 5, r), NewDense(4, 3, r)}, nil
+	}); err == nil {
+		t.Error("mismatched layer dims: want error")
+	}
+	if _, err := NewNetwork(3, 0, rng, func(r *rand.Rand) ([]Layer, error) {
+		return []Layer{NewDense(2, 5, r)}, nil
+	}); err == nil {
+		t.Error("final layer != classes: want error")
+	}
+	if _, err := NewImageCNN(ImageModelConfig{Channels: 0, Height: 8, Width: 8, Classes: 2, Hidden: 4}, rng); err == nil {
+		t.Error("zero channels: want error")
+	}
+	if _, err := NewConv2D(1, 2, 2, 4, 3, rng); err == nil {
+		t.Error("kernel larger than input: want error")
+	}
+	if _, err := NewMaxPool2D(1, 1, 1); err == nil {
+		t.Error("tiny pool input: want error")
+	}
+}
+
+func TestTrainingErrors(t *testing.T) {
+	m, err := NewMLP(4, []int{5}, 3, 0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	if _, err := m.TrainEpoch(nil, 8, 0.1, rng); err == nil {
+		t.Error("no samples: want error")
+	}
+	if _, err := m.TrainEpoch([]Sample{{Features: []float64{1}, Label: 0}}, 8, 0.1, rng); err == nil {
+		t.Error("wrong feature size: want error")
+	}
+	if _, err := m.TrainEpoch([]Sample{{Features: []float64{1, 2, 3, 4}, Label: 9}}, 8, 0.1, rng); err == nil {
+		t.Error("label out of range: want error")
+	}
+	if _, _, err := m.Evaluate(nil); err == nil {
+		t.Error("evaluate no samples: want error")
+	}
+
+	lstm, err := NewLSTMClassifier(LSTMConfig{Vocab: 5, Embed: 3, Hidden: 4, Classes: 2}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lstm.TrainEpoch([]Sample{{Tokens: []int{99}, Label: 0}}, 4, 0.1, rng); err == nil {
+		t.Error("token out of vocab: want error")
+	}
+	if _, err := lstm.TrainEpoch([]Sample{{Tokens: nil, Label: 0}}, 4, 0.1, rng); err == nil {
+		t.Error("empty token sequence: want error")
+	}
+}
+
+func TestPredictReturnsDistribution(t *testing.T) {
+	m, err := NewMLP(4, []int{5}, 3, 0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := m.Predict([]float64{0.1, 0.2, 0.3, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, p := range probs {
+		if p < 0 || p > 1 {
+			t.Errorf("probability %v outside [0,1]", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %v, want 1", sum)
+	}
+	if _, err := m.Predict([]float64{1}); err == nil {
+		t.Error("wrong input size: want error")
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	if got := Argmax([]float64{0.1, 0.7, 0.2}); got != 1 {
+		t.Errorf("Argmax = %d, want 1", got)
+	}
+	if got := Argmax([]float64{-5, -2, -9}); got != 1 {
+		t.Errorf("Argmax negatives = %d, want 1", got)
+	}
+}
+
+func TestSGDMomentumAcceleratesAlongConsistentGradient(t *testing.T) {
+	// One parameter, constant gradient 1: momentum should move farther than
+	// plain SGD after several steps.
+	mk := func(momentum float64) float64 {
+		p := newParam(1)
+		opt := NewSGD([]Param{p}, momentum)
+		for step := 0; step < 10; step++ {
+			p.G[0] = 1
+			opt.Step(0.1)
+		}
+		return p.W[0]
+	}
+	plain, fast := mk(0), mk(0.9)
+	if fast >= plain {
+		t.Errorf("momentum end point %v should be more negative than plain %v", fast, plain)
+	}
+}
+
+func TestDropoutIdentityAtEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDropout(4, 0.5, rng)
+	x := []float64{1, 2, 3, 4}
+	y := d.Forward(x, 1, false)
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatal("dropout at eval should be identity")
+		}
+	}
+	// Backward in eval mode passes gradients through untouched.
+	g := d.Backward([]float64{1, 1, 1, 1}, 1)
+	for _, v := range g {
+		if v != 1 {
+			t.Fatal("dropout eval backward should be identity")
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ImageModelConfig sizes a CNN for the image experiments. The two presets
+// below mirror the paper's architectures (footnotes 1 and 2 of §V-A) at
+// reduced width so CPU-only training converges in seconds.
+type ImageModelConfig struct {
+	// Channels, Height, Width describe the input feature map.
+	Channels, Height, Width int
+	// Classes is the output arity (10 for every paper dataset).
+	Classes int
+	// ConvChannels lists the kernel counts of successive 3×3 conv blocks;
+	// each block is conv → relu → maxpool2 (pool skipped when the map gets
+	// too small).
+	ConvChannels []int
+	// Hidden is the width of the fully connected layer before the head.
+	Hidden int
+	// DropoutRate is applied before the hidden and output layers.
+	DropoutRate float64
+	// Momentum is the SGD momentum coefficient.
+	Momentum float64
+}
+
+// MNISTCNNConfig mirrors the paper's 8-layer MNIST CNN
+// (conv3×3×32 → conv3×3×64 → pool → dropout → dense128 → dropout → dense10)
+// at reduced width for the h×w synthetic substitute.
+func MNISTCNNConfig(h, w int) ImageModelConfig {
+	return ImageModelConfig{
+		Channels: 1, Height: h, Width: w, Classes: 10,
+		ConvChannels: []int{8},
+		Hidden:       48,
+		DropoutRate:  0.15,
+		Momentum:     0.9,
+	}
+}
+
+// CIFARCNNConfig mirrors the paper's 11-layer CIFAR-10 CNN (two conv/pool
+// blocks with dropout and a 1024-wide dense layer) at reduced width for the
+// 3-channel synthetic substitute.
+func CIFARCNNConfig(h, w int) ImageModelConfig {
+	return ImageModelConfig{
+		Channels: 3, Height: h, Width: w, Classes: 10,
+		ConvChannels: []int{8, 12},
+		Hidden:       64,
+		DropoutRate:  0.2,
+		Momentum:     0.9,
+	}
+}
+
+// NewImageCNN builds a Network from an ImageModelConfig.
+func NewImageCNN(cfg ImageModelConfig, rng *rand.Rand) (*Network, error) {
+	if cfg.Channels < 1 || cfg.Height < 3 || cfg.Width < 3 {
+		return nil, fmt.Errorf("ml: invalid input shape %dx%dx%d", cfg.Channels, cfg.Height, cfg.Width)
+	}
+	if cfg.Hidden < 1 {
+		return nil, fmt.Errorf("ml: hidden width must be >= 1, got %d", cfg.Hidden)
+	}
+	builder := func(rng *rand.Rand) ([]Layer, error) {
+		var layers []Layer
+		ch, h, w := cfg.Channels, cfg.Height, cfg.Width
+		for _, outC := range cfg.ConvChannels {
+			conv, err := NewConv2D(ch, h, w, outC, 3, rng)
+			if err != nil {
+				return nil, err
+			}
+			layers = append(layers, conv)
+			ch, h, w = conv.OutShape()
+			layers = append(layers, NewReLU(ch*h*w))
+			if h >= 4 && w >= 4 {
+				pool, err := NewMaxPool2D(ch, h, w)
+				if err != nil {
+					return nil, err
+				}
+				layers = append(layers, pool)
+				ch, h, w = pool.OutShape()
+			}
+		}
+		flat := ch * h * w
+		if cfg.DropoutRate > 0 {
+			layers = append(layers, NewDropout(flat, cfg.DropoutRate, rng))
+		}
+		layers = append(layers,
+			NewDense(flat, cfg.Hidden, rng),
+			NewReLU(cfg.Hidden),
+		)
+		if cfg.DropoutRate > 0 {
+			layers = append(layers, NewDropout(cfg.Hidden, cfg.DropoutRate, rng))
+		}
+		layers = append(layers, NewDense(cfg.Hidden, cfg.Classes, rng))
+		return layers, nil
+	}
+	return NewNetwork(cfg.Classes, cfg.Momentum, rng, builder)
+}
+
+// NewMLP builds a plain multi-layer perceptron, useful for fast tests and
+// the quickstart example.
+func NewMLP(in int, hidden []int, classes int, momentum float64, rng *rand.Rand) (*Network, error) {
+	builder := func(rng *rand.Rand) ([]Layer, error) {
+		var layers []Layer
+		prev := in
+		for _, h := range hidden {
+			layers = append(layers, NewDense(prev, h, rng), NewReLU(h))
+			prev = h
+		}
+		layers = append(layers, NewDense(prev, classes, rng))
+		return layers, nil
+	}
+	return NewNetwork(classes, momentum, rng, builder)
+}

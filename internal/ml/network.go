@@ -1,0 +1,205 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Network is a feed-forward classifier (the CNN path of the paper's
+// simulator): a stack of layers followed by a softmax cross-entropy head.
+// It trains with mini-batch SGD with momentum.
+type Network struct {
+	layers  []Layer
+	classes int
+	opt     *SGD
+
+	builder func(rng *rand.Rand) ([]Layer, error)
+	rng     *rand.Rand
+}
+
+var _ Classifier = (*Network)(nil)
+
+// NewNetwork assembles a network from a builder function. The builder
+// pattern (rather than accepting layers directly) lets Clone construct
+// architecturally identical fresh layers before copying parameters —
+// layers cache activations and must never be shared.
+func NewNetwork(classes int, momentum float64, rng *rand.Rand, builder func(rng *rand.Rand) ([]Layer, error)) (*Network, error) {
+	if classes < 2 {
+		return nil, fmt.Errorf("ml: need >= 2 classes, got %d", classes)
+	}
+	if rng == nil {
+		return nil, errors.New("ml: rng is required")
+	}
+	layers, err := builder(rng)
+	if err != nil {
+		return nil, err
+	}
+	if len(layers) == 0 {
+		return nil, errors.New("ml: builder produced no layers")
+	}
+	for i := 1; i < len(layers); i++ {
+		if layers[i-1].OutDim() != layers[i].InDim() {
+			return nil, fmt.Errorf("ml: layer %d (%s) outputs %d but layer %d (%s) expects %d",
+				i-1, layers[i-1].Name(), layers[i-1].OutDim(), i, layers[i].Name(), layers[i].InDim())
+		}
+	}
+	if layers[len(layers)-1].OutDim() != classes {
+		return nil, fmt.Errorf("ml: final layer outputs %d, want %d classes",
+			layers[len(layers)-1].OutDim(), classes)
+	}
+	n := &Network{
+		layers:  layers,
+		classes: classes,
+		builder: builder,
+		rng:     rng,
+	}
+	n.opt = NewSGD(n.params(), momentum)
+	return n, nil
+}
+
+func (n *Network) params() []Param {
+	var ps []Param
+	for _, l := range n.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// InDim returns the expected per-sample feature length.
+func (n *Network) InDim() int { return n.layers[0].InDim() }
+
+// forward runs the full stack on a batch.
+func (n *Network) forward(x []float64, batch int, train bool) []float64 {
+	h := x
+	for _, l := range n.layers {
+		h = l.Forward(h, batch, train)
+	}
+	return h
+}
+
+// TrainEpoch implements Classifier.
+func (n *Network) TrainEpoch(samples []Sample, batchSize int, lr float64, rng *rand.Rand) (float64, error) {
+	if len(samples) == 0 {
+		return 0, ErrNoSamples
+	}
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	if rng == nil {
+		rng = n.rng
+	}
+	idx := shuffledIndices(len(samples), rng)
+	totalLoss := 0.0
+	in := n.InDim()
+	for start := 0; start < len(idx); start += batchSize {
+		end := start + batchSize
+		if end > len(idx) {
+			end = len(idx)
+		}
+		b := end - start
+		x := make([]float64, b*in)
+		labels := make([]int, b)
+		for i := 0; i < b; i++ {
+			s := samples[idx[start+i]]
+			if len(s.Features) != in {
+				return 0, fmt.Errorf("ml: sample has %d features, network expects %d", len(s.Features), in)
+			}
+			if s.Label < 0 || s.Label >= n.classes {
+				return 0, fmt.Errorf("ml: label %d outside [0, %d)", s.Label, n.classes)
+			}
+			copy(x[i*in:(i+1)*in], s.Features)
+			labels[i] = s.Label
+		}
+		logits := n.forward(x, b, true)
+		grad := make([]float64, len(logits))
+		for i := 0; i < b; i++ {
+			totalLoss += softmaxCrossEntropy(logits[i*n.classes:(i+1)*n.classes], labels[i], grad[i*n.classes:(i+1)*n.classes])
+		}
+		// Mean gradient over the batch.
+		invB := 1 / float64(b)
+		for i := range grad {
+			grad[i] *= invB
+		}
+		zeroGrads(n.params())
+		g := grad
+		for li := len(n.layers) - 1; li >= 0; li-- {
+			g = n.layers[li].Backward(g, b)
+		}
+		n.opt.Step(lr)
+	}
+	return totalLoss / float64(len(samples)), nil
+}
+
+// Evaluate implements Classifier.
+func (n *Network) Evaluate(samples []Sample) (float64, float64, error) {
+	if len(samples) == 0 {
+		return 0, 0, ErrNoSamples
+	}
+	in := n.InDim()
+	totalLoss, correct := 0.0, 0
+	grad := make([]float64, n.classes)
+	const evalBatch = 64
+	for start := 0; start < len(samples); start += evalBatch {
+		end := start + evalBatch
+		if end > len(samples) {
+			end = len(samples)
+		}
+		b := end - start
+		x := make([]float64, b*in)
+		for i := 0; i < b; i++ {
+			s := samples[start+i]
+			if len(s.Features) != in {
+				return 0, 0, fmt.Errorf("ml: sample has %d features, network expects %d", len(s.Features), in)
+			}
+			copy(x[i*in:(i+1)*in], s.Features)
+		}
+		logits := n.forward(x, b, false)
+		for i := 0; i < b; i++ {
+			row := logits[i*n.classes : (i+1)*n.classes]
+			totalLoss += softmaxCrossEntropy(row, samples[start+i].Label, grad)
+			if Argmax(row) == samples[start+i].Label {
+				correct++
+			}
+		}
+	}
+	return totalLoss / float64(len(samples)), float64(correct) / float64(len(samples)), nil
+}
+
+// Predict returns the class probabilities for one sample.
+func (n *Network) Predict(features []float64) ([]float64, error) {
+	if len(features) != n.InDim() {
+		return nil, fmt.Errorf("ml: sample has %d features, network expects %d", len(features), n.InDim())
+	}
+	logits := n.forward(features, 1, false)
+	probs := make([]float64, n.classes)
+	softmaxCrossEntropy(logits, 0, probs)
+	// softmaxCrossEntropy wrote probs − onehot(0); undo the onehot.
+	probs[0]++
+	return probs, nil
+}
+
+// ParamVector implements Classifier.
+func (n *Network) ParamVector() []float64 { return flatten(n.params()) }
+
+// SetParamVector implements Classifier.
+func (n *Network) SetParamVector(v []float64) error { return unflatten(n.params(), v) }
+
+// NumParams implements Classifier.
+func (n *Network) NumParams() int { return countParams(n.params()) }
+
+// Clone implements Classifier: a fresh network with identical architecture,
+// parameters, and optimizer settings (momentum state is not carried over,
+// matching a newly recruited federated client).
+func (n *Network) Clone() Classifier {
+	// The builder already validated once; a second run cannot fail with the
+	// same inputs, but keep the error path honest.
+	cl, err := NewNetwork(n.classes, n.opt.Momentum(), rand.New(rand.NewSource(n.rng.Int63())), n.builder)
+	if err != nil {
+		panic(fmt.Sprintf("ml: clone rebuild failed: %v", err))
+	}
+	if err := cl.SetParamVector(n.ParamVector()); err != nil {
+		panic(fmt.Sprintf("ml: clone parameter copy failed: %v", err))
+	}
+	return cl
+}

@@ -1,0 +1,51 @@
+package ml
+
+// SGD is stochastic gradient descent with classical momentum:
+// v ← μv − lr·g; w ← w + v. With μ = 0 it is plain SGD, the local update
+// rule of Eq (2) in the paper.
+type SGD struct {
+	params   []Param
+	momentum float64
+	velocity [][]float64
+}
+
+// NewSGD builds an optimizer over params with the given momentum in [0, 1).
+func NewSGD(params []Param, momentum float64) *SGD {
+	if momentum < 0 {
+		momentum = 0
+	}
+	if momentum >= 1 {
+		momentum = 0.99
+	}
+	s := &SGD{params: params, momentum: momentum}
+	if momentum > 0 {
+		s.velocity = make([][]float64, len(params))
+		for i, p := range params {
+			s.velocity[i] = make([]float64, len(p.W))
+		}
+	}
+	return s
+}
+
+// Step applies one update with learning rate lr using the gradients
+// currently accumulated in the parameters.
+func (s *SGD) Step(lr float64) {
+	if s.momentum == 0 {
+		for _, p := range s.params {
+			for i := range p.W {
+				p.W[i] -= lr * p.G[i]
+			}
+		}
+		return
+	}
+	for pi, p := range s.params {
+		v := s.velocity[pi]
+		for i := range p.W {
+			v[i] = s.momentum*v[i] - lr*p.G[i]
+			p.W[i] += v[i]
+		}
+	}
+}
+
+// Momentum returns the configured momentum coefficient.
+func (s *SGD) Momentum() float64 { return s.momentum }

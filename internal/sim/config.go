@@ -1,0 +1,251 @@
+// Package sim is the "smart simulator" of §V-A: it wires the dataset,
+// population, auction and federated-learning substrates into the paper's
+// experiments and regenerates every evaluation figure (Figs. 4-13) as
+// numeric series. Each figure has a dedicated generator; bench_test.go and
+// cmd/fmore-bench expose them.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"fmore/internal/auction"
+	"fmore/internal/data"
+	"fmore/internal/dist"
+	"fmore/internal/fl"
+	"fmore/internal/mec"
+	"fmore/internal/ml"
+)
+
+// Method selects the client-selection strategy under test.
+type Method int
+
+const (
+	// MethodFMore is the paper's auction scheme.
+	MethodFMore Method = iota + 1
+	// MethodRandFL is classic federated learning with random selection.
+	MethodRandFL
+	// MethodFixFL keeps a fixed winner set.
+	MethodFixFL
+	// MethodPsiFMore is the ψ-randomized extension.
+	MethodPsiFMore
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodFMore:
+		return "FMore"
+	case MethodRandFL:
+		return "RandFL"
+	case MethodFixFL:
+		return "FixFL"
+	case MethodPsiFMore:
+		return "psi-FMore"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Scale groups the size knobs shared by all experiments, so figures can run
+// at paper scale (N=100, K=20, averaged over 5 repeats) or at a quick scale
+// for CI and benchmarks.
+type Scale struct {
+	// N and K are the population and winner-set sizes.
+	N, K int
+	// Rounds is the number of federated rounds per run.
+	Rounds int
+	// TrainSamples/TestSamples size the generated corpus.
+	TrainSamples, TestSamples int
+	// MinNodeData/MaxNodeData bound per-node local data.
+	MinNodeData, MaxNodeData int
+	// MaxSamplesPerRound caps each winner's per-round subset (keeps CPU-only
+	// training tractable; 0 = uncapped).
+	MaxSamplesPerRound int
+	// Repeats averages results over this many seeds ("all the results are
+	// the average of five experiments", §V-A).
+	Repeats int
+	// Seed is the base seed; repeat r uses Seed + r.
+	Seed int64
+}
+
+// PaperScale mirrors the paper's simulator dimensions: 100 participators,
+// K = 20 winners, 20 rounds, averaged over 5 runs. Per-node data is scaled
+// down from the paper's [1000, 5000] to keep pure-Go training tractable; the
+// relative heterogeneity (5× spread) is preserved.
+func PaperScale() Scale {
+	return Scale{
+		N: 100, K: 20, Rounds: 20,
+		TrainSamples: 4000, TestSamples: 600,
+		MinNodeData: 15, MaxNodeData: 200,
+		MaxSamplesPerRound: 100,
+		Repeats:            5,
+		Seed:               1,
+	}
+}
+
+// QuickScale is a reduced preset for benchmarks and integration tests.
+func QuickScale() Scale {
+	return Scale{
+		N: 40, K: 8, Rounds: 8,
+		TrainSamples: 1200, TestSamples: 300,
+		MinNodeData: 10, MaxNodeData: 100,
+		MaxSamplesPerRound: 60,
+		Repeats:            1,
+		Seed:               1,
+	}
+}
+
+func (s Scale) validate() error {
+	if s.N < 2 || s.K < 1 || s.K >= s.N {
+		return fmt.Errorf("sim: need N >= 2 and 1 <= K < N, got N=%d K=%d", s.N, s.K)
+	}
+	if s.Rounds < 1 || s.Repeats < 1 {
+		return fmt.Errorf("sim: need Rounds >= 1 and Repeats >= 1, got %d/%d", s.Rounds, s.Repeats)
+	}
+	if s.MinNodeData < 1 || s.MaxNodeData < s.MinNodeData {
+		return fmt.Errorf("sim: node data range [%d, %d] invalid", s.MinNodeData, s.MaxNodeData)
+	}
+	return nil
+}
+
+// ExperimentConfig is one concrete run specification.
+type ExperimentConfig struct {
+	Task   data.TaskKind
+	Method Method
+	Scale  Scale
+	// Psi applies to MethodPsiFMore (default 1 otherwise).
+	Psi float64
+	// LocalEpochs, BatchSize, LR are local training hyperparameters.
+	LocalEpochs, BatchSize int
+	LR                     float64
+	// WithTiming attaches the mec timing model.
+	WithTiming bool
+}
+
+func (c *ExperimentConfig) setDefaults() {
+	if c.LocalEpochs == 0 {
+		// Two local passes per round: the standard FedAvg E > 1 regime; the
+		// hardest tiers need the extra local progress to move within the
+		// paper's 20-round budget.
+		c.LocalEpochs = 2
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
+	}
+	if c.LR == 0 {
+		switch c.Task {
+		case data.HPNews:
+			c.LR = 0.08
+		case data.CIFAR10:
+			// The hardest image tier destabilizes above ~0.02 with momentum.
+			c.LR = 0.02
+		default:
+			c.LR = 0.04
+		}
+	}
+	if c.Psi == 0 {
+		c.Psi = 1
+	}
+}
+
+func (c *ExperimentConfig) validate() error {
+	if c.Task == 0 {
+		return errors.New("sim: Task is required")
+	}
+	if c.Method == 0 {
+		return errors.New("sim: Method is required")
+	}
+	if c.Psi <= 0 || c.Psi > 1 {
+		return fmt.Errorf("sim: Psi must be in (0, 1], got %v", c.Psi)
+	}
+	return c.Scale.validate()
+}
+
+// simulatorAuction bundles the paper-simulator market primitives: the
+// scoring rule s(q₁, q₂) = 25·q₁·q₂ (α = 25, §V-A), a linear cost family,
+// and θ ~ Uniform[1, 2].
+type simulatorAuction struct {
+	rule  auction.ScoringRule
+	cost  auction.CostFunction
+	theta dist.Distribution
+}
+
+func newSimulatorAuction() (*simulatorAuction, error) {
+	rule, err := auction.NewCobbDouglas(25, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	cost, err := auction.NewLinearCost(0.5, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	theta, err := dist.NewUniform(1, 2)
+	if err != nil {
+		return nil, err
+	}
+	return &simulatorAuction{rule: rule, cost: cost, theta: theta}, nil
+}
+
+// strategy solves the Nash equilibrium for the simulator market at (n, k).
+func (sa *simulatorAuction) strategy(n, k int) (*auction.Strategy, error) {
+	return auction.SolveEquilibrium(auction.EquilibriumConfig{
+		Rule: sa.rule, Cost: sa.cost, Theta: sa.theta,
+		N: n, K: k,
+		QLo: []float64{0, 0}, QHi: []float64{1, 1},
+		ThetaGridPoints: 65, QualityGridPoints: 32,
+	})
+}
+
+// buildModel constructs the task's classifier with the paper's architecture
+// shape at reduced width.
+func buildModel(kind data.TaskKind, rng *rand.Rand) (ml.Classifier, error) {
+	switch kind {
+	case data.MNISTO, data.MNISTF:
+		return ml.NewImageCNN(ml.MNISTCNNConfig(data.ImageSize, data.ImageSize), rng)
+	case data.CIFAR10:
+		return ml.NewImageCNN(ml.CIFARCNNConfig(data.ImageSize, data.ImageSize), rng)
+	case data.HPNews:
+		return ml.NewLSTMClassifier(ml.LSTMConfig{
+			Vocab: data.TextVocab, Embed: 10, Hidden: 20,
+			Classes: data.NumClasses, Momentum: 0.9,
+		}, rng)
+	default:
+		return nil, fmt.Errorf("sim: unknown task %v", kind)
+	}
+}
+
+// buildSelector constructs the method's selector for a given population.
+func buildSelector(cfg ExperimentConfig, sa *simulatorAuction, pop *mec.Population, seed int64) (fl.Selector, error) {
+	switch cfg.Method {
+	case MethodRandFL:
+		return fl.RandomSelector{K: cfg.Scale.K}, nil
+	case MethodFixFL:
+		ids := make([]int, pop.N())
+		for i := range ids {
+			ids[i] = i
+		}
+		return fl.NewFixedSelector(ids, cfg.Scale.K, rand.New(rand.NewSource(seed+31)))
+	case MethodFMore, MethodPsiFMore:
+		strat, err := sa.strategy(cfg.Scale.N, cfg.Scale.K)
+		if err != nil {
+			return nil, err
+		}
+		psi := 1.0
+		name := "FMore"
+		if cfg.Method == MethodPsiFMore {
+			psi = cfg.Psi
+			name = fmt.Sprintf("psi-FMore(%.2g)", psi)
+		}
+		auctioneer, err := auction.NewAuctioneer(auction.Config{
+			Rule: sa.rule, K: cfg.Scale.K, Psi: psi,
+		}, rand.New(rand.NewSource(seed+37)))
+		if err != nil {
+			return nil, err
+		}
+		return fl.NewFMoreSelector(auctioneer, fl.SimulatorBid(strat, float64(cfg.Scale.MaxNodeData)), name)
+	default:
+		return nil, fmt.Errorf("sim: unknown method %v", cfg.Method)
+	}
+}

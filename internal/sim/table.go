@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteFigure renders a FigureResult as an aligned text table: one x column
+// per distinct x-axis, one column per series, notes below. It is the output
+// format of cmd/fmore-bench and the bench harness.
+func WriteFigure(w io.Writer, fr *FigureResult) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", fr.ID, fr.Title); err != nil {
+		return err
+	}
+	// Group series sharing the same x axis so they print side by side.
+	groups := groupSeriesByAxis(fr.Series)
+	for _, g := range groups {
+		if err := writeSeriesGroup(w, g); err != nil {
+			return err
+		}
+	}
+	for _, note := range fr.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", note); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func sameAxis(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func groupSeriesByAxis(series []Series) [][]Series {
+	var groups [][]Series
+	for _, s := range series {
+		placed := false
+		for gi := range groups {
+			if sameAxis(groups[gi][0].X, s.X) {
+				groups[gi] = append(groups[gi], s)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			groups = append(groups, []Series{s})
+		}
+	}
+	return groups
+}
+
+func writeSeriesGroup(w io.Writer, group []Series) error {
+	if len(group) == 0 || len(group[0].X) == 0 {
+		return nil
+	}
+	header := []string{"x"}
+	for _, s := range group {
+		header = append(header, s.Name)
+	}
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	rows := make([][]string, len(group[0].X))
+	for r := range rows {
+		row := make([]string, len(header))
+		row[0] = trimFloat(group[0].X[r])
+		for c, s := range group {
+			if r < len(s.Y) {
+				row[c+1] = trimFloat(s.Y[r])
+			}
+		}
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+		rows[r] = row
+	}
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		_, err := fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+		return err
+	}
+	if err := writeRow(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// trimFloat formats compactly: integers without decimals, small floats with
+// four significant digits.
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e9 && v > -1e9 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// WriteFigureCSV renders a FigureResult as CSV: one row per (series, x, y)
+// triple, suitable for external plotting.
+func WriteFigureCSV(w io.Writer, fr *FigureResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"figure", "series", "x", "y"}); err != nil {
+		return err
+	}
+	for _, s := range fr.Series {
+		for i := range s.X {
+			y := ""
+			if i < len(s.Y) {
+				y = strconv.FormatFloat(s.Y[i], 'g', 10, 64)
+			}
+			row := []string{fr.ID, s.Name, strconv.FormatFloat(s.X[i], 'g', 10, 64), y}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

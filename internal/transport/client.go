@@ -1,0 +1,203 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"fmore/internal/ml"
+)
+
+// ClientConfig parameterizes one edge-node client.
+type ClientConfig struct {
+	// Addr is the aggregator's TCP address.
+	Addr string
+	// NodeID is this node's identity.
+	NodeID int
+	// Model is the local scratch model (same architecture as the global).
+	Model ml.Classifier
+	// Local is the node's private training data; it never leaves the node.
+	Local []ml.Sample
+	// Qualities returns the offered quality vector for a round (raw values;
+	// the broadcast rule normalizes them server-side if configured).
+	Qualities func(round int) []float64
+	// Payment returns the asked payment for a round (the Nash equilibrium
+	// payment pˢ(θ) in a rational deployment).
+	Payment func(round int) float64
+	// OfferedSamples returns how many local samples the node commits for a
+	// round (capped by len(Local)); 0 means all local data.
+	OfferedSamples func(round int) int
+	// LocalEpochs, BatchSize, LR are the local training hyperparameters.
+	LocalEpochs int
+	BatchSize   int
+	LR          float64
+	// Timeout bounds each message operation; the idle wait between rounds
+	// uses IdleTimeout (training of other winners can take a while).
+	Timeout     time.Duration
+	IdleTimeout time.Duration
+	// Seed drives local subset sampling and shuffling.
+	Seed int64
+
+	// DropAfterRound, when > 0, makes the client disconnect after completing
+	// that round (failure injection).
+	DropAfterRound int
+	// BreachAtRound, when > 0, makes the client win-and-vanish at that
+	// round: it bids, accepts the model, but never returns an update
+	// (contract breach; the aggregator should blacklist it).
+	BreachAtRound int
+}
+
+func (c *ClientConfig) setDefaults() {
+	if c.LocalEpochs == 0 {
+		c.LocalEpochs = 1
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 120 * time.Second
+	}
+}
+
+func (c *ClientConfig) validate() error {
+	if c.Addr == "" {
+		return errors.New("transport: ClientConfig.Addr is required")
+	}
+	if c.Model == nil {
+		return errors.New("transport: ClientConfig.Model is required")
+	}
+	if len(c.Local) == 0 {
+		return errors.New("transport: ClientConfig.Local data is required")
+	}
+	if c.Qualities == nil || c.Payment == nil {
+		return errors.New("transport: Qualities and Payment functions are required")
+	}
+	return nil
+}
+
+// ClientSummary reports a node's session.
+type ClientSummary struct {
+	RoundsSeen    int
+	RoundsWon     int
+	TotalEarned   float64
+	FinalAccuracy float64
+	// CompletedNormally is true when the session ended with a Done message.
+	CompletedNormally bool
+}
+
+// RunClient executes one edge node's full session against the aggregator:
+// register, then per round bid → (if won) train → update, until Done.
+func RunClient(cfg ClientConfig) (*ClientSummary, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	conn, err := net.Dial("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", cfg.Addr, err)
+	}
+	codec := NewCodec(conn)
+	defer codec.Close() //nolint:errcheck // read side already drained
+
+	if err := codec.Send(&Envelope{Kind: KindHello, Hello: &Hello{NodeID: cfg.NodeID}}, cfg.Timeout); err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	summary := &ClientSummary{}
+	for {
+		env, err := codec.Recv(cfg.IdleTimeout)
+		if err != nil {
+			return summary, fmt.Errorf("transport: node %d wait: %w", cfg.NodeID, err)
+		}
+		switch env.Kind {
+		case KindAsk:
+			round := env.Ask.Round
+			summary.RoundsSeen++
+			bid := &Bid{
+				Round:     round,
+				NodeID:    cfg.NodeID,
+				Qualities: cfg.Qualities(round),
+				Payment:   cfg.Payment(round),
+			}
+			if err := codec.Send(&Envelope{Kind: KindBid, Bid: bid}, cfg.Timeout); err != nil {
+				return summary, err
+			}
+		case KindResult:
+			if !env.Result.Won {
+				continue
+			}
+			summary.RoundsWon++
+			summary.TotalEarned += env.Result.Payment
+			if cfg.BreachAtRound > 0 && env.Result.Round == cfg.BreachAtRound {
+				// Contract breach: vanish without delivering the update.
+				return summary, nil
+			}
+			update, err := trainLocally(cfg, env.Result, rng)
+			if err != nil {
+				return summary, err
+			}
+			if err := codec.Send(&Envelope{Kind: KindUpdate, Update: update}, cfg.Timeout); err != nil {
+				return summary, err
+			}
+			if cfg.DropAfterRound > 0 && env.Result.Round >= cfg.DropAfterRound {
+				return summary, nil
+			}
+		case KindDone:
+			summary.FinalAccuracy = env.Done.FinalAccuracy
+			summary.CompletedNormally = true
+			return summary, nil
+		default:
+			return summary, fmt.Errorf("%w: client got %v", ErrUnexpectedMessage, env.Kind)
+		}
+	}
+}
+
+// trainLocally performs the winner's local update per Eq (2): load global
+// parameters, train on the committed local subset, return the new
+// parameters.
+func trainLocally(cfg ClientConfig, res *Result, rng *rand.Rand) (*Update, error) {
+	if err := cfg.Model.SetParamVector(res.Params); err != nil {
+		return nil, fmt.Errorf("transport: node %d loading global model: %w", cfg.NodeID, err)
+	}
+	n := len(cfg.Local)
+	if cfg.OfferedSamples != nil {
+		if offered := cfg.OfferedSamples(res.Round); offered > 0 && offered < n {
+			n = offered
+		}
+	}
+	if res.Samples > 0 && res.Samples < n {
+		n = res.Samples
+	}
+	subset := cfg.Local
+	if n < len(cfg.Local) {
+		idx := rng.Perm(len(cfg.Local))[:n]
+		subset = make([]ml.Sample, n)
+		for i, j := range idx {
+			subset[i] = cfg.Local[j]
+		}
+	}
+	loss := 0.0
+	for e := 0; e < cfg.LocalEpochs; e++ {
+		l, err := cfg.Model.TrainEpoch(subset, cfg.BatchSize, cfg.LR, rng)
+		if err != nil {
+			return nil, fmt.Errorf("transport: node %d local training: %w", cfg.NodeID, err)
+		}
+		loss = l
+	}
+	return &Update{
+		Round:      res.Round,
+		NodeID:     cfg.NodeID,
+		Params:     cfg.Model.ParamVector(),
+		NumSamples: len(subset),
+		TrainLoss:  loss,
+	}, nil
+}

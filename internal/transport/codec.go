@@ -1,0 +1,67 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Codec frames Envelopes over a net.Conn with gob encoding and per-call
+// deadlines. It is safe for one concurrent reader plus one concurrent
+// writer (the protocol never needs more).
+type Codec struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// NewCodec wraps an established connection.
+func NewCodec(conn net.Conn) *Codec {
+	return &Codec{
+		conn: conn,
+		enc:  gob.NewEncoder(conn),
+		dec:  gob.NewDecoder(conn),
+	}
+}
+
+// Send writes one envelope, failing if it cannot complete within timeout.
+func (c *Codec) Send(e *Envelope, timeout time.Duration) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	if timeout > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+			return fmt.Errorf("transport: set write deadline: %w", err)
+		}
+		defer c.conn.SetWriteDeadline(time.Time{}) //nolint:errcheck // reset is best effort
+	}
+	if err := c.enc.Encode(e); err != nil {
+		return fmt.Errorf("transport: send %v: %w", e.Kind, err)
+	}
+	return nil
+}
+
+// Recv reads one envelope, failing if none arrives within timeout.
+func (c *Codec) Recv(timeout time.Duration) (*Envelope, error) {
+	if timeout > 0 {
+		if err := c.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, fmt.Errorf("transport: set read deadline: %w", err)
+		}
+		defer c.conn.SetReadDeadline(time.Time{}) //nolint:errcheck // reset is best effort
+	}
+	var e Envelope
+	if err := c.dec.Decode(&e); err != nil {
+		return nil, fmt.Errorf("transport: recv: %w", err)
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// Close closes the underlying connection.
+func (c *Codec) Close() error { return c.conn.Close() }
+
+// RemoteAddr reports the peer address for logs.
+func (c *Codec) RemoteAddr() string { return c.conn.RemoteAddr().String() }

@@ -1,0 +1,215 @@
+// Package transport implements the wire protocol of the real FMore
+// deployment (§V-C): an aggregator server and edge-node clients exchanging
+// length-delimited gob messages over TCP. The per-round message flow follows
+// Fig. 2(b) of the paper:
+//
+//	node → aggregator: Hello (registration with resource description)
+//	aggregator → node: Ask (scoring rule + K — "a few bytes", §III-A)
+//	node → aggregator: Bid (sealed: qualities + expected payment)
+//	aggregator → node: Result (win/lose; winners receive payment + model)
+//	winner → aggregator: Update (trained parameters + local sample count)
+//	aggregator → node: Done (terminates the session)
+//
+// Nodes that miss deadlines are skipped for the round; winners that breach
+// the contract (no Update before the deadline) are blacklisted, matching the
+// paper's defaulter handling.
+package transport
+
+import (
+	"errors"
+	"fmt"
+
+	"fmore/internal/auction"
+)
+
+// MsgKind discriminates Envelope payloads.
+type MsgKind int
+
+const (
+	// KindHello registers an edge node with the aggregator.
+	KindHello MsgKind = iota + 1
+	// KindAsk broadcasts the round's scoring rule and K.
+	KindAsk
+	// KindBid carries one sealed bid.
+	KindBid
+	// KindResult tells a node whether it won and, if so, carries the global
+	// model and payment.
+	KindResult
+	// KindUpdate returns a winner's locally trained parameters.
+	KindUpdate
+	// KindDone terminates the session.
+	KindDone
+)
+
+// String implements fmt.Stringer.
+func (k MsgKind) String() string {
+	switch k {
+	case KindHello:
+		return "hello"
+	case KindAsk:
+		return "ask"
+	case KindBid:
+		return "bid"
+	case KindResult:
+		return "result"
+	case KindUpdate:
+		return "update"
+	case KindDone:
+		return "done"
+	default:
+		return fmt.Sprintf("MsgKind(%d)", int(k))
+	}
+}
+
+// Hello registers a node.
+type Hello struct {
+	NodeID int
+}
+
+// RuleSpec is the serializable description of a scoring rule, rebuilt into
+// an auction.ScoringRule on the node side. It covers the rule families of
+// §III-A, optionally min–max normalized.
+type RuleSpec struct {
+	// Kind is "additive", "leontief" or "cobb-douglas".
+	Kind string
+	// Alpha holds the coefficients (exponents for Cobb–Douglas).
+	Alpha []float64
+	// Scale is the Cobb–Douglas scale factor (ignored otherwise).
+	Scale float64
+	// NormLo/NormHi, when non-empty, wrap the rule in min–max normalization.
+	NormLo, NormHi []float64
+}
+
+// Build reconstructs the scoring rule.
+func (r RuleSpec) Build() (auction.ScoringRule, error) {
+	var (
+		rule auction.ScoringRule
+		err  error
+	)
+	switch r.Kind {
+	case "additive":
+		rule, err = auction.NewAdditive(r.Alpha...)
+	case "leontief":
+		rule, err = auction.NewLeontief(r.Alpha...)
+	case "cobb-douglas":
+		rule, err = auction.NewCobbDouglas(r.Scale, r.Alpha...)
+	default:
+		return nil, fmt.Errorf("transport: unknown rule kind %q", r.Kind)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("transport: building rule: %w", err)
+	}
+	if len(r.NormLo) > 0 || len(r.NormHi) > 0 {
+		rule, err = auction.NewNormalized(rule, r.NormLo, r.NormHi)
+		if err != nil {
+			return nil, fmt.Errorf("transport: building normalizer: %w", err)
+		}
+	}
+	return rule, nil
+}
+
+// SpecForRule serializes a supported scoring rule into a RuleSpec.
+func SpecForRule(rule auction.ScoringRule) (RuleSpec, error) {
+	switch r := rule.(type) {
+	case auction.Additive:
+		return RuleSpec{Kind: "additive", Alpha: r.Alpha}, nil
+	case auction.Leontief:
+		return RuleSpec{Kind: "leontief", Alpha: r.Alpha}, nil
+	case auction.CobbDouglas:
+		return RuleSpec{Kind: "cobb-douglas", Alpha: r.Exponents, Scale: r.Scale}, nil
+	case auction.Normalized:
+		inner, err := SpecForRule(r.Rule)
+		if err != nil {
+			return RuleSpec{}, err
+		}
+		inner.NormLo, inner.NormHi = r.Lo, r.Hi
+		return inner, nil
+	default:
+		return RuleSpec{}, fmt.Errorf("transport: rule %T is not serializable", rule)
+	}
+}
+
+// Ask is the round's bid ask.
+type Ask struct {
+	Round int
+	K     int
+	Rule  RuleSpec
+}
+
+// Bid is one sealed bid.
+type Bid struct {
+	Round     int
+	NodeID    int
+	Qualities []float64
+	Payment   float64
+	// Declined marks a node that sits the round out (e.g. IR violation).
+	Declined bool
+}
+
+// Result tells a node the round's outcome.
+type Result struct {
+	Round int
+	Won   bool
+	// Payment and Params are set only for winners.
+	Payment float64
+	Params  []float64
+	// Samples asks the winner to train on (up to) this many local samples;
+	// 0 means the node's own offer.
+	Samples int
+}
+
+// Update is a winner's trained model.
+type Update struct {
+	Round      int
+	NodeID     int
+	Params     []float64
+	NumSamples int
+	TrainLoss  float64
+}
+
+// Done terminates a session; FinalAccuracy is informational.
+type Done struct {
+	Rounds        int
+	FinalAccuracy float64
+}
+
+// Envelope is the single wire type: Kind selects which pointer is set. A
+// struct-of-pointers avoids gob interface registration while keeping each
+// message strongly typed.
+type Envelope struct {
+	Kind   MsgKind
+	Hello  *Hello
+	Ask    *Ask
+	Bid    *Bid
+	Result *Result
+	Update *Update
+	Done   *Done
+}
+
+// ErrUnexpectedMessage reports a protocol-order violation.
+var ErrUnexpectedMessage = errors.New("transport: unexpected message")
+
+// Validate checks that exactly the payload matching Kind is present.
+func (e *Envelope) Validate() error {
+	var want bool
+	switch e.Kind {
+	case KindHello:
+		want = e.Hello != nil
+	case KindAsk:
+		want = e.Ask != nil
+	case KindBid:
+		want = e.Bid != nil
+	case KindResult:
+		want = e.Result != nil
+	case KindUpdate:
+		want = e.Update != nil
+	case KindDone:
+		want = e.Done != nil
+	default:
+		return fmt.Errorf("%w: unknown kind %v", ErrUnexpectedMessage, e.Kind)
+	}
+	if !want {
+		return fmt.Errorf("%w: kind %v without payload", ErrUnexpectedMessage, e.Kind)
+	}
+	return nil
+}
