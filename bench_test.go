@@ -8,13 +8,16 @@
 package fmore_test
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 
 	"fmore/internal/auction"
 	"fmore/internal/dist"
+	"fmore/internal/exchange"
 	"fmore/internal/sim"
 )
 
@@ -179,6 +182,75 @@ func BenchmarkHeadlineNumbers(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Exchange hot path: the concurrent multi-job auction service.
+// ---------------------------------------------------------------------------
+
+// benchmarkExchangeRunAuction measures one full exchange round across `jobs`
+// concurrent jobs with 64 bidders each: submit all bids, close, collect the
+// outcome. ns/op is the wall time of the whole multi-job round.
+func benchmarkExchangeRunAuction(b *testing.B, jobs int) {
+	const bidders = 64
+	ex := exchange.New(exchange.Options{})
+	defer ex.Close()
+
+	rule, err := auction.NewAdditive(0.6, 0.4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobIDs := make([]string, jobs)
+	bids := make([][]auction.Bid, jobs)
+	for j := 0; j < jobs; j++ {
+		job, err := ex.CreateJob(exchange.JobSpec{
+			ID:      fmt.Sprintf("bench-%d", j),
+			Auction: auction.Config{Rule: rule, K: 8},
+			Seed:    int64(j),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobIDs[j] = job.ID()
+		rng := rand.New(rand.NewSource(int64(j)))
+		bids[j] = make([]auction.Bid, bidders)
+		for i := range bids[j] {
+			bids[j][i] = auction.Bid{
+				NodeID:    i,
+				Qualities: []float64{rng.Float64(), rng.Float64()},
+				Payment:   0.05 + 0.25*rng.Float64(),
+			}
+		}
+	}
+
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		var wg sync.WaitGroup
+		for j := 0; j < jobs; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				for _, bid := range bids[j] {
+					if _, err := ex.SubmitBid(jobIDs[j], bid); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+				if _, err := ex.CloseRound(jobIDs[j]); err != nil {
+					b.Error(err)
+				}
+			}(j)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(jobs*bidders), "bids/round")
+	snap := ex.Metrics()
+	b.ReportMetric(snap.RoundLatencyP99Ms, "p99-close-ms")
+}
+
+func BenchmarkExchange_RunAuction_1Jobs(b *testing.B)  { benchmarkExchangeRunAuction(b, 1) }
+func BenchmarkExchange_RunAuction_8Jobs(b *testing.B)  { benchmarkExchangeRunAuction(b, 8) }
+func BenchmarkExchange_RunAuction_64Jobs(b *testing.B) { benchmarkExchangeRunAuction(b, 64) }
 
 // ---------------------------------------------------------------------------
 // Ablations over the design choices DESIGN.md §5 calls out.

@@ -1,0 +1,73 @@
+// fmore-exchange runs the auction exchange as a standalone HTTP service:
+// a long-lived aggregator front end hosting many concurrent FL jobs.
+//
+//	go run ./cmd/fmore-exchange -addr :8780
+//
+// Quickstart against a running instance:
+//
+//	curl -s -X POST localhost:8780/jobs -d '{
+//	  "id": "demo", "k": 2, "seed": 7, "bid_window_ms": 1000,
+//	  "rule": {"kind": "additive", "alpha": [0.5, 0.5]}
+//	}'
+//	curl -s -X POST localhost:8780/jobs/demo/bids -d '{
+//	  "node_id": 1, "qualities": [0.8, 0.6], "payment": 0.2
+//	}'
+//	curl -s 'localhost:8780/jobs/demo/outcome?wait=1'
+//	curl -s localhost:8780/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fmore/internal/exchange"
+)
+
+func main() {
+	addr := flag.String("addr", ":8780", "HTTP listen address")
+	workers := flag.Int("workers", 0, "scoring pool workers (0 = GOMAXPROCS)")
+	requireReg := flag.Bool("require-registration", false,
+		"reject bids from nodes that have not registered via POST /nodes")
+	flag.Parse()
+
+	ex := exchange.New(exchange.Options{
+		Workers:             *workers,
+		RequireRegistration: *requireReg,
+	})
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           exchange.NewHandler(ex),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.ListenAndServe() }()
+	log.Printf("fmore-exchange listening on %s (workers=%d, require-registration=%v)",
+		*addr, *workers, *requireReg)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Print("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	ex.Close()
+	snap := ex.Metrics()
+	log.Printf("served %d rounds, %d bids (%.1f bids/sec, p99 round latency %.2fms)",
+		snap.RoundsTotal, snap.BidsAccepted, snap.BidsPerSec, snap.RoundLatencyP99Ms)
+}

@@ -1,0 +1,3 @@
+module fmore
+
+go 1.24

@@ -84,6 +84,19 @@ func (a *Auctioneer) Run(bids []Bid) (Outcome, error) {
 	return DetermineWinners(a.cfg.Rule, bids, a.cfg.K, a.cfg.Payment, a.rng)
 }
 
+// RunScored is Run with precomputed scores: scores[i] must equal
+// Score(rule, bids[i].Qualities, bids[i].Payment). It exists for callers
+// that batch rule evaluation across many concurrent auctions (see
+// internal/exchange); the rng draw sequence matches Run exactly, so a
+// seeded Auctioneer yields identical outcomes on either entry point.
+func (a *Auctioneer) RunScored(bids []Bid, scores []float64) (Outcome, error) {
+	a.round++
+	if a.cfg.Psi < 1 {
+		return DetermineWinnersPsiScored(a.cfg.Rule, bids, scores, a.cfg.K, a.cfg.Psi, a.cfg.Payment, a.rng)
+	}
+	return DetermineWinnersScored(a.cfg.Rule, bids, scores, a.cfg.K, a.cfg.Payment, a.rng)
+}
+
 // Round returns the number of completed auction rounds.
 func (a *Auctioneer) Round() int { return a.round }
 

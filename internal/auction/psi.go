@@ -15,13 +15,28 @@ import (
 // Like DetermineWinners, bids with negative scores are excluded by the
 // aggregator's individual-rationality constraint.
 func DetermineWinnersPsi(rule ScoringRule, bids []Bid, k int, psi float64, payment PaymentRule, rng *rand.Rand) (Outcome, error) {
+	return determineWinnersPsi(rule, bids, nil, k, psi, payment, rng)
+}
+
+// DetermineWinnersPsiScored is DetermineWinnersPsi with precomputed scores,
+// the ψ-FMore counterpart of DetermineWinnersScored: scores[i] must equal
+// Score(rule, bids[i].Qualities, bids[i].Payment) and is copied, never
+// retained. The rng draw sequence matches DetermineWinnersPsi exactly.
+func DetermineWinnersPsiScored(rule ScoringRule, bids []Bid, scores []float64, k int, psi float64, payment PaymentRule, rng *rand.Rand) (Outcome, error) {
+	if scores == nil {
+		return Outcome{}, fmt.Errorf("auction: DetermineWinnersPsiScored requires a score vector")
+	}
+	return determineWinnersPsi(rule, bids, scores, k, psi, payment, rng)
+}
+
+func determineWinnersPsi(rule ScoringRule, bids []Bid, pre []float64, k int, psi float64, payment PaymentRule, rng *rand.Rand) (Outcome, error) {
 	if k < 1 {
 		return Outcome{}, fmt.Errorf("auction: K must be >= 1, got %d", k)
 	}
 	if psi <= 0 || psi > 1 || math.IsNaN(psi) {
 		return Outcome{}, fmt.Errorf("auction: psi must be in (0, 1], got %v", psi)
 	}
-	ranked, scores, err := rankBids(rule, bids, rng)
+	ranked, scores, err := rankWith(rule, bids, pre, rng)
 	if err != nil {
 		return Outcome{}, err
 	}

@@ -1,0 +1,124 @@
+package auction
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// scoredFixture builds a rule and a deterministic bid pool with deliberate
+// score ties (duplicated quality/payment pairs) so the tiebreak path is
+// exercised.
+func scoredFixture(t *testing.T, n int) (ScoringRule, []Bid, []float64) {
+	t.Helper()
+	rule, err := NewAdditive(0.6, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	bids := make([]Bid, n)
+	for i := range bids {
+		q := []float64{rng.Float64(), rng.Float64()}
+		p := 0.05 + 0.2*rng.Float64()
+		if i%5 == 4 {
+			// Exact duplicate of the previous bid: a guaranteed score tie.
+			q = append([]float64(nil), bids[i-1].Qualities...)
+			p = bids[i-1].Payment
+		}
+		bids[i] = Bid{NodeID: i, Qualities: q, Payment: p}
+	}
+	scores := make([]float64, n)
+	for i, b := range bids {
+		s, err := Score(rule, b.Qualities, b.Payment)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores[i] = s
+	}
+	return rule, bids, scores
+}
+
+func TestDetermineWinnersScoredMatchesInline(t *testing.T) {
+	rule, bids, scores := scoredFixture(t, 50)
+	for _, payment := range []PaymentRule{FirstPrice, SecondPrice} {
+		inline, err := DetermineWinners(rule, bids, 10, payment, rand.New(rand.NewSource(99)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		scored, err := DetermineWinnersScored(rule, bids, scores, 10, payment, rand.New(rand.NewSource(99)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(inline, scored) {
+			t.Errorf("%v: scored outcome differs from inline outcome", payment)
+		}
+	}
+}
+
+func TestDetermineWinnersPsiScoredMatchesInline(t *testing.T) {
+	rule, bids, scores := scoredFixture(t, 50)
+	inline, err := DetermineWinnersPsi(rule, bids, 10, 0.7, FirstPrice, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scored, err := DetermineWinnersPsiScored(rule, bids, scores, 10, 0.7, FirstPrice, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(inline, scored) {
+		t.Error("psi scored outcome differs from inline outcome")
+	}
+}
+
+func TestRunScoredMatchesRun(t *testing.T) {
+	rule, bids, scores := scoredFixture(t, 40)
+	for _, psi := range []float64{1, 0.8} {
+		a1, err := NewAuctioneer(Config{Rule: rule, K: 8, Psi: psi}, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := NewAuctioneer(Config{Rule: rule, K: 8, Psi: psi}, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 3; round++ {
+			o1, err := a1.Run(bids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o2, err := a2.RunScored(bids, scores)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(o1, o2) {
+				t.Fatalf("psi=%v round %d: RunScored diverged from Run", psi, round)
+			}
+		}
+		if a1.Round() != a2.Round() {
+			t.Errorf("round counters diverged: %d vs %d", a1.Round(), a2.Round())
+		}
+	}
+}
+
+func TestDetermineWinnersScoredValidation(t *testing.T) {
+	rule, bids, scores := scoredFixture(t, 10)
+	if _, err := DetermineWinnersScored(rule, bids, nil, 3, FirstPrice, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("nil scores: expected error")
+	}
+	if _, err := DetermineWinnersScored(rule, bids, scores[:5], 3, FirstPrice, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("short scores: expected error")
+	}
+	// The scores slice must not be retained: mutating it after the call
+	// must not affect the outcome's recorded scores.
+	out, err := DetermineWinnersScored(rule, bids, scores, 3, FirstPrice, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), out.Scores...)
+	for i := range scores {
+		scores[i] = -1
+	}
+	if !reflect.DeepEqual(before, out.Scores) {
+		t.Error("Outcome.Scores aliases the caller's score buffer")
+	}
+}

@@ -49,8 +49,22 @@ type scoredBid struct {
 // specifies ("ties are resolved by the flip of a coin"), implemented as a
 // random tiebreak key drawn per bid.
 func rankBids(rule ScoringRule, bids []Bid, rng *rand.Rand) ([]scoredBid, []float64, error) {
+	return rankWith(rule, bids, nil, rng)
+}
+
+// rankWith is the shared ranking core. When pre is non-nil it is taken as
+// the precomputed score vector (one entry per bid, e.g. from a batched
+// scoring worker pool) instead of evaluating the rule inline. The rng draw
+// order — exactly one tiebreak per bid, in input order — is identical on
+// both paths, so seeded runs agree bit-for-bit regardless of which path
+// scored the bids. The returned score slice is freshly allocated and never
+// aliases pre, so callers may reuse their scoring buffers.
+func rankWith(rule ScoringRule, bids []Bid, pre []float64, rng *rand.Rand) ([]scoredBid, []float64, error) {
 	if len(bids) == 0 {
 		return nil, nil, ErrNoBids
+	}
+	if pre != nil && len(pre) != len(bids) {
+		return nil, nil, fmt.Errorf("auction: %d precomputed scores for %d bids", len(pre), len(bids))
 	}
 	ranked := make([]scoredBid, 0, len(bids))
 	scores := make([]float64, len(bids))
@@ -59,9 +73,15 @@ func rankBids(rule ScoringRule, bids []Bid, rng *rand.Rand) ([]scoredBid, []floa
 		if err := b.Validate(rule.Dims()); err != nil {
 			return nil, nil, err
 		}
-		s, err := Score(rule, b.Qualities, b.Payment)
-		if err != nil {
-			return nil, nil, err
+		s := 0.0
+		if pre != nil {
+			s = pre[i]
+		} else {
+			var err error
+			s, err = Score(rule, b.Qualities, b.Payment)
+			if err != nil {
+				return nil, nil, err
+			}
 		}
 		scores[i] = s
 		tiebreak[i] = rng.Float64()
@@ -83,10 +103,28 @@ func rankBids(rule ScoringRule, bids []Bid, rng *rand.Rand) ([]scoredBid, []floa
 // whose score is negative are never selected, because U(q) − p < 0 would
 // make the aggregator worse off than not hiring the node.
 func DetermineWinners(rule ScoringRule, bids []Bid, k int, payment PaymentRule, rng *rand.Rand) (Outcome, error) {
+	return determineWinners(rule, bids, nil, k, payment, rng)
+}
+
+// DetermineWinnersScored is DetermineWinners for callers that have already
+// evaluated S(qᵢ, pᵢ) for every bid — typically a batched scoring worker
+// pool amortizing rule evaluation across many concurrent auctions (see
+// internal/exchange). scores[i] must equal Score(rule, bids[i].Qualities,
+// bids[i].Payment); it is copied, never retained, so the caller may reuse
+// the buffer. The rng draw sequence matches DetermineWinners exactly, so a
+// seeded run produces the identical Outcome on either path.
+func DetermineWinnersScored(rule ScoringRule, bids []Bid, scores []float64, k int, payment PaymentRule, rng *rand.Rand) (Outcome, error) {
+	if scores == nil {
+		return Outcome{}, fmt.Errorf("auction: DetermineWinnersScored requires a score vector")
+	}
+	return determineWinners(rule, bids, scores, k, payment, rng)
+}
+
+func determineWinners(rule ScoringRule, bids []Bid, pre []float64, k int, payment PaymentRule, rng *rand.Rand) (Outcome, error) {
 	if k < 1 {
 		return Outcome{}, fmt.Errorf("auction: K must be >= 1, got %d", k)
 	}
-	ranked, scores, err := rankBids(rule, bids, rng)
+	ranked, scores, err := rankWith(rule, bids, pre, rng)
 	if err != nil {
 		return Outcome{}, err
 	}

@@ -17,6 +17,7 @@ import (
 	"fmore/internal/auction"
 	"fmore/internal/data"
 	"fmore/internal/dist"
+	"fmore/internal/exchange"
 	"fmore/internal/mec"
 	"fmore/internal/ml"
 	"fmore/internal/transport"
@@ -42,6 +43,13 @@ type Config struct {
 	LR                     float64
 	// RandomSelection runs the RandFL baseline instead of the auction.
 	RandomSelection bool
+	// UseExchange routes winner determination through an internal/exchange
+	// job instead of the server's private auctioneer: TCP registrations are
+	// mirrored into the exchange's node registry and every round is
+	// delegated over the transport.Engine interface, exercising the same
+	// engine the standalone exchange service runs. Ignored under
+	// RandomSelection.
+	UseExchange bool
 	// Psi enables ψ-FMore on the server when in (0, 1).
 	Psi float64
 	// Seed drives the whole run.
@@ -196,7 +204,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	defer listener.Close() //nolint:errcheck // harness teardown
 
-	server, err := transport.NewServer(transport.ServerConfig{
+	serverCfg := transport.ServerConfig{
 		Listener:        listener,
 		ExpectNodes:     cfg.Nodes,
 		Rounds:          cfg.Rounds,
@@ -210,7 +218,26 @@ func Run(cfg Config) (*Result, error) {
 		RegisterTimeout: 30 * time.Second,
 		BidTimeout:      30 * time.Second,
 		UpdateTimeout:   120 * time.Second,
-	})
+	}
+	if cfg.UseExchange && !cfg.RandomSelection {
+		ex := exchange.New(exchange.Options{RequireRegistration: true})
+		defer ex.Close()
+		job, err := ex.CreateJob(exchange.JobSpec{
+			ID:      "cluster",
+			Auction: auction.Config{Rule: rule, K: cfg.K, Psi: cfg.Psi},
+			Seed:    cfg.Seed,
+			// BidWindow 0: the transport server owns the round cadence and
+			// drives the job manually through the engine adapter.
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: exchange job: %w", err)
+		}
+		serverCfg.Engine = exchange.NewEngine(ex, job.ID())
+		serverCfg.OnRegister = func(nodeID int) {
+			ex.RegisterNode(nodeID, "cluster-tcp-node")
+		}
+	}
+	server, err := transport.NewServer(serverCfg)
 	if err != nil {
 		return nil, err
 	}

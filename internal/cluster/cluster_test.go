@@ -65,6 +65,34 @@ func TestClusterEndToEnd(t *testing.T) {
 	}
 }
 
+// TestClusterUsesExchangeEngine proves the TCP harness and the exchange
+// share one auction engine: winner determination is delegated to an
+// internal/exchange job (nodes registered over the wire land in the
+// exchange's registry), and the run must still select winners and pay them
+// every round.
+func TestClusterUsesExchangeEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster integration test")
+	}
+	cfg := tinyConfig()
+	cfg.UseExchange = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Report.Rounds) != 2 {
+		t.Fatalf("rounds = %d, want 2", len(res.Report.Rounds))
+	}
+	for _, r := range res.Report.Rounds {
+		if len(r.SelectedIDs) == 0 {
+			t.Errorf("round %d selected nobody", r.Round)
+		}
+		if r.TotalPayment <= 0 {
+			t.Errorf("round %d paid %v, want positive (FMore selection pays winners)", r.Round, r.TotalPayment)
+		}
+	}
+}
+
 func TestClusterRandomSelectionBaseline(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cluster integration test")

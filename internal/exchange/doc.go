@@ -1,0 +1,35 @@
+// Package exchange is the multi-job auction exchange: a long-running
+// service that hosts many concurrent FMore FL tasks, each running its own
+// sequence of procurement-auction rounds against a shared population of
+// registered edge nodes.
+//
+// The single-job auctioneer of internal/auction (Algorithm 1) scores one
+// round synchronously; the exchange scales that engine to service shape:
+//
+//   - Registry is a sharded node directory (striped locks, atomic per-node
+//     counters) so a very large bidder population never contends on one
+//     mutex.
+//   - Each Job owns an auction.Auctioneer, a per-round bid buffer, and a
+//     round state machine. Bid-collection windows are driven by
+//     context.Context deadlines; jobs can also be driven manually with
+//     CloseRound (that is how internal/transport delegates its rounds
+//     here).
+//   - A shared scoring worker pool batches S(q, p) evaluations across all
+//     jobs and reuses per-job score buffers, keeping the scoring hot path
+//     allocation-free. Winner determination then enters the auction engine
+//     through Auctioneer.RunScored, so exchange outcomes are bit-for-bit
+//     the outcomes the standalone auctioneer would produce.
+//   - Bids within a round are canonically ordered by node ID before
+//     scoring, so per-job outcomes are deterministic under a fixed seed no
+//     matter the concurrent arrival order.
+//   - Metrics tracks rounds/sec, bids/sec and a p99 round latency over a
+//     sliding window.
+//
+// NewHandler exposes the service over HTTP/JSON (POST /jobs,
+// POST /jobs/{id}/bids, GET /jobs/{id}/outcome, GET /metrics);
+// cmd/fmore-exchange is the runnable front end, and examples/exchange is an
+// in-process quickstart. Engine adapts one job to the transport.Engine
+// interface so the TCP aggregator harness (internal/transport,
+// internal/cluster) delegates winner determination to the exchange instead
+// of a private auctioneer.
+package exchange

@@ -1,0 +1,54 @@
+package exchange
+
+import (
+	"fmt"
+
+	"fmore/internal/auction"
+)
+
+// Engine adapts one hosted job to the transport.Engine interface: each
+// aggregator round becomes a manually driven exchange round (submit all
+// collected bids, close, return the outcome). The adapter is how the TCP
+// harness of internal/cluster delegates winner determination to the
+// exchange while keeping its own wire protocol.
+//
+// The job should be created with BidWindow = 0 (manual rounds); the
+// transport server owns the round cadence.
+type Engine struct {
+	ex    *Exchange
+	jobID string
+}
+
+// NewEngine returns the adapter for jobID on ex.
+func NewEngine(ex *Exchange, jobID string) *Engine {
+	return &Engine{ex: ex, jobID: jobID}
+}
+
+// RunRound implements transport.Engine. The transport round number is
+// informational; the job keeps its own contiguous round counter (the
+// transport server skips rounds with zero bids, the exchange does not).
+// Individually rejected bids (blacklisted or unregistered nodes) drop out
+// of the round without failing it, mirroring the aggregator's tolerance of
+// misbehaving nodes; the round errors only if no bid is admitted.
+func (e *Engine) RunRound(round int, bids []auction.Bid) (auction.Outcome, error) {
+	var lastErr error
+	admitted := 0
+	for _, b := range bids {
+		if _, err := e.ex.SubmitBid(e.jobID, b); err != nil {
+			lastErr = err
+			continue
+		}
+		admitted++
+	}
+	if admitted == 0 {
+		if lastErr == nil {
+			lastErr = auction.ErrNoBids
+		}
+		return auction.Outcome{}, fmt.Errorf("exchange: engine admitted 0/%d bids (transport round %d): %w", len(bids), round, lastErr)
+	}
+	ro, err := e.ex.CloseRound(e.jobID)
+	if err != nil {
+		return auction.Outcome{}, fmt.Errorf("exchange: engine close (transport round %d): %w", round, err)
+	}
+	return ro.Outcome, nil
+}

@@ -1,0 +1,250 @@
+package exchange
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"fmore/internal/auction"
+)
+
+// ErrExchangeClosed reports an operation on a shut-down exchange.
+var ErrExchangeClosed = errors.New("exchange: closed")
+
+// Options configures an Exchange.
+type Options struct {
+	// Workers sizes the shared scoring pool (default GOMAXPROCS).
+	Workers int
+	// ScoreChunk is the bids-per-task granularity of the pool (default 128).
+	ScoreChunk int
+	// RequireRegistration rejects bids from nodes that have not been
+	// registered (the deployment posture of the TCP harness, where nodes
+	// register over the wire before bidding). When false, first contact
+	// auto-registers — the open posture of the HTTP front end.
+	RequireRegistration bool
+}
+
+// Exchange hosts many concurrent FL auction jobs over one shared node
+// registry, scoring pool and metrics sink. All methods are safe for
+// concurrent use.
+type Exchange struct {
+	opts    Options
+	reg     *Registry
+	pool    *scorePool
+	metrics *Metrics
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.RWMutex
+	jobs   map[string]*Job
+	closed bool
+	seq    atomic.Int64
+}
+
+// New starts an exchange (its scoring workers launch immediately).
+func New(opts Options) *Exchange {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Exchange{
+		opts:    opts,
+		reg:     NewRegistry(),
+		pool:    newScorePool(opts.Workers, opts.ScoreChunk),
+		metrics: newMetrics(),
+		ctx:     ctx,
+		cancel:  cancel,
+		jobs:    make(map[string]*Job),
+	}
+}
+
+// CreateJob validates spec, hosts the job, and (in timer mode) starts its
+// bid-window goroutine. Job creation is rare, so the whole path runs under
+// the jobs mutex: ID resolution, validation and publication are atomic
+// (auto-assigned IDs skip past names callers have taken, and a failed
+// validation leaks nothing).
+func (ex *Exchange) CreateJob(spec JobSpec) (*Job, error) {
+	spec.setDefaults()
+
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	if ex.closed {
+		return nil, ErrExchangeClosed
+	}
+	id := spec.ID
+	if id == "" {
+		for {
+			id = fmt.Sprintf("job-%d", ex.seq.Add(1))
+			if _, taken := ex.jobs[id]; !taken {
+				break
+			}
+		}
+	} else if _, dup := ex.jobs[id]; dup {
+		return nil, fmt.Errorf("exchange: job %q already exists", id)
+	}
+	spec.ID = id
+
+	j, err := newJob(ex, id, spec)
+	if err != nil {
+		return nil, err
+	}
+	// loopDone must be in place before the job is published: Close snapshots
+	// ex.jobs and reads loopDone, so the write has to happen-before the
+	// mutex-guarded publication.
+	if spec.BidWindow > 0 {
+		j.loopDone = make(chan struct{})
+	}
+	ex.jobs[id] = j
+	ex.metrics.jobsCreated.Add(1)
+	if j.loopDone != nil {
+		go j.loop()
+	}
+	return j, nil
+}
+
+// RemoveJob closes the job and evicts it from the exchange, releasing its
+// auctioneer, buffers and retained outcome history. Without eviction a
+// long-lived service would grow without bound as FL tasks finish. Outcome
+// reads for the job fail afterwards.
+func (ex *Exchange) RemoveJob(id string) error {
+	ex.mu.Lock()
+	j, ok := ex.jobs[id]
+	if ok {
+		delete(ex.jobs, id)
+	}
+	ex.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	j.Close()
+	if j.loopDone != nil {
+		<-j.loopDone
+	}
+	// Same barrier Exchange.Close uses: wait out any in-flight closeRound.
+	// Once evicted, this job is invisible to Close's jobs snapshot, so a
+	// shutdown racing an unfinished round could otherwise close the scoring
+	// pool under it.
+	j.closeMu.Lock()
+	j.closeMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	return nil
+}
+
+// Job resolves a hosted job by ID.
+func (ex *Exchange) Job(id string) (*Job, bool) {
+	ex.mu.RLock()
+	j, ok := ex.jobs[id]
+	ex.mu.RUnlock()
+	return j, ok
+}
+
+// JobIDs lists hosted jobs in lexical order.
+func (ex *Exchange) JobIDs() []string {
+	ex.mu.RLock()
+	ids := make([]string, 0, len(ex.jobs))
+	for id := range ex.jobs {
+		ids = append(ids, id)
+	}
+	ex.mu.RUnlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// RegisterNode adds a node to the shared registry (idempotent).
+func (ex *Exchange) RegisterNode(id int, meta string) *NodeInfo {
+	info, _ := ex.reg.Register(id, meta)
+	return info
+}
+
+// Registry exposes the node directory.
+func (ex *Exchange) Registry() *Registry { return ex.reg }
+
+// SubmitBid admits one sealed bid into the job's current round, enforcing
+// the registry policy (registration requirement, blacklist). It returns the
+// round the bid was entered into. The exchange takes ownership of the bid.
+func (ex *Exchange) SubmitBid(jobID string, bid auction.Bid) (round int, err error) {
+	j, ok := ex.Job(jobID)
+	if !ok {
+		ex.metrics.bidsRejected.Add(1)
+		return 0, fmt.Errorf("%w: %q", ErrUnknownJob, jobID)
+	}
+	info, registered := ex.reg.Lookup(bid.NodeID)
+	if !registered && ex.opts.RequireRegistration {
+		ex.metrics.bidsRejected.Add(1)
+		return 0, fmt.Errorf("%w: node %d", ErrNotRegistered, bid.NodeID)
+	}
+	if registered && info.Blacklisted() {
+		ex.metrics.bidsRejected.Add(1)
+		return 0, fmt.Errorf("%w: node %d", ErrBlacklisted, bid.NodeID)
+	}
+	round, err = j.submit(bid)
+	if err != nil {
+		ex.metrics.bidsRejected.Add(1)
+		return 0, err
+	}
+	// Only an accepted bid auto-registers its node (open posture): rejected
+	// requests must not grow the registry.
+	if !registered {
+		info, _ = ex.reg.Register(bid.NodeID, "")
+	}
+	info.bids.Add(1)
+	ex.metrics.bidsAccepted.Add(1)
+	return round, nil
+}
+
+// CloseRound closes the job's current round synchronously and returns its
+// outcome. This is the manual drive used by the transport engine adapter;
+// on timer-mode jobs it simply closes the window early.
+func (ex *Exchange) CloseRound(jobID string) (RoundOutcome, error) {
+	j, ok := ex.Job(jobID)
+	if !ok {
+		return RoundOutcome{}, fmt.Errorf("%w: %q", ErrUnknownJob, jobID)
+	}
+	return j.closeRound()
+}
+
+// WaitOutcome blocks until the job's round completes.
+func (ex *Exchange) WaitOutcome(ctx context.Context, jobID string, round int) (RoundOutcome, error) {
+	j, ok := ex.Job(jobID)
+	if !ok {
+		return RoundOutcome{}, fmt.Errorf("%w: %q", ErrUnknownJob, jobID)
+	}
+	return j.WaitOutcome(ctx, round)
+}
+
+// Metrics returns a point-in-time health snapshot.
+func (ex *Exchange) Metrics() Snapshot {
+	return ex.metrics.snapshot(ex.reg.Len())
+}
+
+// Close shuts the exchange down: every job is closed, in-flight round
+// closes are drained, and the scoring pool is stopped. Idempotent.
+func (ex *Exchange) Close() {
+	ex.mu.Lock()
+	if ex.closed {
+		ex.mu.Unlock()
+		return
+	}
+	ex.closed = true
+	jobs := make([]*Job, 0, len(ex.jobs))
+	for _, j := range ex.jobs {
+		jobs = append(jobs, j)
+	}
+	ex.mu.Unlock()
+
+	ex.cancel()
+	for _, j := range jobs {
+		j.Close()
+		if j.loopDone != nil {
+			<-j.loopDone
+		}
+	}
+	// Barrier: a manual CloseRound that passed the closed-check is still
+	// scoring on the pool; taking each job's closeMu waits it out before
+	// the pool goes away.
+	for _, j := range jobs {
+		j.closeMu.Lock()
+		j.closeMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	}
+	ex.pool.close()
+}

@@ -1,0 +1,357 @@
+package exchange
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"fmore/internal/auction"
+	"fmore/internal/transport"
+)
+
+// maxWait caps how long GET /jobs/{id}/outcome?wait=1 blocks.
+const maxWait = 30 * time.Second
+
+// NewHandler returns the exchange's HTTP/JSON front end:
+//
+//	POST /jobs                create a job
+//	GET  /jobs                list hosted job IDs
+//	GET  /jobs/{id}           job status
+//	DELETE /jobs/{id}         close and evict a job
+//	POST /jobs/{id}/bids      submit one sealed bid
+//	POST /jobs/{id}/close     close the current round now
+//	GET  /jobs/{id}/outcome   fetch a round outcome (?round=N, ?wait=1)
+//	POST /nodes               register a node
+//	POST /nodes/{id}/blacklist ban a node
+//	GET  /metrics             throughput and latency snapshot
+func NewHandler(ex *Exchange) http.Handler {
+	h := &handler{ex: ex}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", h.createJob)
+	mux.HandleFunc("GET /jobs", h.listJobs)
+	mux.HandleFunc("GET /jobs/{id}", h.jobStatus)
+	mux.HandleFunc("DELETE /jobs/{id}", h.removeJob)
+	mux.HandleFunc("POST /jobs/{id}/bids", h.submitBid)
+	mux.HandleFunc("POST /jobs/{id}/close", h.closeRound)
+	mux.HandleFunc("GET /jobs/{id}/outcome", h.outcome)
+	mux.HandleFunc("POST /nodes", h.registerNode)
+	mux.HandleFunc("POST /nodes/{id}/blacklist", h.blacklistNode)
+	mux.HandleFunc("GET /metrics", h.metrics)
+	return mux
+}
+
+type handler struct {
+	ex *Exchange
+}
+
+// jobRequest is the POST /jobs payload.
+type jobRequest struct {
+	ID          string             `json:"id,omitempty"`
+	Rule        transport.RuleSpec `json:"rule"`
+	K           int                `json:"k"`
+	Payment     string             `json:"payment,omitempty"` // "first-price" (default) | "second-price"
+	Psi         float64            `json:"psi,omitempty"`
+	Seed        int64              `json:"seed,omitempty"`
+	BidWindowMS int64              `json:"bid_window_ms,omitempty"` // 0 = manual rounds
+	MaxRounds   int                `json:"max_rounds,omitempty"`
+	MinBids     int                `json:"min_bids,omitempty"`
+}
+
+// jobResponse describes a hosted job.
+type jobResponse struct {
+	ID          string `json:"id"`
+	State       string `json:"state"`
+	Round       int    `json:"round"`
+	PendingBids int    `json:"pending_bids"`
+	Rule        string `json:"rule"`
+	K           int    `json:"k"`
+}
+
+// bidRequest is the POST /jobs/{id}/bids payload.
+type bidRequest struct {
+	NodeID    int       `json:"node_id"`
+	Qualities []float64 `json:"qualities"`
+	Payment   float64   `json:"payment"`
+	Meta      string    `json:"meta,omitempty"`
+}
+
+// winnerJSON is one selected bid in an outcome response.
+type winnerJSON struct {
+	NodeID    int       `json:"node_id"`
+	Score     float64   `json:"score"`
+	Payment   float64   `json:"payment"`
+	Qualities []float64 `json:"qualities"`
+}
+
+// outcomeResponse is the GET /jobs/{id}/outcome payload.
+type outcomeResponse struct {
+	Job              string       `json:"job"`
+	Round            int          `json:"round"`
+	NumBids          int          `json:"num_bids"`
+	LatencyMS        float64      `json:"latency_ms"`
+	Winners          []winnerJSON `json:"winners"`
+	TotalPayment     float64      `json:"total_payment"`
+	AggregatorProfit float64      `json:"aggregator_profit"`
+	// Scores is indexed by the round's bids in ascending node-ID order.
+	Scores []float64 `json:"scores"`
+}
+
+func (h *handler) createJob(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		return
+	}
+	rule, err := req.Rule.Build()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var payment auction.PaymentRule
+	switch req.Payment {
+	case "", "first-price":
+		payment = auction.FirstPrice
+	case "second-price":
+		payment = auction.SecondPrice
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown payment rule %q", req.Payment))
+		return
+	}
+	job, err := h.ex.CreateJob(JobSpec{
+		ID:        req.ID,
+		Auction:   auction.Config{Rule: rule, K: req.K, Payment: payment, Psi: req.Psi},
+		Seed:      req.Seed,
+		BidWindow: time.Duration(req.BidWindowMS) * time.Millisecond,
+		MaxRounds: req.MaxRounds,
+		MinBids:   req.MinBids,
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, jobView(job))
+}
+
+func (h *handler) listJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"jobs": h.ex.JobIDs()})
+}
+
+func (h *handler) jobStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := h.ex.Job(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrUnknownJob, r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, jobView(job))
+}
+
+func (h *handler) submitBid(w http.ResponseWriter, r *http.Request) {
+	var req bidRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding bid: %w", err))
+		return
+	}
+	round, err := h.ex.SubmitBid(r.PathValue("id"), auction.Bid{
+		NodeID:    req.NodeID,
+		Qualities: req.Qualities,
+		Payment:   req.Payment,
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	// Meta-on-bid is a labeling convenience of the open posture only, and
+	// only an accepted bid earns it: rejected requests must not mutate the
+	// registry, and on a gated exchange registration happens exclusively
+	// through POST /nodes.
+	if req.Meta != "" && !h.ex.opts.RequireRegistration {
+		h.ex.RegisterNode(req.NodeID, req.Meta)
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"job": r.PathValue("id"), "round": round})
+}
+
+func (h *handler) removeJob(w http.ResponseWriter, r *http.Request) {
+	if err := h.ex.RemoveJob(r.PathValue("id")); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"job": r.PathValue("id"), "removed": true})
+}
+
+func (h *handler) closeRound(w http.ResponseWriter, r *http.Request) {
+	ro, err := h.ex.CloseRound(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, outcomeView(ro))
+}
+
+func (h *handler) outcome(w http.ResponseWriter, r *http.Request) {
+	job, ok := h.ex.Job(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrUnknownJob, r.PathValue("id")))
+		return
+	}
+	q := r.URL.Query()
+	wait := false
+	if s := q.Get("wait"); s != "" {
+		v, err := strconv.ParseBool(s)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad wait %q (want a boolean)", s))
+			return
+		}
+		wait = v
+	}
+	if q.Get("round") == "" && !wait {
+		ro, ok := job.Latest()
+		if !ok {
+			writeErr(w, http.StatusNotFound, errors.New("exchange: no completed rounds yet"))
+			return
+		}
+		if ro.Err != nil {
+			// A failed round must not read as a winnerless success; report
+			// it exactly as the by-round path would.
+			writeErr(w, statusFor(ro.Err), ro.Err)
+			return
+		}
+		writeJSON(w, http.StatusOK, outcomeView(ro))
+		return
+	}
+	if wait {
+		ctx, cancel := context.WithTimeout(r.Context(), maxWait)
+		defer cancel()
+		var (
+			ro  RoundOutcome
+			err error
+		)
+		if s := q.Get("round"); s != "" {
+			n, perr := strconv.Atoi(s)
+			if perr != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("bad round %q", s))
+				return
+			}
+			ro, err = job.WaitOutcome(ctx, n)
+		} else {
+			// No round named: wait for the latest completed round. Waiting
+			// on the collecting round number would race with the bid window
+			// closing between a client's bid and its poll.
+			ro, err = job.WaitLatest(ctx)
+		}
+		if err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, outcomeView(ro))
+		return
+	}
+	n, err := strconv.Atoi(q.Get("round"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad round %q", q.Get("round")))
+		return
+	}
+	ro, err := job.Outcome(n)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, outcomeView(ro))
+}
+
+func (h *handler) registerNode(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		NodeID int    `json:"node_id"`
+		Meta   string `json:"meta,omitempty"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding node: %w", err))
+		return
+	}
+	info := h.ex.RegisterNode(req.NodeID, req.Meta)
+	writeJSON(w, http.StatusOK, map[string]any{"node_id": info.ID, "bids": info.Bids()})
+}
+
+func (h *handler) blacklistNode(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad node id %q", r.PathValue("id")))
+		return
+	}
+	if !h.ex.Registry().Blacklist(id) {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("node %d is not registered", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"node_id": id, "blacklisted": true})
+}
+
+func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, h.ex.Metrics())
+}
+
+func jobView(j *Job) jobResponse {
+	return jobResponse{
+		ID:          j.ID(),
+		State:       j.State(),
+		Round:       j.Round(),
+		PendingBids: j.PendingBids(),
+		Rule:        j.Spec().Auction.Rule.Name(),
+		K:           j.Spec().Auction.K,
+	}
+}
+
+func outcomeView(ro RoundOutcome) outcomeResponse {
+	winners := make([]winnerJSON, len(ro.Outcome.Winners))
+	for i, win := range ro.Outcome.Winners {
+		winners[i] = winnerJSON{
+			NodeID:    win.Bid.NodeID,
+			Score:     win.Score,
+			Payment:   win.Payment,
+			Qualities: win.Bid.Qualities,
+		}
+	}
+	return outcomeResponse{
+		Job:              ro.JobID,
+		Round:            ro.Round,
+		NumBids:          ro.NumBids,
+		LatencyMS:        float64(ro.Latency) / float64(time.Millisecond),
+		Winners:          winners,
+		TotalPayment:     ro.Outcome.TotalPayment(),
+		AggregatorProfit: ro.Outcome.AggregatorProfit,
+		Scores:           ro.Outcome.Scores,
+	}
+}
+
+// statusFor maps exchange errors onto HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownJob), errors.Is(err, ErrRoundPending):
+		return http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		// A long-poll (?wait=1) that ran out of time: the request was fine,
+		// the outcome just is not there yet — retryable, not a client error.
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrOutcomeEvicted):
+		return http.StatusGone
+	case errors.Is(err, ErrDuplicateBid), errors.Is(err, ErrJobClosed),
+		errors.Is(err, ErrBelowQuorum), errors.Is(err, ErrExchangeClosed):
+		return http.StatusConflict
+	case errors.Is(err, ErrNotRegistered), errors.Is(err, ErrBlacklisted):
+		return http.StatusForbidden
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,250 @@
+package exchange
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// httpFixture spins up the JSON front end over a fresh exchange.
+func httpFixture(t *testing.T) (*httptest.Server, *Exchange) {
+	t.Helper()
+	ex := New(Options{})
+	srv := httptest.NewServer(NewHandler(ex))
+	t.Cleanup(func() {
+		srv.Close()
+		ex.Close()
+	})
+	return srv, ex
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, decodeBody(t, resp)
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, decodeBody(t, resp)
+}
+
+func decodeBody(t *testing.T, resp *http.Response) map[string]any {
+	t.Helper()
+	defer resp.Body.Close() //nolint:errcheck // test teardown
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return m
+}
+
+func TestHTTPJobLifecycle(t *testing.T) {
+	srv, _ := httpFixture(t)
+
+	// Create a manual-mode job.
+	resp, body := postJSON(t, srv.URL+"/jobs", map[string]any{
+		"id":   "cv-task",
+		"rule": map[string]any{"kind": "additive", "alpha": []float64{0.5, 0.5}},
+		"k":    2,
+		"seed": 17,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create job: status %d, body %v", resp.StatusCode, body)
+	}
+	if body["id"] != "cv-task" || body["state"] != "collecting" {
+		t.Fatalf("create job body: %v", body)
+	}
+
+	// Submit five bids.
+	for i := 0; i < 5; i++ {
+		resp, body := postJSON(t, srv.URL+"/jobs/cv-task/bids", map[string]any{
+			"node_id":   i,
+			"qualities": []float64{0.2 * float64(i+1), 0.9 - 0.1*float64(i)},
+			"payment":   0.1,
+			"meta":      fmt.Sprintf("edge-%d", i),
+		})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("bid %d: status %d, body %v", i, resp.StatusCode, body)
+		}
+	}
+
+	// A duplicate bid conflicts.
+	resp, _ = postJSON(t, srv.URL+"/jobs/cv-task/bids", map[string]any{
+		"node_id": 0, "qualities": []float64{0.1, 0.1}, "payment": 0.1,
+	})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate bid: status %d, want 409", resp.StatusCode)
+	}
+
+	// Close the round and read the outcome both ways.
+	resp, closeBody := postJSON(t, srv.URL+"/jobs/cv-task/close", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("close: status %d, body %v", resp.StatusCode, closeBody)
+	}
+	if n := closeBody["num_bids"].(float64); n != 5 {
+		t.Errorf("close outcome num_bids = %v, want 5", n)
+	}
+	resp, outBody := getJSON(t, srv.URL+"/jobs/cv-task/outcome?round=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("outcome: status %d, body %v", resp.StatusCode, outBody)
+	}
+	// ?wait=1 with no round returns the latest completed round immediately —
+	// it must not block on the now-collecting round 2.
+	resp, waitBody := getJSON(t, srv.URL+"/jobs/cv-task/outcome?wait=1")
+	if resp.StatusCode != http.StatusOK || waitBody["round"].(float64) != 1 {
+		t.Fatalf("wait latest: status %d, body %v", resp.StatusCode, waitBody)
+	}
+	winners := outBody["winners"].([]any)
+	if len(winners) != 2 {
+		t.Fatalf("outcome winners = %d, want 2", len(winners))
+	}
+
+	// Status and job listing reflect the completed round.
+	_, status := getJSON(t, srv.URL+"/jobs/cv-task")
+	if status["round"].(float64) != 2 {
+		t.Errorf("job round = %v, want 2", status["round"])
+	}
+	_, list := getJSON(t, srv.URL+"/jobs")
+	if jobs := list["jobs"].([]any); len(jobs) != 1 || jobs[0] != "cv-task" {
+		t.Errorf("job list = %v", jobs)
+	}
+
+	// DELETE evicts the job: the listing empties and further reads 404.
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/cv-task", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decodeBody(t, delResp); delResp.StatusCode != http.StatusOK {
+		t.Fatalf("delete job: status %d", delResp.StatusCode)
+	}
+	resp, _ = getJSON(t, srv.URL+"/jobs/cv-task")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status after delete: %d, want 404", resp.StatusCode)
+	}
+	_, list = getJSON(t, srv.URL+"/jobs")
+	if jobs := list["jobs"].([]any); len(jobs) != 0 {
+		t.Errorf("job list after delete = %v, want empty", jobs)
+	}
+
+	// Metrics report the traffic.
+	_, metrics := getJSON(t, srv.URL+"/metrics")
+	if metrics["rounds_total"].(float64) != 1 {
+		t.Errorf("rounds_total = %v, want 1", metrics["rounds_total"])
+	}
+	if metrics["bids_accepted"].(float64) != 5 {
+		t.Errorf("bids_accepted = %v, want 5", metrics["bids_accepted"])
+	}
+	if metrics["nodes_known"].(float64) != 5 {
+		t.Errorf("nodes_known = %v, want 5", metrics["nodes_known"])
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	srv, ex := httpFixture(t)
+
+	resp, _ := getJSON(t, srv.URL+"/jobs/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status: %d, want 404", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, srv.URL+"/jobs", map[string]any{
+		"rule": map[string]any{"kind": "martian", "alpha": []float64{1}},
+		"k":    1,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad rule kind status: %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, srv.URL+"/nodes/abc/blacklist", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad node id status: %d, want 400", resp.StatusCode)
+	}
+	// A pending round is "not there yet", not a malformed request.
+	_, createBody := postJSON(t, srv.URL+"/jobs", map[string]any{
+		"rule": map[string]any{"kind": "additive", "alpha": []float64{1, 1}},
+		"k":    1,
+	})
+	jobID := createBody["id"].(string)
+	resp, _ = getJSON(t, srv.URL+"/jobs/"+jobID+"/outcome?round=99")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pending round status: %d, want 404", resp.StatusCode)
+	}
+	// A rejected bid must not register its node, even with meta attached.
+	resp, _ = postJSON(t, srv.URL+"/jobs/"+jobID+"/bids", map[string]any{
+		"node_id": 77, "qualities": []float64{0.5}, "payment": 0.1, "meta": "edge-77",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("wrong-dims bid status: %d, want 400", resp.StatusCode)
+	}
+	if _, ok := ex.Registry().Lookup(77); ok {
+		t.Error("rejected bid registered node 77 via meta")
+	}
+}
+
+// TestHTTPMetaDoesNotBypassRegistration guards the -require-registration
+// gate: attaching meta to a bid must not implicitly register the node.
+func TestHTTPMetaDoesNotBypassRegistration(t *testing.T) {
+	ex := New(Options{RequireRegistration: true})
+	srv := httptest.NewServer(NewHandler(ex))
+	t.Cleanup(func() {
+		srv.Close()
+		ex.Close()
+	})
+	_, createBody := postJSON(t, srv.URL+"/jobs", map[string]any{
+		"id":   "gated",
+		"rule": map[string]any{"kind": "additive", "alpha": []float64{1, 1}},
+		"k":    1,
+	})
+	if createBody["id"] != "gated" {
+		t.Fatalf("create job: %v", createBody)
+	}
+	resp, _ := postJSON(t, srv.URL+"/jobs/gated/bids", map[string]any{
+		"node_id": 5, "qualities": []float64{0.5, 0.5}, "payment": 0.1,
+		"meta": "sneaky-self-registration",
+	})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("bid with meta on gated exchange: status %d, want 403", resp.StatusCode)
+	}
+	if _, ok := ex.Registry().Lookup(5); ok {
+		t.Error("meta on a rejected bid registered the node anyway")
+	}
+}
+
+func TestHTTPBlacklistFlow(t *testing.T) {
+	srv, _ := httpFixture(t)
+	if _, body := postJSON(t, srv.URL+"/nodes", map[string]any{"node_id": 3, "meta": "edge-3"}); body["node_id"].(float64) != 3 {
+		t.Fatalf("register node body: %v", body)
+	}
+	resp, _ := postJSON(t, srv.URL+"/nodes/3/blacklist", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("blacklist status: %d", resp.StatusCode)
+	}
+	_, createBody := postJSON(t, srv.URL+"/jobs", map[string]any{
+		"rule": map[string]any{"kind": "additive", "alpha": []float64{1, 1}},
+		"k":    1,
+	})
+	jobID := createBody["id"].(string)
+	resp, _ = postJSON(t, srv.URL+"/jobs/"+jobID+"/bids", map[string]any{
+		"node_id": 3, "qualities": []float64{0.5, 0.5}, "payment": 0.1,
+	})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("blacklisted bid status: %d, want 403", resp.StatusCode)
+	}
+}

@@ -1,0 +1,407 @@
+package exchange
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"fmore/internal/auction"
+)
+
+// Sentinel errors of the job lifecycle.
+var (
+	// ErrUnknownJob reports a job ID the exchange does not host.
+	ErrUnknownJob = errors.New("exchange: unknown job")
+	// ErrJobClosed reports an operation on a finished job.
+	ErrJobClosed = errors.New("exchange: job is closed")
+	// ErrDuplicateBid reports a second bid from the same node in one round
+	// (sealed-bid auctions admit one bid per bidder per round).
+	ErrDuplicateBid = errors.New("exchange: node already bid this round")
+	// ErrBelowQuorum reports a round-close attempt with fewer bids than the
+	// job's quorum; the round stays open and collecting.
+	ErrBelowQuorum = errors.New("exchange: not enough bids to close the round")
+	// ErrRoundPending reports a round that has not completed yet.
+	ErrRoundPending = errors.New("exchange: round not completed yet")
+	// ErrOutcomeEvicted reports a round older than the job's retained
+	// outcome window.
+	ErrOutcomeEvicted = errors.New("exchange: outcome evicted from history")
+	// ErrNotRegistered reports a bid from an unknown node on an exchange
+	// requiring registration.
+	ErrNotRegistered = errors.New("exchange: node is not registered")
+	// ErrBlacklisted reports a bid from a banned node.
+	ErrBlacklisted = errors.New("exchange: node is blacklisted")
+)
+
+// JobSpec configures one hosted FL task.
+type JobSpec struct {
+	// ID names the job; when empty the exchange assigns "job-<n>".
+	ID string
+	// Auction is the per-job auction configuration (rule, K, payment, ψ),
+	// validated by auction.NewAuctioneer.
+	Auction auction.Config
+	// Seed drives the job's private auctioneer rng, making per-job outcomes
+	// deterministic for a fixed bid set.
+	Seed int64
+	// BidWindow is the per-round bid-collection window. When positive, a
+	// job goroutine closes the round at each context deadline; when zero
+	// the job is manually driven (CloseRound), which is how the transport
+	// harness delegates its synchronous rounds.
+	BidWindow time.Duration
+	// MaxRounds closes the job after that many completed rounds
+	// (0 = unlimited).
+	MaxRounds int
+	// MinBids is the round quorum: a window that expires with fewer bids is
+	// an idle tick and the round keeps collecting (default 1).
+	MinBids int
+	// KeepOutcomes bounds the retained outcome history per job
+	// (default 128); older rounds are evicted.
+	KeepOutcomes int
+}
+
+func (s *JobSpec) setDefaults() {
+	if s.MinBids < 1 {
+		s.MinBids = 1
+	}
+	if s.KeepOutcomes <= 0 {
+		s.KeepOutcomes = 128
+	}
+}
+
+// RoundOutcome is one completed auction round of a job.
+type RoundOutcome struct {
+	// JobID and Round identify the round (rounds are 1-based).
+	JobID string
+	Round int
+	// NumBids is the size of the scored bid set. Outcome.Scores is indexed
+	// by the round's bids in ascending NodeID order (the exchange's
+	// canonical ordering).
+	NumBids int
+	// Outcome is the auction engine's result; zero when Err is set.
+	Outcome auction.Outcome
+	// Latency is the close-to-outcome duration (scoring + winner
+	// determination), the quantity behind the p99 metric.
+	Latency time.Duration
+	// Err records a failed round (a poisoned bid set). Failed rounds stay
+	// in history so round numbering remains contiguous.
+	Err error
+}
+
+// Job is one hosted FL task: an auctioneer plus a round state machine. All
+// exported methods are safe for concurrent use.
+type Job struct {
+	id   string
+	spec JobSpec
+	ex   *Exchange
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// mu guards the collecting state: the bid buffer, dedup set, round
+	// counter, outcome history, and the round-completion broadcast channel.
+	mu       sync.Mutex
+	closed   bool
+	scoring  bool
+	bids     []auction.Bid
+	seen     map[int]struct{}
+	round    int // current collecting round, 1-based
+	baseRnd  int // outcomes[0] holds round baseRnd+1
+	outcomes []RoundOutcome
+	doneCh   chan struct{} // closed (and replaced) on every state change
+
+	// closeMu serializes round closes; the buffers below are reused across
+	// rounds so the steady-state scoring path allocates nothing.
+	closeMu  sync.Mutex
+	spare    []auction.Bid
+	scores   []float64
+	batch    batchState
+	auct     *auction.Auctioneer
+	loopDone chan struct{} // non-nil iff a bid-window goroutine runs
+}
+
+// ID returns the job's exchange-wide identifier.
+func (j *Job) ID() string { return j.id }
+
+// Spec returns the job's normalized configuration.
+func (j *Job) Spec() JobSpec { return j.spec }
+
+// Round returns the currently collecting round (1-based).
+func (j *Job) Round() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.round
+}
+
+// PendingBids returns the size of the current round's bid buffer.
+func (j *Job) PendingBids() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.bids)
+}
+
+// State describes the job for monitoring: "collecting", "scoring" or
+// "closed".
+func (j *Job) State() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.closed:
+		return "closed"
+	case j.scoring:
+		return "scoring"
+	default:
+		return "collecting"
+	}
+}
+
+// submit appends one sealed bid to the current round. The job takes
+// ownership of the bid (the caller must not mutate Qualities afterwards).
+func (j *Job) submit(b auction.Bid) (round int, err error) {
+	if err := b.Validate(j.spec.Auction.Rule.Dims()); err != nil {
+		return 0, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return 0, ErrJobClosed
+	}
+	if _, dup := j.seen[b.NodeID]; dup {
+		return 0, ErrDuplicateBid
+	}
+	j.seen[b.NodeID] = struct{}{}
+	j.bids = append(j.bids, b)
+	return j.round, nil
+}
+
+// closeRound swaps out the round's bid buffer, scores it on the shared
+// pool, runs winner determination, and publishes the outcome. It returns
+// ErrBelowQuorum (round keeps collecting) when the buffer is under quorum.
+func (j *Job) closeRound() (RoundOutcome, error) {
+	j.closeMu.Lock()
+	defer j.closeMu.Unlock()
+
+	start := time.Now()
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return RoundOutcome{}, ErrJobClosed
+	}
+	if got := len(j.bids); got < j.spec.MinBids {
+		j.mu.Unlock()
+		j.ex.metrics.idleTicks.Add(1)
+		return RoundOutcome{}, fmt.Errorf("%w: %d/%d", ErrBelowQuorum, got, j.spec.MinBids)
+	}
+	bids := j.bids
+	j.bids = j.spare[:0]
+	clear(j.seen)
+	round := j.round
+	// Advance the collecting round at swap time: bids accepted while this
+	// round is scoring belong to — and are reported as — the next round.
+	j.round++
+	j.scoring = true
+	j.mu.Unlock()
+
+	// Canonical order: the outcome must not depend on concurrent arrival
+	// order, only on the bid set — that is what makes seeded runs
+	// deterministic under concurrency.
+	sort.Slice(bids, func(a, b int) bool { return bids[a].NodeID < bids[b].NodeID })
+
+	if cap(j.scores) < len(bids) {
+		j.scores = make([]float64, len(bids))
+	}
+	scores := j.scores[:len(bids)]
+	var outcome auction.Outcome
+	err := j.ex.pool.score(j.spec.Auction.Rule, bids, scores, &j.batch)
+	if err == nil {
+		// RunScored clones winning bids, so the buffer is safe to reuse.
+		outcome, err = j.auct.RunScored(bids, scores)
+	}
+
+	ro := RoundOutcome{
+		JobID:   j.id,
+		Round:   round,
+		NumBids: len(bids),
+		Outcome: outcome,
+		Latency: time.Since(start),
+	}
+	if err != nil {
+		// The round's bids are consumed either way: a poisoned bid set must
+		// not wedge the job forever. The failed round is recorded so the
+		// history stays contiguous.
+		ro.Outcome = auction.Outcome{}
+		ro.Err = fmt.Errorf("exchange: job %s round %d: %w", j.id, round, err)
+	}
+
+	j.mu.Lock()
+	j.scoring = false
+	j.spare = bids[:0]
+	j.outcomes = append(j.outcomes, ro)
+	if excess := len(j.outcomes) - j.spec.KeepOutcomes; excess > 0 {
+		j.outcomes = append(j.outcomes[:0], j.outcomes[excess:]...)
+		j.baseRnd += excess
+	}
+	// !j.closed guards the jobsClosed count: a concurrent Close/RemoveJob
+	// may have already closed (and counted) the job while we were scoring.
+	maxed := !j.closed && j.spec.MaxRounds > 0 && j.round > j.spec.MaxRounds
+	if maxed {
+		j.closed = true
+	}
+	j.broadcastLocked()
+	j.mu.Unlock()
+
+	if maxed {
+		j.cancel()
+		j.ex.metrics.jobsClosed.Add(1)
+	}
+	if ro.Err == nil {
+		j.ex.metrics.observeRound(ro.Latency)
+	} else {
+		j.ex.metrics.roundsFailed.Add(1)
+	}
+	return ro, ro.Err
+}
+
+// broadcastLocked wakes every outcome waiter; callers hold j.mu.
+func (j *Job) broadcastLocked() {
+	close(j.doneCh)
+	j.doneCh = make(chan struct{})
+}
+
+// loop drives timer-mode jobs: one context deadline per bid window.
+func (j *Job) loop() {
+	defer close(j.loopDone)
+	for {
+		windowCtx, cancel := context.WithDeadline(j.ctx, time.Now().Add(j.spec.BidWindow))
+		<-windowCtx.Done()
+		cancel()
+		if j.ctx.Err() != nil {
+			return
+		}
+		if _, err := j.closeRound(); errors.Is(err, ErrJobClosed) {
+			return
+		}
+	}
+}
+
+// Close finishes the job: pending and future bids are rejected, waiters are
+// woken, and (in timer mode) the window goroutine stops. Idempotent.
+func (j *Job) Close() {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return
+	}
+	j.closed = true
+	j.broadcastLocked()
+	j.mu.Unlock()
+	j.cancel()
+	j.ex.metrics.jobsClosed.Add(1)
+}
+
+// Outcome returns the completed round without blocking. For a failed round
+// the stored error is returned alongside the record.
+func (j *Job) Outcome(round int) (RoundOutcome, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ro, err, _ := j.outcomeLocked(round)
+	return ro, err
+}
+
+// outcomeLocked resolves a round; pending reports "not completed yet" (the
+// only state WaitOutcome keeps waiting on).
+func (j *Job) outcomeLocked(round int) (ro RoundOutcome, err error, pending bool) {
+	idx := round - 1 - j.baseRnd
+	switch {
+	case round < 1:
+		return RoundOutcome{}, fmt.Errorf("exchange: round %d out of range", round), false
+	case idx < 0:
+		return RoundOutcome{}, fmt.Errorf("%w: round %d (retained: %d+)", ErrOutcomeEvicted, round, j.baseRnd+1), false
+	case idx < len(j.outcomes):
+		ro = j.outcomes[idx]
+		return ro, ro.Err, false
+	case j.closed:
+		return RoundOutcome{}, ErrJobClosed, false
+	}
+	return RoundOutcome{}, fmt.Errorf("%w: round %d", ErrRoundPending, round), true
+}
+
+// Latest returns the most recent completed round, if any.
+func (j *Job) Latest() (RoundOutcome, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.outcomes) == 0 {
+		return RoundOutcome{}, false
+	}
+	return j.outcomes[len(j.outcomes)-1], true
+}
+
+// WaitLatest blocks until at least one round has completed and returns the
+// most recent one (with its stored error, if the round failed). This is the
+// race-free "give me an outcome" default of the HTTP front end: waiting on
+// the currently-collecting round number instead would race with the bid
+// window closing.
+func (j *Job) WaitLatest(ctx context.Context) (RoundOutcome, error) {
+	for {
+		j.mu.Lock()
+		if n := len(j.outcomes); n > 0 {
+			ro := j.outcomes[n-1]
+			j.mu.Unlock()
+			return ro, ro.Err
+		}
+		if j.closed {
+			j.mu.Unlock()
+			return RoundOutcome{}, ErrJobClosed
+		}
+		ch := j.doneCh
+		j.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return RoundOutcome{}, ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// WaitOutcome blocks until the round completes, the job closes, or ctx
+// expires.
+func (j *Job) WaitOutcome(ctx context.Context, round int) (RoundOutcome, error) {
+	for {
+		j.mu.Lock()
+		ro, err, pending := j.outcomeLocked(round)
+		if !pending {
+			j.mu.Unlock()
+			return ro, err
+		}
+		ch := j.doneCh
+		j.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return RoundOutcome{}, ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// newJob wires a job into the exchange; callers hold no locks.
+func newJob(ex *Exchange, id string, spec JobSpec) (*Job, error) {
+	auct, err := auction.NewAuctioneer(spec.Auction, rand.New(rand.NewSource(spec.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	spec.Auction = auct.Config() // normalized (defaults applied)
+	ctx, cancel := context.WithCancel(ex.ctx)
+	return &Job{
+		id:     id,
+		spec:   spec,
+		ex:     ex,
+		ctx:    ctx,
+		cancel: cancel,
+		seen:   make(map[int]struct{}),
+		round:  1,
+		doneCh: make(chan struct{}),
+		auct:   auct,
+	}, nil
+}

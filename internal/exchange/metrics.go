@@ -1,0 +1,113 @@
+package exchange
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latWindow is the sliding-window size of retained round latencies for the
+// percentile estimates. Rounds are rare events (one per job per bid window),
+// so 1024 samples cover minutes of heavy traffic.
+const latWindow = 1024
+
+// Metrics aggregates exchange-wide throughput counters. Counter updates are
+// lock-free; only the latency ring takes a mutex, and only once per
+// completed round (never on the bid path).
+type Metrics struct {
+	start time.Time
+
+	jobsCreated  atomic.Int64
+	jobsClosed   atomic.Int64
+	roundsTotal  atomic.Int64
+	roundsFailed atomic.Int64
+	idleTicks    atomic.Int64
+	bidsAccepted atomic.Int64
+	bidsRejected atomic.Int64
+
+	latMu    sync.Mutex
+	latRing  [latWindow]float64 // seconds
+	latCount int64
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+// observeRound records one completed round and its close-to-outcome latency.
+func (m *Metrics) observeRound(latency time.Duration) {
+	m.roundsTotal.Add(1)
+	sec := latency.Seconds()
+	m.latMu.Lock()
+	m.latRing[m.latCount%latWindow] = sec
+	m.latCount++
+	m.latMu.Unlock()
+}
+
+// Snapshot is a point-in-time view of the exchange's health, the payload of
+// GET /metrics.
+type Snapshot struct {
+	UptimeSec    float64 `json:"uptime_sec"`
+	JobsActive   int64   `json:"jobs_active"`
+	JobsCreated  int64   `json:"jobs_created"`
+	NodesKnown   int     `json:"nodes_known"`
+	RoundsTotal  int64   `json:"rounds_total"`
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+	// RoundsFailed counts rounds whose scoring or winner determination
+	// errored (a poisoned bid set); a healthy exchange keeps this at 0.
+	RoundsFailed int64 `json:"rounds_failed"`
+	// IdleTicks counts bid windows that expired below the bid quorum.
+	IdleTicks    int64   `json:"idle_ticks"`
+	BidsAccepted int64   `json:"bids_accepted"`
+	BidsRejected int64   `json:"bids_rejected"`
+	BidsPerSec   float64 `json:"bids_per_sec"`
+	// Round-close latency percentiles over the last latWindow rounds.
+	RoundLatencyP50Ms float64 `json:"round_latency_p50_ms"`
+	RoundLatencyP99Ms float64 `json:"round_latency_p99_ms"`
+}
+
+// snapshot assembles the exported view. nodes is supplied by the caller
+// (the registry owns that count).
+func (m *Metrics) snapshot(nodes int) Snapshot {
+	elapsed := time.Since(m.start).Seconds()
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	s := Snapshot{
+		UptimeSec:    elapsed,
+		JobsCreated:  m.jobsCreated.Load(),
+		NodesKnown:   nodes,
+		RoundsTotal:  m.roundsTotal.Load(),
+		RoundsFailed: m.roundsFailed.Load(),
+		IdleTicks:    m.idleTicks.Load(),
+		BidsAccepted: m.bidsAccepted.Load(),
+		BidsRejected: m.bidsRejected.Load(),
+	}
+	s.JobsActive = s.JobsCreated - m.jobsClosed.Load()
+	s.RoundsPerSec = float64(s.RoundsTotal) / elapsed
+	s.BidsPerSec = float64(s.BidsAccepted) / elapsed
+	s.RoundLatencyP50Ms, s.RoundLatencyP99Ms = m.latencyPercentiles()
+	return s
+}
+
+// latencyPercentiles returns (p50, p99) in milliseconds over the ring.
+func (m *Metrics) latencyPercentiles() (p50, p99 float64) {
+	m.latMu.Lock()
+	n := m.latCount
+	if n > latWindow {
+		n = latWindow
+	}
+	buf := make([]float64, n)
+	copy(buf, m.latRing[:n])
+	m.latMu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Float64s(buf)
+	pick := func(q float64) float64 {
+		i := int(q * float64(n-1))
+		return buf[i] * 1e3
+	}
+	return pick(0.50), pick(0.99)
+}

@@ -1,0 +1,67 @@
+package exchange
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fmore/internal/auction"
+)
+
+func TestScorePoolMatchesInlineScoring(t *testing.T) {
+	rule, err := auction.NewAdditive(0.4, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newScorePool(4, 16) // small chunk: force multi-task batches
+	defer p.close()
+
+	rng := rand.New(rand.NewSource(3))
+	bids := make([]auction.Bid, 301) // deliberately not a chunk multiple
+	for i := range bids {
+		bids[i] = auction.Bid{
+			NodeID:    i,
+			Qualities: []float64{rng.Float64(), rng.Float64()},
+			Payment:   rng.Float64() * 0.3,
+		}
+	}
+	scores := make([]float64, len(bids))
+	var batch batchState
+	if err := p.score(rule, bids, scores, &batch); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range bids {
+		want, err := auction.Score(rule, b.Qualities, b.Payment)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scores[i] != want {
+			t.Fatalf("scores[%d] = %v, want %v", i, scores[i], want)
+		}
+	}
+}
+
+func TestScorePoolPropagatesErrors(t *testing.T) {
+	rule, err := auction.NewAdditive(0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newScorePool(2, 8)
+	defer p.close()
+
+	bids := make([]auction.Bid, 20)
+	for i := range bids {
+		bids[i] = auction.Bid{NodeID: i, Qualities: []float64{0.5, 0.5}, Payment: 0.1}
+	}
+	bids[13].Qualities = []float64{math.NaN(), 0.5}
+	scores := make([]float64, len(bids))
+	var batch batchState
+	if err := p.score(rule, bids, scores, &batch); err == nil {
+		t.Fatal("NaN quality scored without error")
+	}
+	// The batch state must be reusable after a failure.
+	bids[13].Qualities = []float64{0.5, 0.5}
+	if err := p.score(rule, bids, scores, &batch); err != nil {
+		t.Fatalf("reused batch after failure: %v", err)
+	}
+}

@@ -1,0 +1,110 @@
+package exchange
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRegistryRegisterLookup(t *testing.T) {
+	r := NewRegistry()
+	info, created := r.Register(7, "edge-7")
+	if !created || info.ID != 7 || info.Meta() != "edge-7" {
+		t.Fatalf("first Register = (%+v, %v)", info, created)
+	}
+	again, created := r.Register(7, "")
+	if created || again != info || info.Meta() != "edge-7" {
+		t.Error("re-registration with empty meta must keep the record and its label")
+	}
+	if _, created := r.Register(7, "10.0.0.7:9000"); created || info.Meta() != "10.0.0.7:9000" {
+		t.Error("re-registration with non-empty meta must relabel the existing record")
+	}
+	if _, ok := r.Lookup(8); ok {
+		t.Error("Lookup(8) found an unregistered node")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len() = %d, want 1", r.Len())
+	}
+	if r.Blacklist(8) {
+		t.Error("Blacklist(8) succeeded on an unregistered node")
+	}
+	if !r.Blacklist(7) || !info.Blacklisted() {
+		t.Error("Blacklist(7) did not stick")
+	}
+}
+
+// TestRegistryConcurrent hammers every shard from many goroutines under
+// -race: concurrent registration, lookup and stat updates must be safe and
+// lose no registrations.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const (
+		workers = 16
+		nodes   = 2048
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for id := 0; id < nodes; id++ {
+				info, _ := r.Register(id, "")
+				info.bids.Add(1)
+				if got, ok := r.Lookup(id); !ok || got.ID != id {
+					t.Errorf("worker %d: Lookup(%d) = (%v, %v)", w, id, got, ok)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() != nodes {
+		t.Fatalf("Len() = %d, want %d", r.Len(), nodes)
+	}
+	seen := 0
+	var totalBids int64
+	r.Range(func(info *NodeInfo) bool {
+		seen++
+		totalBids += info.Bids()
+		return true
+	})
+	if seen != nodes {
+		t.Errorf("Range visited %d nodes, want %d", seen, nodes)
+	}
+	if totalBids != int64(workers*nodes) {
+		t.Errorf("total bid count = %d, want %d", totalBids, workers*nodes)
+	}
+}
+
+func TestRegistryRangeEarlyStop(t *testing.T) {
+	r := NewRegistry()
+	for id := 0; id < 100; id++ {
+		r.Register(id, "")
+	}
+	visited := 0
+	r.Range(func(*NodeInfo) bool {
+		visited++
+		return visited < 10
+	})
+	if visited != 10 {
+		t.Errorf("Range visited %d after early stop, want 10", visited)
+	}
+}
+
+// TestRegistryShardSpread checks that sequential IDs do not pile into a few
+// stripes (the whole point of hashing the shard index).
+func TestRegistryShardSpread(t *testing.T) {
+	r := NewRegistry()
+	for id := 0; id < 64*64; id++ {
+		r.Register(id, "")
+	}
+	max := 0
+	for i := range r.shards {
+		if n := len(r.shards[i].nodes); n > max {
+			max = n
+		}
+	}
+	// Perfect balance would be 64 per shard; allow generous slack.
+	if max > 3*64 {
+		t.Errorf("worst shard holds %d of %d nodes — hashing is not spreading", max, 64*64)
+	}
+}

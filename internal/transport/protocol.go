@@ -68,16 +68,18 @@ type Hello struct {
 
 // RuleSpec is the serializable description of a scoring rule, rebuilt into
 // an auction.ScoringRule on the node side. It covers the rule families of
-// §III-A, optionally min–max normalized.
+// §III-A, optionally min–max normalized. The JSON tags serve the exchange's
+// HTTP front end, which shares this wire form.
 type RuleSpec struct {
 	// Kind is "additive", "leontief" or "cobb-douglas".
-	Kind string
+	Kind string `json:"kind"`
 	// Alpha holds the coefficients (exponents for Cobb–Douglas).
-	Alpha []float64
+	Alpha []float64 `json:"alpha"`
 	// Scale is the Cobb–Douglas scale factor (ignored otherwise).
-	Scale float64
+	Scale float64 `json:"scale,omitempty"`
 	// NormLo/NormHi, when non-empty, wrap the rule in min–max normalization.
-	NormLo, NormHi []float64
+	NormLo []float64 `json:"norm_lo,omitempty"`
+	NormHi []float64 `json:"norm_hi,omitempty"`
 }
 
 // Build reconstructs the scoring rule.

@@ -12,6 +12,15 @@ import (
 	"fmore/internal/ml"
 )
 
+// Engine abstracts winner determination so the aggregator can delegate
+// rounds to an external auction service instead of its private auctioneer.
+// internal/exchange implements it (one hosted job per server), proving the
+// TCP harness and the exchange share one auction engine.
+type Engine interface {
+	// RunRound determines the round's winners over the collected bids.
+	RunRound(round int, bids []auction.Bid) (auction.Outcome, error)
+}
+
 // ServerConfig parameterizes the aggregator server.
 type ServerConfig struct {
 	// Listener accepts node connections; the caller owns its lifecycle
@@ -50,6 +59,14 @@ type ServerConfig struct {
 	// are drawn uniformly (no payments), while bid scores are still recorded
 	// for score-distribution analysis (Fig. 8).
 	RandomSelection bool
+	// Engine, when set, delegates winner determination to an external
+	// auction service (e.g. an internal/exchange job) instead of the
+	// server's private auctioneer. RandomSelection takes precedence.
+	Engine Engine
+	// OnRegister, when set, is invoked once per accepted node registration —
+	// the hook the cluster harness uses to mirror TCP registrations into the
+	// exchange's node registry.
+	OnRegister func(nodeID int)
 }
 
 func (c *ServerConfig) setDefaults() {
@@ -178,14 +195,18 @@ func (s *Server) Run() (*ServerReport, error) {
 	}
 	defer s.closeAll()
 
-	auctioneer, err := auction.NewAuctioneer(auction.Config{
-		Rule:    s.cfg.Rule,
-		K:       s.cfg.K,
-		Payment: s.cfg.Payment,
-		Psi:     s.cfg.Psi,
-	}, rand.New(rand.NewSource(s.cfg.Seed)))
-	if err != nil {
-		return nil, err
+	var auctioneer *auction.Auctioneer
+	if s.cfg.Engine == nil {
+		var err error
+		auctioneer, err = auction.NewAuctioneer(auction.Config{
+			Rule:    s.cfg.Rule,
+			K:       s.cfg.K,
+			Payment: s.cfg.Payment,
+			Psi:     s.cfg.Psi,
+		}, rand.New(rand.NewSource(s.cfg.Seed)))
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	report := &ServerReport{}
@@ -239,6 +260,9 @@ func (s *Server) register() error {
 		select {
 		case sess := <-sessions:
 			s.nodes = append(s.nodes, sess)
+			if s.cfg.OnRegister != nil {
+				s.cfg.OnRegister(sess.id)
+			}
 		case <-timer.C:
 			return fmt.Errorf("transport: only %d/%d nodes registered before deadline",
 				len(s.nodes), s.cfg.ExpectNodes)
@@ -314,9 +338,12 @@ func (s *Server) runRound(round int, auctioneer *auction.Auctioneer, report *Ser
 		outcome auction.Outcome
 		err     error
 	)
-	if s.cfg.RandomSelection {
+	switch {
+	case s.cfg.RandomSelection:
 		outcome, err = s.randomOutcome(auctionBids)
-	} else {
+	case s.cfg.Engine != nil:
+		outcome, err = s.cfg.Engine.RunRound(round, auctionBids)
+	default:
 		outcome, err = auctioneer.Run(auctionBids)
 	}
 	if err != nil {
