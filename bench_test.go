@@ -189,10 +189,24 @@ func BenchmarkHeadlineNumbers(b *testing.B) {
 
 // benchmarkExchangeRunAuction measures one full exchange round across `jobs`
 // concurrent jobs with 64 bidders each: submit all bids, close, collect the
-// outcome. ns/op is the wall time of the whole multi-job round.
-func benchmarkExchangeRunAuction(b *testing.B, jobs int) {
+// outcome. ns/op is the wall time of the whole multi-job round. With
+// durable set, the exchange runs on a write-ahead outcome log in a temp
+// dir — the overhead measured is the record encode plus a channel send,
+// since fsyncs happen on a dedicated writer goroutine off the close path.
+func benchmarkExchangeRunAuction(b *testing.B, jobs int, durable bool) {
 	const bidders = 64
-	ex := exchange.New(exchange.Options{})
+	var (
+		ex  *exchange.Exchange
+		err error
+	)
+	if durable {
+		ex, err = exchange.Open(b.TempDir(), exchange.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	} else {
+		ex = exchange.New(exchange.Options{})
+	}
 	defer ex.Close()
 
 	rule, err := auction.NewAdditive(0.6, 0.4)
@@ -248,9 +262,20 @@ func benchmarkExchangeRunAuction(b *testing.B, jobs int) {
 	b.ReportMetric(snap.RoundLatencyP99Ms, "p99-close-ms")
 }
 
-func BenchmarkExchange_RunAuction_1Jobs(b *testing.B)  { benchmarkExchangeRunAuction(b, 1) }
-func BenchmarkExchange_RunAuction_8Jobs(b *testing.B)  { benchmarkExchangeRunAuction(b, 8) }
-func BenchmarkExchange_RunAuction_64Jobs(b *testing.B) { benchmarkExchangeRunAuction(b, 64) }
+func BenchmarkExchange_RunAuction_1Jobs(b *testing.B)  { benchmarkExchangeRunAuction(b, 1, false) }
+func BenchmarkExchange_RunAuction_8Jobs(b *testing.B)  { benchmarkExchangeRunAuction(b, 8, false) }
+func BenchmarkExchange_RunAuction_64Jobs(b *testing.B) { benchmarkExchangeRunAuction(b, 64, false) }
+
+// The durable variants run the same workload on a WAL-backed exchange;
+// comparing against the in-memory numbers isolates the persistence cost on
+// the round-close path.
+func BenchmarkExchange_RunAuction_8Jobs_Durable(b *testing.B) {
+	benchmarkExchangeRunAuction(b, 8, true)
+}
+
+func BenchmarkExchange_RunAuction_64Jobs_Durable(b *testing.B) {
+	benchmarkExchangeRunAuction(b, 64, true)
+}
 
 // ---------------------------------------------------------------------------
 // Ablations over the design choices DESIGN.md §5 calls out.

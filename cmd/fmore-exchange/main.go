@@ -1,12 +1,20 @@
 // fmore-exchange runs the auction exchange as a standalone HTTP service:
 // a long-lived aggregator front end hosting many concurrent FL jobs.
 //
-//	go run ./cmd/fmore-exchange -addr :8780
+//	go run ./cmd/fmore-exchange -addr :8780 -data-dir ./exchange-data
+//
+// With -data-dir set, every job spec, round outcome, registration and
+// blacklisting is appended to a write-ahead log (<dir>/exchange.wal) and
+// replayed on the next start: a crashed or restarted exchange serves the
+// identical retained outcome history and continues its jobs with
+// consistent round numbering and the same deterministic draw sequence.
+// Without the flag the exchange is in-memory only.
 //
 // Quickstart against a running instance:
 //
 //	curl -s -X POST localhost:8780/jobs -d '{
 //	  "id": "demo", "k": 2, "seed": 7, "bid_window_ms": 1000,
+//	  "keep_outcomes": 64,
 //	  "rule": {"kind": "additive", "alpha": [0.5, 0.5]}
 //	}'
 //	curl -s -X POST localhost:8780/jobs/demo/bids -d '{
@@ -14,6 +22,9 @@
 //	}'
 //	curl -s 'localhost:8780/jobs/demo/outcome?wait=1'
 //	curl -s localhost:8780/metrics
+//
+// Kill the process and start it again with the same -data-dir:
+// GET /jobs/demo/outcome?round=1 returns the same bytes as before.
 package main
 
 import (
@@ -32,14 +43,30 @@ import (
 func main() {
 	addr := flag.String("addr", ":8780", "HTTP listen address")
 	workers := flag.Int("workers", 0, "scoring pool workers (0 = GOMAXPROCS)")
+	dataDir := flag.String("data-dir", "",
+		"directory for the write-ahead outcome log; replayed on start (empty = in-memory only)")
 	requireReg := flag.Bool("require-registration", false,
 		"reject bids from nodes that have not registered via POST /nodes")
 	flag.Parse()
 
-	ex := exchange.New(exchange.Options{
+	opts := exchange.Options{
 		Workers:             *workers,
 		RequireRegistration: *requireReg,
-	})
+	}
+	var (
+		ex  *exchange.Exchange
+		err error
+	)
+	if *dataDir != "" {
+		ex, err = exchange.Open(*dataDir, opts)
+		if err != nil {
+			log.Fatalf("opening data dir: %v", err)
+		}
+		log.Printf("recovered %d jobs, %d nodes from %s",
+			len(ex.JobIDs()), ex.Registry().Len(), *dataDir)
+	} else {
+		ex = exchange.New(opts)
+	}
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           exchange.NewHandler(ex),
@@ -51,8 +78,8 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- server.ListenAndServe() }()
-	log.Printf("fmore-exchange listening on %s (workers=%d, require-registration=%v)",
-		*addr, *workers, *requireReg)
+	log.Printf("fmore-exchange listening on %s (workers=%d, require-registration=%v, data-dir=%q)",
+		*addr, *workers, *requireReg, *dataDir)
 
 	select {
 	case err := <-errCh:
@@ -65,6 +92,11 @@ func main() {
 	defer cancel()
 	if err := server.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: %v", err)
+	}
+	// Surface any sticky log-writer error before Close flushes and closes
+	// the file; a failing WAL device must not go unnoticed at shutdown.
+	if err := ex.Sync(); err != nil {
+		log.Printf("outcome log: %v", err)
 	}
 	ex.Close()
 	snap := ex.Metrics()

@@ -1,6 +1,8 @@
-// Exchange quickstart: host three concurrent FL jobs on one in-process
-// auction exchange, stream bids from 16 edge nodes into each, and read the
-// per-job outcomes and service metrics.
+// Exchange quickstart: host three concurrent FL jobs on one durable
+// auction exchange, stream bids from 16 edge nodes into each, read the
+// per-job outcomes and service metrics — then close the exchange and
+// reopen its data dir to show the outcome history and registry surviving
+// a restart.
 //
 //	go run ./examples/exchange
 package main
@@ -9,6 +11,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"sync"
 
 	"fmore/internal/auction"
@@ -23,7 +26,18 @@ const (
 func main() {
 	log.SetFlags(0)
 
-	ex := exchange.New(exchange.Options{})
+	// A data dir makes the exchange durable: every job spec, outcome and
+	// registration lands in a write-ahead log that Open replays.
+	dataDir, err := os.MkdirTemp("", "fmore-exchange-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dataDir) //nolint:errcheck // example teardown
+
+	ex, err := exchange.Open(dataDir, exchange.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer ex.Close()
 
 	// Three FL tasks with different resource preferences share the exchange:
@@ -95,4 +109,27 @@ func main() {
 	snap := ex.Metrics()
 	fmt.Printf("\nexchange served %d jobs, %d rounds, %d bids (p99 round latency %.2fms)\n",
 		snap.JobsCreated, snap.RoundsTotal, snap.BidsAccepted, snap.RoundLatencyP99Ms)
+
+	// Restart: close the exchange and replay its log. The jobs come back
+	// with their full retained history and continue at the next round.
+	ex.Close()
+	revived, err := exchange.Open(dataDir, exchange.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer revived.Close()
+	fmt.Printf("\n--- after restart from %s ---\n", dataDir)
+	for _, spec := range specs {
+		job, ok := revived.Job(spec.ID)
+		if !ok {
+			log.Fatalf("job %s lost across restart", spec.ID)
+		}
+		ro, err := job.Outcome(rounds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s recovered rounds 1..%d, next round %d, round-%d winners %v\n",
+			spec.ID, rounds, job.Round(), rounds, ro.Outcome.WinnerIDs())
+	}
+	fmt.Printf("registry recovered %d nodes\n", revived.Registry().Len())
 }

@@ -100,5 +100,11 @@ func (a *Auctioneer) RunScored(bids []Bid, scores []float64) (Outcome, error) {
 // Round returns the number of completed auction rounds.
 func (a *Auctioneer) Round() int { return a.round }
 
+// Resume restores the completed-round counter, for callers reconstructing
+// an auctioneer from a persisted outcome log (see internal/exchange). It
+// does not touch the rng; the caller must restore the rng position to match
+// the recorded draw count alongside.
+func (a *Auctioneer) Resume(round int) { a.round = round }
+
 // Config returns the auctioneer's configuration (rule, K, payment, ψ).
 func (a *Auctioneer) Config() Config { return a.cfg }

@@ -23,12 +23,45 @@
 //     scoring, so per-job outcomes are deterministic under a fixed seed no
 //     matter the concurrent arrival order.
 //   - Metrics tracks rounds/sec, bids/sec and a p99 round latency over a
-//     sliding window.
+//     sliding window (nearest-rank percentiles).
+//
+// # Durability
+//
+// Open(dir, opts) backs the exchange with a write-ahead outcome log at
+// dir/exchange.wal, so a long-lived auctioneer's allocation history — the
+// thing the incentive mechanism's credibility rests on — survives a crash.
+// Every durable mutation appends one record: job created (full spec, rule
+// serialized as its wire form), round completed (outcome verbatim), job
+// closed or removed, node registered, node blacklisted. Records are framed
+// as
+//
+//	uint32 LE payload length | uint32 LE CRC-32 (IEEE) | payload JSON
+//
+// and appended by a dedicated writer goroutine that group-commits: records
+// arriving within the coalescing window (Options.SyncInterval, default 2ms)
+// share one fsync. closeRound hands the record to a channel and never waits
+// on disk. Sync flushes on demand; Close flushes on shutdown. A kill -9 can
+// lose at most the unflushed window — never tear what a prior fsync wrote.
+//
+// On Open, the log is replayed: jobs are recreated with their specs and
+// seeds, the retained outcome history (bounded by KeepOutcomes), round
+// numbering, registry, per-node bid counters and blacklist are restored,
+// and a torn tail from a crash mid-append (short frame or CRC mismatch) is
+// truncated. Each round record carries the job's cumulative rng-source step
+// count; replay fast-forwards a freshly seeded source by exactly that many
+// steps, so a restarted exchange serves byte-identical outcome responses
+// for all retained rounds and continues drawing the same tiebreak and
+// ψ-admission sequence the uncrashed process would have drawn. Bids of a
+// round that had not closed at the crash are lost (their round re-collects
+// after restart), and process-local throughput counters (rounds/sec,
+// bids/sec) restart from zero — only outcomes, specs and the registry are
+// durable. The log is append-only and currently not compacted.
 //
 // NewHandler exposes the service over HTTP/JSON (POST /jobs,
 // POST /jobs/{id}/bids, GET /jobs/{id}/outcome, GET /metrics);
-// cmd/fmore-exchange is the runnable front end, and examples/exchange is an
-// in-process quickstart. Engine adapts one job to the transport.Engine
+// cmd/fmore-exchange is the runnable front end (see its -data-dir flag),
+// and examples/exchange is an in-process quickstart including a
+// close-and-reopen pass. Engine adapts one job to the transport.Engine
 // interface so the TCP aggregator harness (internal/transport,
 // internal/cluster) delegates winner determination to the exchange instead
 // of a private auctioneer.

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fmore/internal/auction"
 )
@@ -25,6 +26,11 @@ type Options struct {
 	// register over the wire before bidding). When false, first contact
 	// auto-registers — the open posture of the HTTP front end.
 	RequireRegistration bool
+	// SyncInterval is the outcome log's group-commit window (default 2ms):
+	// the log writer coalesces records for up to this long before each
+	// fsync. Smaller tightens the crash-loss window; larger trades
+	// durability lag for fewer flushes. Only meaningful with Open.
+	SyncInterval time.Duration
 }
 
 // Exchange hosts many concurrent FL auction jobs over one shared node
@@ -43,6 +49,10 @@ type Exchange struct {
 	jobs   map[string]*Job
 	closed bool
 	seq    atomic.Int64
+
+	// wal is the write-ahead outcome log; nil on an in-memory exchange
+	// (New). Open attaches it after replay. See persist.go.
+	wal *persister
 }
 
 // New starts an exchange (its scoring workers launch immediately).
@@ -89,6 +99,9 @@ func (ex *Exchange) CreateJob(spec JobSpec) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ex.logJobCreated(j.spec); err != nil {
+		return nil, err
+	}
 	// loopDone must be in place before the job is published: Close snapshots
 	// ex.jobs and reads loopDone, so the write has to happen-before the
 	// mutex-guarded publication.
@@ -108,25 +121,40 @@ func (ex *Exchange) CreateJob(spec JobSpec) (*Job, error) {
 // long-lived service would grow without bound as FL tasks finish. Outcome
 // reads for the job fail afterwards.
 func (ex *Exchange) RemoveJob(id string) error {
-	ex.mu.Lock()
+	ex.mu.RLock()
 	j, ok := ex.jobs[id]
-	if ok {
-		delete(ex.jobs, id)
-	}
-	ex.mu.Unlock()
+	ex.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownJob, id)
 	}
-	j.Close()
+	j.close(false)
 	if j.loopDone != nil {
 		<-j.loopDone
 	}
-	// Same barrier Exchange.Close uses: wait out any in-flight closeRound.
-	// Once evicted, this job is invisible to Close's jobs snapshot, so a
-	// shutdown racing an unfinished round could otherwise close the scoring
-	// pool under it.
+	// Same barrier Exchange.Close uses: wait out any in-flight closeRound
+	// before eviction. Ordering matters twice over: (1) a round mid-close
+	// when removal starts must append its round record before the removal
+	// record, or replay meets a round for a deleted job; (2) the job stays
+	// visible to Close's jobs snapshot until fully drained, so a shutdown
+	// racing the unfinished round cannot close the scoring pool under it.
 	j.closeMu.Lock()
 	j.closeMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+
+	// Evict and log under the jobs mutex: CreateJob may only reuse the ID
+	// once the map slot is free, and it logs its created record under the
+	// same mutex, so the log can never read created → created or removed
+	// after the successor's records. The removal record alone keeps the
+	// job gone after recovery; no job-closed record is needed alongside.
+	ex.mu.Lock()
+	if cur, present := ex.jobs[id]; !present || cur != j {
+		// A concurrent RemoveJob won the eviction (and the slot may already
+		// host a successor job, which must not be torn down here).
+		ex.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	delete(ex.jobs, id)
+	ex.logJobRemoved(id)
+	ex.mu.Unlock()
 	return nil
 }
 
@@ -150,13 +178,36 @@ func (ex *Exchange) JobIDs() []string {
 	return ids
 }
 
-// RegisterNode adds a node to the shared registry (idempotent).
+// RegisterNode adds a node to the shared registry (idempotent). A no-op
+// re-registration (node known, meta unchanged) writes nothing to the
+// outcome log, so heartbeat-style re-registration does not grow it.
 func (ex *Exchange) RegisterNode(id int, meta string) *NodeInfo {
-	info, _ := ex.reg.Register(id, meta)
+	if meta != "" {
+		if info, ok := ex.reg.Lookup(id); ok && info.Meta() == meta {
+			return info
+		}
+	}
+	info, created := ex.reg.Register(id, meta)
+	if created || meta != "" {
+		ex.logNode(id, meta)
+	}
 	return info
 }
 
-// Registry exposes the node directory.
+// BlacklistNode bans the node from all future rounds and records the ban in
+// the outcome log, so a restarted exchange still refuses its bids. It
+// reports whether the node was registered.
+func (ex *Exchange) BlacklistNode(id int) bool {
+	if !ex.reg.Blacklist(id) {
+		return false
+	}
+	ex.logNodeBan(id)
+	return true
+}
+
+// Registry exposes the node directory. Note that bans applied directly via
+// Registry().Blacklist bypass the outcome log; use BlacklistNode on a
+// persistent exchange.
 func (ex *Exchange) Registry() *Registry { return ex.reg }
 
 // SubmitBid admits one sealed bid into the job's current round, enforcing
@@ -183,9 +234,14 @@ func (ex *Exchange) SubmitBid(jobID string, bid auction.Bid) (round int, err err
 		return 0, err
 	}
 	// Only an accepted bid auto-registers its node (open posture): rejected
-	// requests must not grow the registry.
+	// requests must not grow the registry. The log write happens once per
+	// node lifetime, not per bid, so the hot path stays append-free.
 	if !registered {
-		info, _ = ex.reg.Register(bid.NodeID, "")
+		var created bool
+		info, created = ex.reg.Register(bid.NodeID, "")
+		if created {
+			ex.logNode(bid.NodeID, "")
+		}
 	}
 	info.bids.Add(1)
 	ex.metrics.bidsAccepted.Add(1)
@@ -217,8 +273,20 @@ func (ex *Exchange) Metrics() Snapshot {
 	return ex.metrics.snapshot(ex.reg.Len())
 }
 
+// Sync blocks until every record appended to the outcome log so far is
+// durable on disk and returns the log's first sticky error (encode, write
+// or fsync). On an in-memory exchange it is a no-op.
+func (ex *Exchange) Sync() error {
+	if ex.wal == nil {
+		return nil
+	}
+	return ex.wal.sync()
+}
+
 // Close shuts the exchange down: every job is closed, in-flight round
-// closes are drained, and the scoring pool is stopped. Idempotent.
+// closes are drained, the scoring pool is stopped, and the outcome log (if
+// any) is flushed and closed. Shutdown does not write job-closed records —
+// a restart via Open resumes every unfinished job. Idempotent.
 func (ex *Exchange) Close() {
 	ex.mu.Lock()
 	if ex.closed {
@@ -234,7 +302,7 @@ func (ex *Exchange) Close() {
 
 	ex.cancel()
 	for _, j := range jobs {
-		j.Close()
+		j.close(false)
 		if j.loopDone != nil {
 			<-j.loopDone
 		}
@@ -247,4 +315,9 @@ func (ex *Exchange) Close() {
 		j.closeMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
 	}
 	ex.pool.close()
+	// After the barrier no append can be in flight, so the final flush sees
+	// every record.
+	if ex.wal != nil {
+		ex.wal.close() //nolint:errcheck // sticky error remains readable via Sync-before-Close
+	}
 }

@@ -183,6 +183,31 @@ func TestJobTimerWindowClosesRounds(t *testing.T) {
 	}
 }
 
+// TestNextWindowDeadline pins the anchored bid-window schedule: each
+// deadline is the previous one plus the window (not "now" plus the window,
+// which would stretch the effective period by the scoring latency), and an
+// overrun skips to the next grid point instead of firing a catch-up burst.
+func TestNextWindowDeadline(t *testing.T) {
+	const w = 100 * time.Millisecond
+	base := time.Unix(1000, 0)
+	cases := []struct {
+		name      string
+		now, want time.Duration // offsets from base (= the previous deadline)
+	}{
+		{"fast close stays on grid", 5 * time.Millisecond, w},
+		{"slow close within the window stays on grid", 60 * time.Millisecond, w},
+		{"close landing exactly on the next deadline skips it", w, 2 * w},
+		{"overrun of 2.5 windows skips to the next future grid point", 250 * time.Millisecond, 3 * w},
+		{"overrun landing on a grid point moves strictly past it", 2 * w, 3 * w},
+	}
+	for _, tc := range cases {
+		got := nextWindowDeadline(base, base.Add(tc.now), w)
+		if want := base.Add(tc.want); !got.Equal(want) {
+			t.Errorf("%s: next = base+%v, want base+%v", tc.name, got.Sub(base), tc.want)
+		}
+	}
+}
+
 func TestDuplicateBidRejected(t *testing.T) {
 	ex := New(Options{})
 	defer ex.Close()

@@ -59,16 +59,24 @@ type jobRequest struct {
 	BidWindowMS int64              `json:"bid_window_ms,omitempty"` // 0 = manual rounds
 	MaxRounds   int                `json:"max_rounds,omitempty"`
 	MinBids     int                `json:"min_bids,omitempty"`
+	// KeepOutcomes bounds the job's retained outcome history (0 = server
+	// default of 128); older rounds answer 410 Gone.
+	KeepOutcomes int `json:"keep_outcomes,omitempty"`
 }
 
-// jobResponse describes a hosted job.
+// jobResponse describes a hosted job, spec and window behavior included so
+// clients can see how much history is retained and how rounds are driven.
 type jobResponse struct {
-	ID          string `json:"id"`
-	State       string `json:"state"`
-	Round       int    `json:"round"`
-	PendingBids int    `json:"pending_bids"`
-	Rule        string `json:"rule"`
-	K           int    `json:"k"`
+	ID           string `json:"id"`
+	State        string `json:"state"`
+	Round        int    `json:"round"`
+	PendingBids  int    `json:"pending_bids"`
+	Rule         string `json:"rule"`
+	K            int    `json:"k"`
+	BidWindowMS  int64  `json:"bid_window_ms"` // 0 = manual rounds
+	MaxRounds    int    `json:"max_rounds"`
+	MinBids      int    `json:"min_bids"`
+	KeepOutcomes int    `json:"keep_outcomes"`
 }
 
 // bidRequest is the POST /jobs/{id}/bids payload.
@@ -122,12 +130,13 @@ func (h *handler) createJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job, err := h.ex.CreateJob(JobSpec{
-		ID:        req.ID,
-		Auction:   auction.Config{Rule: rule, K: req.K, Payment: payment, Psi: req.Psi},
-		Seed:      req.Seed,
-		BidWindow: time.Duration(req.BidWindowMS) * time.Millisecond,
-		MaxRounds: req.MaxRounds,
-		MinBids:   req.MinBids,
+		ID:           req.ID,
+		Auction:      auction.Config{Rule: rule, K: req.K, Payment: payment, Psi: req.Psi},
+		Seed:         req.Seed,
+		BidWindow:    time.Duration(req.BidWindowMS) * time.Millisecond,
+		MaxRounds:    req.MaxRounds,
+		MinBids:      req.MinBids,
+		KeepOutcomes: req.KeepOutcomes,
 	})
 	if err != nil {
 		writeErr(w, statusFor(err), err)
@@ -281,7 +290,9 @@ func (h *handler) blacklistNode(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad node id %q", r.PathValue("id")))
 		return
 	}
-	if !h.ex.Registry().Blacklist(id) {
+	// BlacklistNode (not Registry().Blacklist) so the ban lands in the
+	// outcome log and survives a restart.
+	if !h.ex.BlacklistNode(id) {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("node %d is not registered", id))
 		return
 	}
@@ -293,13 +304,18 @@ func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 func jobView(j *Job) jobResponse {
+	spec := j.Spec()
 	return jobResponse{
-		ID:          j.ID(),
-		State:       j.State(),
-		Round:       j.Round(),
-		PendingBids: j.PendingBids(),
-		Rule:        j.Spec().Auction.Rule.Name(),
-		K:           j.Spec().Auction.K,
+		ID:           j.ID(),
+		State:        j.State(),
+		Round:        j.Round(),
+		PendingBids:  j.PendingBids(),
+		Rule:         spec.Auction.Rule.Name(),
+		K:            spec.Auction.K,
+		BidWindowMS:  int64(spec.BidWindow / time.Millisecond),
+		MaxRounds:    spec.MaxRounds,
+		MinBids:      spec.MinBids,
+		KeepOutcomes: spec.KeepOutcomes,
 	}
 }
 

@@ -227,6 +227,57 @@ func TestHTTPMetaDoesNotBypassRegistration(t *testing.T) {
 	}
 }
 
+// TestHTTPKeepOutcomesExposed guards the keep_outcomes plumbing: the field
+// must round-trip through POST /jobs, surface in GET /jobs/{id} alongside
+// the window behavior, and actually bound the retained history.
+func TestHTTPKeepOutcomesExposed(t *testing.T) {
+	srv, _ := httpFixture(t)
+	resp, body := postJSON(t, srv.URL+"/jobs", map[string]any{
+		"id":            "hist",
+		"rule":          map[string]any{"kind": "additive", "alpha": []float64{1, 1}},
+		"k":             1,
+		"min_bids":      2,
+		"keep_outcomes": 2,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %v", resp.StatusCode, body)
+	}
+	if body["keep_outcomes"].(float64) != 2 {
+		t.Fatalf("create response keep_outcomes = %v, want 2", body["keep_outcomes"])
+	}
+	_, view := getJSON(t, srv.URL+"/jobs/hist")
+	if view["keep_outcomes"].(float64) != 2 || view["min_bids"].(float64) != 2 || view["bid_window_ms"].(float64) != 0 {
+		t.Fatalf("job view = %v, want keep_outcomes 2, min_bids 2, bid_window_ms 0", view)
+	}
+	for round := 1; round <= 3; round++ {
+		for node := 0; node < 2; node++ {
+			if resp, body := postJSON(t, srv.URL+"/jobs/hist/bids", map[string]any{
+				"node_id": node, "qualities": []float64{0.4, 0.4 + 0.1*float64(round)}, "payment": 0.1,
+			}); resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("round %d bid: %d %v", round, resp.StatusCode, body)
+			}
+		}
+		if resp, body := postJSON(t, srv.URL+"/jobs/hist/close", nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d close: %d %v", round, resp.StatusCode, body)
+		}
+	}
+	// With keep_outcomes=2, round 1 has aged out (410) and rounds 2-3 serve.
+	if resp, _ := getJSON(t, srv.URL+"/jobs/hist/outcome?round=1"); resp.StatusCode != http.StatusGone {
+		t.Errorf("evicted round status: %d, want 410", resp.StatusCode)
+	}
+	if resp, _ := getJSON(t, srv.URL+"/jobs/hist/outcome?round=3"); resp.StatusCode != http.StatusOK {
+		t.Errorf("retained round status: %d, want 200", resp.StatusCode)
+	}
+	// Unset keep_outcomes falls back to the server default.
+	_, defBody := postJSON(t, srv.URL+"/jobs", map[string]any{
+		"rule": map[string]any{"kind": "additive", "alpha": []float64{1, 1}},
+		"k":    1,
+	})
+	if defBody["keep_outcomes"].(float64) != 128 {
+		t.Errorf("default keep_outcomes = %v, want 128", defBody["keep_outcomes"])
+	}
+}
+
 func TestHTTPBlacklistFlow(t *testing.T) {
 	srv, _ := httpFixture(t)
 	if _, body := postJSON(t, srv.URL+"/nodes", map[string]any{"node_id": 3, "meta": "edge-3"}); body["node_id"].(float64) != 3 {

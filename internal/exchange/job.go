@@ -119,7 +119,46 @@ type Job struct {
 	scores   []float64
 	batch    batchState
 	auct     *auction.Auctioneer
+	src      *countingSource
 	loopDone chan struct{} // non-nil iff a bid-window goroutine runs
+}
+
+// countingSource wraps the job's seeded rng source and counts every step it
+// takes. The count is written into each round's outcome-log record, and
+// recovery fast-forwards a fresh source by exactly that many steps — so the
+// post-restart draw sequence (tiebreaks, ψ-admissions, Float64 retries
+// alike) is bit-for-bit the sequence the uncrashed process would have
+// produced, no matter how many draws each round consumed.
+type countingSource struct {
+	src rand.Source64
+	n   int64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.n = 0
+}
+
+// fastForwardTo advances the source to the given cumulative step count
+// (no-op if already there or past).
+func (c *countingSource) fastForwardTo(target int64) {
+	for c.n < target {
+		c.Int63()
+	}
 }
 
 // ID returns the job's exchange-wide identifier.
@@ -209,6 +248,14 @@ func (j *Job) closeRound() (RoundOutcome, error) {
 	// deterministic under concurrency.
 	sort.Slice(bids, func(a, b int) bool { return bids[a].NodeID < bids[b].NodeID })
 
+	var bidders []int
+	if j.ex.wal != nil {
+		bidders = make([]int, len(bids))
+		for i := range bids {
+			bidders[i] = bids[i].NodeID
+		}
+	}
+
 	if cap(j.scores) < len(bids) {
 		j.scores = make([]float64, len(bids))
 	}
@@ -234,6 +281,10 @@ func (j *Job) closeRound() (RoundOutcome, error) {
 		ro.Outcome = auction.Outcome{}
 		ro.Err = fmt.Errorf("exchange: job %s round %d: %w", j.id, round, err)
 	}
+	// Persist before publishing; the append is a channel hand-off to the log
+	// writer, never a disk wait. j.src.n is stable here: only RunScored draws
+	// from it, and closeMu is held.
+	j.ex.logRound(ro, bidders, j.src.n)
 
 	j.mu.Lock()
 	j.scoring = false
@@ -254,6 +305,7 @@ func (j *Job) closeRound() (RoundOutcome, error) {
 
 	if maxed {
 		j.cancel()
+		j.ex.logJobClosed(j.id)
 		j.ex.metrics.jobsClosed.Add(1)
 	}
 	if ro.Err == nil {
@@ -271,10 +323,15 @@ func (j *Job) broadcastLocked() {
 }
 
 // loop drives timer-mode jobs: one context deadline per bid window.
+// Deadlines are anchored to a fixed schedule (next = previous deadline +
+// window) rather than re-derived from "now" after each close, so scoring
+// latency does not stretch the effective period and windows never drift
+// under load.
 func (j *Job) loop() {
 	defer close(j.loopDone)
+	next := time.Now().Add(j.spec.BidWindow)
 	for {
-		windowCtx, cancel := context.WithDeadline(j.ctx, time.Now().Add(j.spec.BidWindow))
+		windowCtx, cancel := context.WithDeadline(j.ctx, next)
 		<-windowCtx.Done()
 		cancel()
 		if j.ctx.Err() != nil {
@@ -283,12 +340,34 @@ func (j *Job) loop() {
 		if _, err := j.closeRound(); errors.Is(err, ErrJobClosed) {
 			return
 		}
+		next = nextWindowDeadline(next, time.Now(), j.spec.BidWindow)
 	}
+}
+
+// nextWindowDeadline returns the deadline one window after prev, skipping
+// to the first grid point strictly after now when a round close overran one
+// or more whole windows — the schedule stays on the original grid instead
+// of firing a burst of catch-up closes.
+func nextWindowDeadline(prev, now time.Time, window time.Duration) time.Time {
+	next := prev.Add(window)
+	if !next.After(now) {
+		behind := now.Sub(next)
+		next = next.Add(behind - behind%window + window)
+	}
+	return next
 }
 
 // Close finishes the job: pending and future bids are rejected, waiters are
 // woken, and (in timer mode) the window goroutine stops. Idempotent.
 func (j *Job) Close() {
+	j.close(true)
+}
+
+// close implements Close. record says whether a job-closed record belongs
+// in the outcome log: a deliberate finish (MaxRounds, caller Close, DELETE)
+// is logged so the job stays closed after recovery, while exchange shutdown
+// is not — stopping the process must not close every job forever.
+func (j *Job) close(record bool) {
 	j.mu.Lock()
 	if j.closed {
 		j.mu.Unlock()
@@ -298,6 +377,9 @@ func (j *Job) Close() {
 	j.broadcastLocked()
 	j.mu.Unlock()
 	j.cancel()
+	if record {
+		j.ex.logJobClosed(j.id)
+	}
 	j.ex.metrics.jobsClosed.Add(1)
 }
 
@@ -385,9 +467,28 @@ func (j *Job) WaitOutcome(ctx context.Context, round int) (RoundOutcome, error) 
 	}
 }
 
+// restoreRound reinstates one persisted round during log replay. Replay is
+// single-threaded and happens before the exchange is reachable, so no locks
+// are taken. A gap in the replayed numbering (a record lost to a torn tail
+// mid-history cannot happen, but defend anyway) resets the retained window
+// so outcomeLocked's contiguous indexing stays valid.
+func (j *Job) restoreRound(ro RoundOutcome) {
+	if want := j.baseRnd + len(j.outcomes) + 1; ro.Round != want {
+		j.outcomes = j.outcomes[:0]
+		j.baseRnd = ro.Round - 1
+	}
+	j.outcomes = append(j.outcomes, ro)
+	j.round = ro.Round + 1
+	if excess := len(j.outcomes) - j.spec.KeepOutcomes; excess > 0 {
+		j.outcomes = append(j.outcomes[:0], j.outcomes[excess:]...)
+		j.baseRnd += excess
+	}
+}
+
 // newJob wires a job into the exchange; callers hold no locks.
 func newJob(ex *Exchange, id string, spec JobSpec) (*Job, error) {
-	auct, err := auction.NewAuctioneer(spec.Auction, rand.New(rand.NewSource(spec.Seed)))
+	src := newCountingSource(spec.Seed)
+	auct, err := auction.NewAuctioneer(spec.Auction, rand.New(src))
 	if err != nil {
 		return nil, err
 	}
@@ -403,5 +504,6 @@ func newJob(ex *Exchange, id string, spec JobSpec) (*Job, error) {
 		round:  1,
 		doneCh: make(chan struct{}),
 		auct:   auct,
+		src:    src,
 	}, nil
 }

@@ -1,6 +1,7 @@
 package exchange
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -106,7 +107,15 @@ func (m *Metrics) latencyPercentiles() (p50, p99 float64) {
 	}
 	sort.Float64s(buf)
 	pick := func(q float64) float64 {
-		i := int(q * float64(n-1))
+		// Nearest-rank: ⌈q·n⌉−1. Flooring q·(n−1) instead under-reports
+		// badly at small n — with 2 samples the "p99" would be the minimum.
+		i := int(math.Ceil(q*float64(n))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= int(n) {
+			i = int(n) - 1
+		}
 		return buf[i] * 1e3
 	}
 	return pick(0.50), pick(0.99)

@@ -1,0 +1,58 @@
+package exchange
+
+import (
+	"testing"
+	"time"
+)
+
+// ms converts an observed latency to the milliseconds value the snapshot
+// reports, through the exact float operations latencyPercentiles performs.
+func ms(d time.Duration) float64 { return d.Seconds() * 1e3 }
+
+// TestLatencyPercentilesNearestRank is the regression test for the floored
+// percentile rank: with 2 samples {1ms, 100ms} the old int(q*(n-1)) formula
+// returned buf[int(0.99*1)] = buf[0] — reporting the *minimum* as p99. The
+// nearest-rank formula (⌈q·n⌉−1) must return the maximum.
+func TestLatencyPercentilesNearestRank(t *testing.T) {
+	m := newMetrics()
+	m.observeRound(1 * time.Millisecond)
+	m.observeRound(100 * time.Millisecond)
+	p50, p99 := m.latencyPercentiles()
+	if want := ms(100 * time.Millisecond); p99 != want {
+		t.Errorf("p99 over {1ms, 100ms} = %vms, want %vms (the max, not the min)", p99, want)
+	}
+	if want := ms(1 * time.Millisecond); p50 != want {
+		t.Errorf("p50 over {1ms, 100ms} = %vms, want %vms", p50, want)
+	}
+}
+
+func TestLatencyPercentilesSingleSample(t *testing.T) {
+	m := newMetrics()
+	m.observeRound(7 * time.Millisecond)
+	p50, p99 := m.latencyPercentiles()
+	if want := ms(7 * time.Millisecond); p50 != want || p99 != want {
+		t.Errorf("(p50, p99) over one 7ms sample = (%v, %v), want both %v", p50, p99, want)
+	}
+}
+
+func TestLatencyPercentilesLargeSample(t *testing.T) {
+	m := newMetrics()
+	for i := 1; i <= 100; i++ {
+		m.observeRound(time.Duration(i) * time.Millisecond)
+	}
+	p50, p99 := m.latencyPercentiles()
+	// Nearest rank over 1..100ms: p50 = 50th value, p99 = 99th value.
+	if want := ms(50 * time.Millisecond); p50 != want {
+		t.Errorf("p50 over 1..100ms = %vms, want %vms", p50, want)
+	}
+	if want := ms(99 * time.Millisecond); p99 != want {
+		t.Errorf("p99 over 1..100ms = %vms, want %vms", p99, want)
+	}
+}
+
+func TestLatencyPercentilesEmpty(t *testing.T) {
+	m := newMetrics()
+	if p50, p99 := m.latencyPercentiles(); p50 != 0 || p99 != 0 {
+		t.Errorf("empty ring percentiles = (%v, %v), want zeros", p50, p99)
+	}
+}

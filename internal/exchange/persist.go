@@ -1,0 +1,633 @@
+package exchange
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+
+	"fmore/internal/auction"
+	"fmore/internal/transport"
+)
+
+// walFileName is the write-ahead outcome log inside an exchange data dir.
+const walFileName = "exchange.wal"
+
+// maxWalRecord bounds one record's payload. It exists to keep a corrupted
+// length prefix from triggering an enormous allocation during replay; real
+// records (even a round with 10⁵ bidders) stay far below it.
+const maxWalRecord = 64 << 20
+
+// walBuffer is the appender channel depth. Appends never wait for disk;
+// they only block if this many records are already queued behind a slow
+// device, which bounds memory instead of growing an unbounded queue.
+const walBuffer = 1024
+
+// defaultSyncDelay is the group-commit window: after writing a batch the
+// writer keeps collecting records for up to this long before the fsync, so
+// a storm of round closes shares one disk flush instead of paying one
+// each. (Back-to-back fsyncs are not just slow — each blocking syscall
+// also steals the writer's scheduler slot, which on small machines stalls
+// the scoring goroutines too.) A crash can lose at most this window plus
+// one fsync of acknowledged-but-unflushed records, the standard contract
+// of an asynchronous WAL; Sync bypasses the wait entirely.
+const defaultSyncDelay = 2 * time.Millisecond
+
+// Record kinds of the write-ahead log.
+const (
+	recJobCreated = "job"     // a job was created (full spec)
+	recRound      = "round"   // a round completed (outcome verbatim)
+	recJobClosed  = "closed"  // a job finished (MaxRounds or explicit Close)
+	recJobRemoved = "removed" // a job was evicted with RemoveJob
+	recNode       = "node"    // a node registered (or its meta changed)
+	recNodeBan    = "ban"     // a node was blacklisted
+)
+
+// walRecord is the union payload of one log record; Kind selects which
+// field is populated.
+type walRecord struct {
+	Kind  string    `json:"k"`
+	Job   *walJob   `json:"job,omitempty"`
+	Round *walRound `json:"round,omitempty"`
+	Node  *walNode  `json:"node,omitempty"`
+	// ID names the job of a closed/removed record.
+	ID string `json:"id,omitempty"`
+}
+
+// walJob is a serialized JobSpec. The scoring rule travels as the wire-form
+// transport.RuleSpec, the same encoding the HTTP front end accepts.
+type walJob struct {
+	ID           string             `json:"id"`
+	Rule         transport.RuleSpec `json:"rule"`
+	K            int                `json:"k"`
+	Payment      int                `json:"payment"`
+	Psi          float64            `json:"psi"`
+	Seed         int64              `json:"seed"`
+	BidWindowNS  int64              `json:"bid_window_ns,omitempty"`
+	MaxRounds    int                `json:"max_rounds,omitempty"`
+	MinBids      int                `json:"min_bids"`
+	KeepOutcomes int                `json:"keep_outcomes"`
+}
+
+// walWinner is one selected bid of a persisted outcome.
+type walWinner struct {
+	NodeID     int       `json:"n"`
+	Qualities  []float64 `json:"q"`
+	BidPayment float64   `json:"bp"`
+	Score      float64   `json:"s"`
+	Payment    float64   `json:"p"`
+}
+
+// walRound is one completed round, stored verbatim so a replayed exchange
+// serves byte-identical outcome responses. Draws is the job's cumulative
+// rng-source step count after this round: replay fast-forwards the seeded
+// source by exactly that many steps, so post-recovery rounds draw the same
+// tiebreaks (and ψ-admissions) the uncrashed process would have drawn.
+type walRound struct {
+	Job     string `json:"job"`
+	Round   int    `json:"r"`
+	NumBids int    `json:"nb"`
+	// Bidders lists the round's node IDs (canonical ascending order); replay
+	// uses it to restore per-node accepted-bid counters.
+	Bidders   []int       `json:"bidders,omitempty"`
+	Draws     int64       `json:"draws"`
+	LatencyNS int64       `json:"lat"`
+	Err       string      `json:"err,omitempty"`
+	Winners   []walWinner `json:"w"`
+	Scores    []float64   `json:"sc"`
+	Profit    float64     `json:"profit"`
+}
+
+// walNode is a registry entry.
+type walNode struct {
+	ID   int    `json:"id"`
+	Meta string `json:"meta,omitempty"`
+}
+
+// persister owns the log file and its dedicated writer goroutine. Appends
+// are a channel send (never a disk wait); the writer drains whatever is
+// queued, writes it, and fsyncs once per batch, so a burst of round closes
+// costs one fsync, off every hot path.
+type persister struct {
+	f         *os.File
+	syncDelay time.Duration
+
+	mu     sync.Mutex // guards ch against send-after-close, and err
+	closed bool
+	err    error
+
+	ch   chan persistMsg
+	done chan struct{}
+}
+
+// persistMsg is either a framed record to append, a flush barrier, or both.
+type persistMsg struct {
+	rec   []byte
+	flush chan struct{}
+}
+
+func newPersister(f *os.File, syncDelay time.Duration) *persister {
+	if syncDelay <= 0 {
+		syncDelay = defaultSyncDelay
+	}
+	p := &persister{
+		f:         f,
+		syncDelay: syncDelay,
+		ch:        make(chan persistMsg, walBuffer),
+		done:      make(chan struct{}),
+	}
+	go p.run()
+	return p
+}
+
+// append frames rec and queues it for the writer. Errors (encode or disk)
+// are sticky and surfaced through Err/Sync; the exchange keeps serving from
+// memory either way, mirroring how a database treats a failing WAL device.
+func (p *persister) append(rec walRecord) {
+	buf, err := frameRecord(rec)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err != nil {
+		if p.err == nil {
+			p.err = err
+		}
+		return
+	}
+	if p.closed {
+		return
+	}
+	// The send happens under mu so close() can never close the channel
+	// between the closed-check and the send.
+	p.ch <- persistMsg{rec: buf}
+}
+
+// sync blocks until every record appended so far is on disk and returns the
+// first sticky error.
+func (p *persister) sync() error {
+	flushed := make(chan struct{})
+	p.mu.Lock()
+	if p.closed {
+		err := p.err
+		p.mu.Unlock()
+		return err
+	}
+	p.ch <- persistMsg{flush: flushed}
+	p.mu.Unlock()
+	<-flushed
+	return p.Err()
+}
+
+// Err returns the first append, write or fsync error, if any.
+func (p *persister) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+func (p *persister) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+// close drains the queue, fsyncs and closes the file. Idempotent.
+func (p *persister) close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.done
+		return p.Err()
+	}
+	p.closed = true
+	close(p.ch)
+	p.mu.Unlock()
+	<-p.done
+	if err := p.f.Close(); err != nil {
+		p.fail(err)
+	}
+	return p.Err()
+}
+
+// run is the writer goroutine: batch every queued record, write, group
+// commit (coalesce up to syncDelay of further records), fsync once, release
+// flush waiters. It never exits before the channel closes — on a disk error
+// it keeps draining (and discarding) so appenders can never wedge on a full
+// channel.
+func (p *persister) run() {
+	defer close(p.done)
+	var flushes []chan struct{}
+	dirty := false
+	write := func(msg persistMsg) {
+		if len(msg.rec) > 0 && p.Err() == nil {
+			if _, err := p.f.Write(msg.rec); err != nil {
+				p.fail(err)
+			} else {
+				dirty = true
+			}
+		}
+		if msg.flush != nil {
+			flushes = append(flushes, msg.flush)
+		}
+	}
+	commit := func() {
+		if dirty {
+			if err := p.f.Sync(); err != nil {
+				p.fail(err)
+			}
+			dirty = false
+		}
+		for _, c := range flushes {
+			close(c)
+		}
+		flushes = flushes[:0]
+	}
+	for msg := range p.ch {
+		write(msg)
+		// Group commit: hold the fsync for up to syncDelay while more
+		// records trickle in — unless a Sync caller is already waiting.
+		if len(flushes) == 0 {
+			timer := time.NewTimer(p.syncDelay)
+		coalesce:
+			for {
+				select {
+				case m, ok := <-p.ch:
+					if !ok {
+						break coalesce // outer range exits next; commit below
+					}
+					write(m)
+					if len(flushes) > 0 {
+						break coalesce // a Sync arrived: flush now
+					}
+				case <-timer.C:
+					break coalesce
+				}
+			}
+			timer.Stop()
+		}
+		commit()
+	}
+	commit()
+}
+
+// frameRecord encodes rec as a length-prefixed, CRC-guarded frame:
+//
+//	uint32 LE payload length | uint32 LE CRC-32 (IEEE) of payload | payload JSON
+func frameRecord(rec walRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("exchange: encoding wal record: %w", err)
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[8:], payload)
+	return buf, nil
+}
+
+// scanWAL reads records until EOF or the first torn/corrupt frame and
+// returns them with the byte offset of the last valid frame end. Everything
+// past that offset is untrustworthy (a crash mid-append), so callers
+// truncate there.
+func scanWAL(f *os.File) (recs []walRecord, valid int64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	r := bufio.NewReader(f)
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return recs, valid, nil // EOF or torn header
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n == 0 || n > maxWalRecord {
+			return recs, valid, nil // corrupt length
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return recs, valid, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, valid, nil // corrupt payload
+		}
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, valid, nil // CRC passed but undecodable: treat as tail
+		}
+		recs = append(recs, rec)
+		valid += 8 + int64(n)
+	}
+}
+
+// Open starts an exchange backed by a write-ahead outcome log in dir
+// (created if absent). Every prior record is replayed first: jobs come back
+// with their specs, retained outcome history, contiguous round numbering
+// and reconstructed rng position; the registry and blacklist are restored;
+// a torn tail from a crash mid-append is truncated. Timer-mode jobs resume
+// their bid windows once replay completes.
+func Open(dir string, opts Options) (*Exchange, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("exchange: creating data dir: %w", err)
+	}
+	path := filepath.Join(dir, walFileName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("exchange: opening wal: %w", err)
+	}
+	// Exclusive advisory lock for the exchange's lifetime (released when
+	// the fd closes): two processes appending to one log would interleave
+	// frames and read as corruption — exactly the history loss the log
+	// exists to prevent. Fail fast instead.
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close() //nolint:errcheck // already failing
+		return nil, fmt.Errorf("exchange: wal %s is locked by another process: %w", path, err)
+	}
+	recs, valid, err := scanWAL(f)
+	if err == nil {
+		var size int64
+		if st, serr := f.Stat(); serr != nil {
+			err = serr
+		} else {
+			size = st.Size()
+		}
+		if err == nil && size > valid {
+			err = f.Truncate(valid)
+		}
+	}
+	if err == nil {
+		_, err = f.Seek(valid, io.SeekStart)
+	}
+	if err != nil {
+		f.Close() //nolint:errcheck // already failing
+		return nil, fmt.Errorf("exchange: preparing wal: %w", err)
+	}
+
+	ex := New(opts)
+	for i, rec := range recs {
+		if aerr := ex.applyRecord(rec); aerr != nil {
+			ex.Close()
+			f.Close() //nolint:errcheck // already failing
+			return nil, fmt.Errorf("exchange: replaying wal record %d: %w", i, aerr)
+		}
+	}
+	ex.finishReplay()
+
+	ex.wal = newPersister(f, opts.SyncInterval)
+	// Start the bid windows only now: a loop closing rounds mid-replay would
+	// interleave fresh draws with the reconstruction of old ones.
+	ex.mu.Lock()
+	for _, j := range ex.jobs {
+		if j.spec.BidWindow > 0 && !j.closed {
+			j.loopDone = make(chan struct{})
+			go j.loop()
+		}
+	}
+	ex.mu.Unlock()
+	return ex, nil
+}
+
+// applyRecord replays one log record into the (still private) exchange.
+// Replay is single-threaded, before any client can reach the exchange, so
+// it touches job state without locks.
+func (ex *Exchange) applyRecord(rec walRecord) error {
+	switch rec.Kind {
+	case recJobCreated:
+		if rec.Job == nil {
+			return errors.New("job record without payload")
+		}
+		spec, err := rec.Job.spec()
+		if err != nil {
+			return err
+		}
+		j, err := newJob(ex, spec.ID, spec)
+		if err != nil {
+			return err
+		}
+		if _, dup := ex.jobs[spec.ID]; dup {
+			return fmt.Errorf("job %q created twice", spec.ID)
+		}
+		ex.jobs[spec.ID] = j
+		ex.metrics.jobsCreated.Add(1)
+	case recRound:
+		if rec.Round == nil {
+			return errors.New("round record without payload")
+		}
+		j, ok := ex.jobs[rec.Round.Job]
+		if !ok {
+			return fmt.Errorf("round for unknown job %q", rec.Round.Job)
+		}
+		j.restoreRound(rec.Round.outcome(j.id))
+		j.src.fastForwardTo(rec.Round.Draws)
+		j.auct.Resume(rec.Round.Round)
+		for _, id := range rec.Round.Bidders {
+			info, _ := ex.reg.Register(id, "")
+			info.bids.Add(1)
+		}
+	case recJobClosed:
+		j, ok := ex.jobs[rec.ID]
+		if !ok {
+			return fmt.Errorf("close for unknown job %q", rec.ID)
+		}
+		if !j.closed {
+			j.closed = true
+			ex.metrics.jobsClosed.Add(1)
+		}
+	case recJobRemoved:
+		j, ok := ex.jobs[rec.ID]
+		if !ok {
+			return fmt.Errorf("removal of unknown job %q", rec.ID)
+		}
+		if !j.closed {
+			ex.metrics.jobsClosed.Add(1)
+		}
+		delete(ex.jobs, rec.ID)
+	case recNode:
+		if rec.Node == nil {
+			return errors.New("node record without payload")
+		}
+		ex.reg.Register(rec.Node.ID, rec.Node.Meta)
+	case recNodeBan:
+		if rec.Node == nil {
+			return errors.New("ban record without payload")
+		}
+		ex.reg.Register(rec.Node.ID, rec.Node.Meta)
+		ex.reg.Blacklist(rec.Node.ID)
+	default:
+		return fmt.Errorf("unknown record kind %q", rec.Kind)
+	}
+	return nil
+}
+
+// finishReplay settles derived state the log does not spell out: a job
+// whose last persisted round hit MaxRounds crashed between its round record
+// and its close record, so the close is reconstructed here.
+func (ex *Exchange) finishReplay() {
+	for _, j := range ex.jobs {
+		if !j.closed && j.spec.MaxRounds > 0 && j.round > j.spec.MaxRounds {
+			j.closed = true
+			ex.metrics.jobsClosed.Add(1)
+		}
+	}
+}
+
+// spec reconstructs the JobSpec (rule included) of a job record.
+func (w *walJob) spec() (JobSpec, error) {
+	rule, err := w.Rule.Build()
+	if err != nil {
+		return JobSpec{}, err
+	}
+	spec := JobSpec{
+		ID: w.ID,
+		Auction: auction.Config{
+			Rule:    rule,
+			K:       w.K,
+			Payment: auction.PaymentRule(w.Payment),
+			Psi:     w.Psi,
+		},
+		Seed:         w.Seed,
+		BidWindow:    time.Duration(w.BidWindowNS),
+		MaxRounds:    w.MaxRounds,
+		MinBids:      w.MinBids,
+		KeepOutcomes: w.KeepOutcomes,
+	}
+	spec.setDefaults()
+	return spec, nil
+}
+
+// outcome reconstructs the RoundOutcome of a round record. Failed rounds
+// keep a zero Outcome, exactly as closeRound published them.
+func (w *walRound) outcome(jobID string) RoundOutcome {
+	ro := RoundOutcome{
+		JobID:   jobID,
+		Round:   w.Round,
+		NumBids: w.NumBids,
+		Latency: time.Duration(w.LatencyNS),
+	}
+	if w.Err != "" {
+		ro.Err = errors.New(w.Err)
+		return ro
+	}
+	winners := make([]auction.Winner, len(w.Winners))
+	for i, win := range w.Winners {
+		winners[i] = auction.Winner{
+			Bid: auction.Bid{
+				NodeID:    win.NodeID,
+				Qualities: win.Qualities,
+				Payment:   win.BidPayment,
+			},
+			Score:   win.Score,
+			Payment: win.Payment,
+		}
+	}
+	if w.Winners == nil {
+		winners = nil // ψ-FMore's zero-eligible outcome has nil Winners
+	}
+	ro.Outcome = auction.Outcome{
+		Winners:          winners,
+		Scores:           w.Scores,
+		AggregatorProfit: w.Profit,
+	}
+	return ro
+}
+
+// --- record hooks -----------------------------------------------------------
+//
+// Every mutation the exchange must survive goes through one of these. They
+// no-op on an in-memory exchange (New); on a persistent one (Open) they
+// enqueue a record for the writer goroutine, so none of them waits on disk.
+
+func (ex *Exchange) logJobCreated(spec JobSpec) error {
+	if ex.wal == nil {
+		return nil
+	}
+	ruleSpec, err := transport.SpecForRule(spec.Auction.Rule)
+	if err != nil {
+		// An unserializable rule cannot be recovered; refuse the job up
+		// front rather than silently dropping it from the log.
+		return fmt.Errorf("exchange: job %q is not persistable: %w", spec.ID, err)
+	}
+	ex.wal.append(walRecord{Kind: recJobCreated, Job: &walJob{
+		ID:           spec.ID,
+		Rule:         ruleSpec,
+		K:            spec.Auction.K,
+		Payment:      int(spec.Auction.Payment),
+		Psi:          spec.Auction.Psi,
+		Seed:         spec.Seed,
+		BidWindowNS:  int64(spec.BidWindow),
+		MaxRounds:    spec.MaxRounds,
+		MinBids:      spec.MinBids,
+		KeepOutcomes: spec.KeepOutcomes,
+	}})
+	return nil
+}
+
+func (ex *Exchange) logRound(ro RoundOutcome, bidders []int, draws int64) {
+	if ex.wal == nil {
+		return
+	}
+	rec := &walRound{
+		Job:       ro.JobID,
+		Round:     ro.Round,
+		NumBids:   ro.NumBids,
+		Bidders:   bidders,
+		Draws:     draws,
+		LatencyNS: int64(ro.Latency),
+	}
+	if ro.Err != nil {
+		rec.Err = ro.Err.Error()
+	} else {
+		rec.Scores = ro.Outcome.Scores
+		rec.Profit = ro.Outcome.AggregatorProfit
+		if ro.Outcome.Winners != nil {
+			rec.Winners = make([]walWinner, len(ro.Outcome.Winners))
+			for i, win := range ro.Outcome.Winners {
+				rec.Winners[i] = walWinner{
+					NodeID:     win.Bid.NodeID,
+					Qualities:  win.Bid.Qualities,
+					BidPayment: win.Bid.Payment,
+					Score:      win.Score,
+					Payment:    win.Payment,
+				}
+			}
+		}
+	}
+	ex.wal.append(walRecord{Kind: recRound, Round: rec})
+}
+
+func (ex *Exchange) logJobClosed(id string) {
+	if ex.wal == nil {
+		return
+	}
+	ex.wal.append(walRecord{Kind: recJobClosed, ID: id})
+}
+
+func (ex *Exchange) logJobRemoved(id string) {
+	if ex.wal == nil {
+		return
+	}
+	ex.wal.append(walRecord{Kind: recJobRemoved, ID: id})
+}
+
+func (ex *Exchange) logNode(id int, meta string) {
+	if ex.wal == nil {
+		return
+	}
+	ex.wal.append(walRecord{Kind: recNode, Node: &walNode{ID: id, Meta: meta}})
+}
+
+func (ex *Exchange) logNodeBan(id int) {
+	if ex.wal == nil {
+		return
+	}
+	ex.wal.append(walRecord{Kind: recNodeBan, Node: &walNode{ID: id}})
+}

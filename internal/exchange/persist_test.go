@@ -1,0 +1,650 @@
+package exchange
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"fmore/internal/auction"
+)
+
+// cloneWALDir simulates a kill -9: the wal file is copied byte-for-byte
+// into a fresh data dir while the source exchange is still running, exactly
+// the on-disk state a crashed process would leave behind (after its last
+// fsync). The copy is then reopened as the "restarted" exchange.
+func cloneWALDir(t *testing.T, srcDir string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(srcDir, walFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, walFileName), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// nodeState is the registry view the recovery tests compare.
+type nodeState struct {
+	meta        string
+	bids        int64
+	blacklisted bool
+}
+
+func registrySnapshot(ex *Exchange, nodes int) []nodeState {
+	out := make([]nodeState, nodes)
+	for id := 0; id < nodes; id++ {
+		if info, ok := ex.Registry().Lookup(id); ok {
+			out[id] = nodeState{meta: info.Meta(), bids: info.Bids(), blacklisted: info.Blacklisted()}
+		}
+	}
+	return out
+}
+
+// TestCrashRecoveryIdenticalHistoryAndContinuation is the acceptance test
+// of the outcome log: kill an exchange after 3 rounds of an 8-job workload
+// (second-price and ψ-FMore jobs included, so the per-round rng draw count
+// varies), reopen the data dir, and require (a) identical retained history,
+// (b) identical registry and blacklist state, (c) contiguous round
+// numbering, and (d) bit-for-bit identical outcomes for the rounds run
+// after recovery — the reconstructed rng must sit exactly where the
+// uncrashed process's rng sits.
+func TestCrashRecoveryIdenticalHistoryAndContinuation(t *testing.T) {
+	const (
+		jobs      = 8
+		bidders   = 32
+		preRounds = 3 // rounds before the crash
+		postRound = 5 // rounds 4..5 run on both sides after the fork
+	)
+	dir := t.TempDir()
+	ex, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+
+	jobIDs := make([]string, jobs)
+	for j := 0; j < jobs; j++ {
+		spec := JobSpec{
+			ID:      fmt.Sprintf("fl-task-%d", j),
+			Auction: auction.Config{Rule: testRule(t, j), K: 2 + j%3},
+			Seed:    int64(1000 + j),
+		}
+		if j%2 == 1 {
+			spec.Auction.Payment = auction.SecondPrice
+		}
+		if j == 7 {
+			spec.Auction.Psi = 0.7 // variable admission draws per round
+		}
+		job, err := ex.CreateJob(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobIDs[j] = job.ID()
+	}
+	ex.RegisterNode(5, "edge-05")
+
+	runRound := func(target *Exchange, round, nBidders int) map[string]RoundOutcome {
+		t.Helper()
+		outs := make(map[string]RoundOutcome, jobs)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for j := 0; j < jobs; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				var bw sync.WaitGroup
+				for _, b := range testBids(j, round, nBidders) {
+					bw.Add(1)
+					go func(b auction.Bid) {
+						defer bw.Done()
+						if _, err := target.SubmitBid(jobIDs[j], b); err != nil {
+							t.Errorf("job %d round %d: submit: %v", j, round, err)
+						}
+					}(b)
+				}
+				bw.Wait()
+				ro, err := target.CloseRound(jobIDs[j])
+				if err != nil {
+					t.Errorf("job %d round %d: close: %v", j, round, err)
+					return
+				}
+				mu.Lock()
+				outs[jobIDs[j]] = ro
+				mu.Unlock()
+			}(j)
+		}
+		wg.Wait()
+		return outs
+	}
+
+	history := make([]map[string]RoundOutcome, 0, preRounds)
+	for round := 1; round <= preRounds; round++ {
+		history = append(history, runRound(ex, round, bidders))
+	}
+	if !ex.BlacklistNode(31) {
+		t.Fatal("blacklist of node 31 failed")
+	}
+	if err := ex.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	crashReg := registrySnapshot(ex, bidders)
+	crashDir := cloneWALDir(t, dir) // <-- the kill -9 point
+
+	// The uncrashed exchange keeps going (node 31 is banned, so rounds 4..5
+	// run with 31 bidders).
+	reference := make([]map[string]RoundOutcome, 0, postRound-preRounds)
+	for round := preRounds + 1; round <= postRound; round++ {
+		reference = append(reference, runRound(ex, round, bidders-1))
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	ex2, err := Open(crashDir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer ex2.Close()
+
+	// (a) identical retained history.
+	if got, want := ex2.JobIDs(), ex.JobIDs(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("job list after reopen = %v, want %v", got, want)
+	}
+	for round := 1; round <= preRounds; round++ {
+		for _, id := range jobIDs {
+			job, ok := ex2.Job(id)
+			if !ok {
+				t.Fatalf("job %s missing after reopen", id)
+			}
+			got, err := job.Outcome(round)
+			if err != nil {
+				t.Fatalf("job %s round %d after reopen: %v", id, round, err)
+			}
+			if want := history[round-1][id]; !reflect.DeepEqual(got, want) {
+				t.Errorf("job %s round %d: replayed outcome diverges from live outcome", id, round)
+			}
+		}
+	}
+
+	// (b) identical registry and blacklist state as of the crash.
+	if got := registrySnapshot(ex2, bidders); !reflect.DeepEqual(got, crashReg) {
+		t.Errorf("registry after reopen = %+v,\nwant %+v", got, crashReg)
+	}
+	if _, err := ex2.SubmitBid(jobIDs[0], auction.Bid{NodeID: 31, Qualities: []float64{0.5, 0.5}, Payment: 0.1}); !errors.Is(err, ErrBlacklisted) {
+		t.Errorf("bid from banned node after reopen: err = %v, want ErrBlacklisted", err)
+	}
+
+	// (c) contiguous round numbering.
+	for _, id := range jobIDs {
+		job, _ := ex2.Job(id)
+		if r := job.Round(); r != preRounds+1 {
+			t.Errorf("job %s collecting round = %d after reopen, want %d", id, r, preRounds+1)
+		}
+	}
+
+	// (d) post-recovery rounds match the uncrashed process bit-for-bit.
+	for round := preRounds + 1; round <= postRound; round++ {
+		outs := runRound(ex2, round, bidders-1)
+		for _, id := range jobIDs {
+			got, want := outs[id], reference[round-preRounds-1][id]
+			if got.Round != want.Round || got.NumBids != want.NumBids {
+				t.Errorf("job %s round %d: labeled (%d, %d bids), want (%d, %d)",
+					id, round, got.Round, got.NumBids, want.Round, want.NumBids)
+			}
+			if !reflect.DeepEqual(got.Outcome, want.Outcome) {
+				t.Errorf("job %s round %d: post-recovery outcome diverges from uncrashed run", id, round)
+			}
+		}
+	}
+}
+
+// TestRecoveryTruncatesTornTail covers the three corruption shapes a crash
+// mid-append can leave: a torn header, a frame whose payload is cut short,
+// and a bit-flipped payload failing its CRC. In every case the log must
+// reopen with all complete records intact and the file physically truncated
+// back to the last valid frame.
+func TestRecoveryTruncatesTornTail(t *testing.T) {
+	buildLog := func(t *testing.T) (dir string, cleanSize int64) {
+		t.Helper()
+		dir = t.TempDir()
+		ex, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		job, err := ex.CreateJob(JobSpec{ID: "tail", Auction: auction.Config{Rule: testRule(t, 0), K: 2}, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 1; round <= 2; round++ {
+			for _, b := range testBids(0, round, 8) {
+				if _, err := ex.SubmitBid(job.ID(), b); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := ex.CloseRound(job.ID()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ex.Close()
+		st, err := os.Stat(filepath.Join(dir, walFileName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dir, st.Size()
+	}
+
+	corruptions := map[string]func(t *testing.T, path string, size int64){
+		"torn header": func(t *testing.T, path string, _ int64) {
+			appendBytes(t, path, []byte{0x20, 0, 0}) // 3 of 8 header bytes
+		},
+		"torn payload": func(t *testing.T, path string, _ int64) {
+			appendBytes(t, path, []byte{0x40, 0, 0, 0, 1, 2, 3, 4, 'p', 'a', 'r', 't'}) // promises 64 bytes, has 4
+		},
+		"crc mismatch": func(t *testing.T, path string, _ int64) {
+			appendBytes(t, path, []byte{4, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, '{', '}', '{', '}'})
+		},
+		"cut mid-record": func(t *testing.T, path string, size int64) {
+			if err := os.Truncate(path, size-5); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir, cleanSize := buildLog(t)
+			path := filepath.Join(dir, walFileName)
+			corrupt(t, path, cleanSize)
+
+			ex, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("reopen over torn tail: %v", err)
+			}
+			defer ex.Close()
+			job, ok := ex.Job("tail")
+			if !ok {
+				t.Fatal("job lost with the torn tail")
+			}
+			wantRounds := 2
+			if name == "cut mid-record" {
+				wantRounds = 1 // the cut destroyed round 2's record
+			}
+			if _, err := job.Outcome(wantRounds); err != nil {
+				t.Errorf("round %d: %v, want retained", wantRounds, err)
+			}
+			if r := job.Round(); r != wantRounds+1 {
+				t.Errorf("collecting round = %d, want %d", r, wantRounds+1)
+			}
+			st, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Size() > cleanSize {
+				t.Errorf("torn tail not truncated: %d bytes, want <= %d", st.Size(), cleanSize)
+			}
+		})
+	}
+}
+
+func appendBytes(t *testing.T, path string, b []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHTTPOutcomesByteIdenticalAfterRestart drives the service through its
+// JSON front end, restarts it from a crash copy, and requires the retained
+// outcome responses to be byte-identical — the externally visible form of
+// the recovery guarantee.
+func TestHTTPOutcomesByteIdenticalAfterRestart(t *testing.T) {
+	const rounds = 3
+	dir := t.TempDir()
+	ex, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	srv := httptest.NewServer(NewHandler(ex))
+	defer srv.Close()
+
+	resp, body := postJSON(t, srv.URL+"/jobs", map[string]any{
+		"id":            "wire",
+		"rule":          map[string]any{"kind": "additive", "alpha": []float64{0.55, 0.45}},
+		"k":             3,
+		"seed":          41,
+		"payment":       "second-price",
+		"keep_outcomes": 16,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %v", resp.StatusCode, body)
+	}
+	for round := 1; round <= rounds; round++ {
+		for _, b := range testBids(3, round, 12) {
+			if resp, body := postJSON(t, srv.URL+"/jobs/wire/bids", map[string]any{
+				"node_id": b.NodeID, "qualities": b.Qualities, "payment": b.Payment,
+			}); resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("round %d bid: %d %v", round, resp.StatusCode, body)
+			}
+		}
+		if resp, body := postJSON(t, srv.URL+"/jobs/wire/close", nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d close: %d %v", round, resp.StatusCode, body)
+		}
+	}
+
+	rawOutcome := func(base string, round int) []byte {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("%s/jobs/wire/outcome?round=%d", base, round))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close() //nolint:errcheck // test teardown
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d: status %d", round, resp.StatusCode)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	before := make([][]byte, rounds)
+	for round := 1; round <= rounds; round++ {
+		before[round-1] = rawOutcome(srv.URL, round)
+	}
+
+	if err := ex.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	ex2, err := Open(cloneWALDir(t, dir), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex2.Close()
+	srv2 := httptest.NewServer(NewHandler(ex2))
+	defer srv2.Close()
+
+	for round := 1; round <= rounds; round++ {
+		if got := rawOutcome(srv2.URL, round); string(got) != string(before[round-1]) {
+			t.Errorf("round %d response diverged after restart:\n got: %s\nwant: %s", round, got, before[round-1])
+		}
+	}
+	// The job view (spec fields included) survives too.
+	_, view := getJSON(t, srv2.URL+"/jobs/wire")
+	if view["keep_outcomes"].(float64) != 16 || view["round"].(float64) != rounds+1 {
+		t.Errorf("job view after restart: %v", view)
+	}
+}
+
+// TestRecoveryRespectsKeepOutcomes: replay must rebuild the bounded history
+// window, not the whole log — old rounds stay evicted and numbering
+// continues past them.
+func TestRecoveryRespectsKeepOutcomes(t *testing.T) {
+	dir := t.TempDir()
+	ex, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := ex.CreateJob(JobSpec{
+		ID:           "bounded",
+		Auction:      auction.Config{Rule: testRule(t, 2), K: 1},
+		KeepOutcomes: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 1; round <= 5; round++ {
+		for _, b := range testBids(2, round, 4) {
+			if _, err := ex.SubmitBid(job.ID(), b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := ex.CloseRound(job.ID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ex.Close()
+
+	ex2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex2.Close()
+	job2, ok := ex2.Job("bounded")
+	if !ok {
+		t.Fatal("job missing after reopen")
+	}
+	if _, err := job2.Outcome(3); !errors.Is(err, ErrOutcomeEvicted) {
+		t.Errorf("round 3 after reopen: err = %v, want ErrOutcomeEvicted", err)
+	}
+	for round := 4; round <= 5; round++ {
+		if ro, err := job2.Outcome(round); err != nil || ro.Round != round {
+			t.Errorf("round %d after reopen: (%v, %v), want retained", round, ro.Round, err)
+		}
+	}
+	if r := job2.Round(); r != 6 {
+		t.Errorf("collecting round after reopen = %d, want 6", r)
+	}
+}
+
+// TestRecoveryRestoresClosedAndRemovedJobs: a MaxRounds-finished job stays
+// closed (history served, bids refused) and a removed job stays gone.
+func TestRecoveryRestoresClosedAndRemovedJobs(t *testing.T) {
+	dir := t.TempDir()
+	ex, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	finished, err := ex.CreateJob(JobSpec{
+		ID:        "finished",
+		Auction:   auction.Config{Rule: testRule(t, 1), K: 1},
+		MaxRounds: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.CreateJob(JobSpec{ID: "doomed", Auction: auction.Config{Rule: testRule(t, 1), K: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range testBids(1, 1, 4) {
+		if _, err := ex.SubmitBid(finished.ID(), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ex.CloseRound(finished.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.RemoveJob("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	ex.Close()
+
+	ex2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex2.Close()
+	if _, ok := ex2.Job("doomed"); ok {
+		t.Error("removed job resurrected by replay")
+	}
+	job, ok := ex2.Job("finished")
+	if !ok {
+		t.Fatal("finished job missing after reopen")
+	}
+	if got := job.State(); got != "closed" {
+		t.Errorf("finished job state after reopen = %q, want closed", got)
+	}
+	if _, err := job.Outcome(1); err != nil {
+		t.Errorf("finished job history after reopen: %v", err)
+	}
+	if _, err := ex2.SubmitBid("finished", auction.Bid{NodeID: 1, Qualities: []float64{0.5, 0.5}, Payment: 0.1}); !errors.Is(err, ErrJobClosed) {
+		t.Errorf("bid on finished job after reopen: err = %v, want ErrJobClosed", err)
+	}
+}
+
+// TestRecoveryResumesTimerJobs: a timer-mode job's bid window goroutine
+// restarts after reopen and keeps the round numbering going.
+func TestRecoveryResumesTimerJobs(t *testing.T) {
+	dir := t.TempDir()
+	ex, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := ex.CreateJob(JobSpec{
+		ID:        "ticking",
+		Auction:   auction.Config{Rule: testRule(t, 0), K: 2},
+		Seed:      3,
+		BidWindow: 15 * time.Millisecond,
+		MinBids:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range testBids(0, 1, 4) {
+		if _, err := ex.SubmitBid(job.ID(), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := job.WaitOutcome(ctx, 1); err != nil {
+		t.Fatalf("round 1 never closed: %v", err)
+	}
+	ex.Close()
+
+	ex2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex2.Close()
+	job2, ok := ex2.Job("ticking")
+	if !ok {
+		t.Fatal("timer job missing after reopen")
+	}
+	for _, b := range testBids(0, 2, 4) {
+		if _, err := ex2.SubmitBid(job2.ID(), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := job2.WaitOutcome(ctx, 2); err != nil {
+		t.Fatalf("window did not resume after reopen: %v", err)
+	}
+}
+
+// TestRecoveryAfterRemoveAndRecreateSameID: the log must replay a removed
+// job's lifecycle and its successor's in order — created → rounds →
+// removed → created → rounds — leaving only the successor, with its own
+// spec and history.
+func TestRecoveryAfterRemoveAndRecreateSameID(t *testing.T) {
+	dir := t.TempDir()
+	ex, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOne := func(jobIdx, round int) {
+		t.Helper()
+		for _, b := range testBids(jobIdx, round, 4) {
+			if _, err := ex.SubmitBid("reused", b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := ex.CloseRound("reused"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ex.CreateJob(JobSpec{ID: "reused", Auction: auction.Config{Rule: testRule(t, 0), K: 1}, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	runOne(0, 1)
+	if err := ex.RemoveJob("reused"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.CreateJob(JobSpec{ID: "reused", Auction: auction.Config{Rule: testRule(t, 5), K: 2}, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	runOne(5, 1)
+	runOne(5, 2)
+	ex.Close()
+
+	ex2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex2.Close()
+	job, ok := ex2.Job("reused")
+	if !ok {
+		t.Fatal("recreated job missing after reopen")
+	}
+	if spec := job.Spec(); spec.Auction.K != 2 || spec.Seed != 2 {
+		t.Errorf("replayed spec (K=%d, seed=%d), want the successor's (K=2, seed=2)", spec.Auction.K, spec.Seed)
+	}
+	if r := job.Round(); r != 3 {
+		t.Errorf("collecting round = %d, want 3 (the successor's history, not the predecessor's)", r)
+	}
+	if ro, err := job.Outcome(2); err != nil || len(ro.Outcome.Winners) != 2 {
+		t.Errorf("successor round 2: (%d winners, %v), want 2 winners", len(ro.Outcome.Winners), err)
+	}
+}
+
+// TestOpenRefusesSecondProcess: the wal carries an exclusive advisory lock;
+// a second Open on a live data dir must fail fast instead of interleaving
+// appends with the first.
+func TestOpenRefusesSecondProcess(t *testing.T) {
+	dir := t.TempDir()
+	ex, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	if ex2, err := Open(dir, Options{}); err == nil {
+		ex2.Close()
+		t.Fatal("second Open on a live data dir succeeded; want a lock error")
+	}
+	// After the first exchange closes, the dir opens again.
+	ex.Close()
+	ex3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	ex3.Close()
+}
+
+// TestOpenFreshDirIsEmptyExchange: Open on a new directory behaves exactly
+// like New, plus a durable log.
+func TestOpenFreshDirIsEmptyExchange(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "data")
+	ex, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	if ids := ex.JobIDs(); len(ids) != 0 {
+		t.Errorf("fresh exchange hosts %v", ids)
+	}
+	if err := ex.Sync(); err != nil {
+		t.Errorf("sync on fresh exchange: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, walFileName)); err != nil {
+		t.Errorf("wal file not created: %v", err)
+	}
+}
