@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -276,6 +277,107 @@ func BenchmarkExchange_RunAuction_8Jobs_Durable(b *testing.B) {
 func BenchmarkExchange_RunAuction_64Jobs_Durable(b *testing.B) {
 	benchmarkExchangeRunAuction(b, 64, true)
 }
+
+// ---------------------------------------------------------------------------
+// Winner-determination core: partial top-K selection vs the full sort.
+// ---------------------------------------------------------------------------
+
+// selectBenchSlate builds the N-bidder slate shared by the selection
+// benchmarks.
+func selectBenchSlate(b *testing.B, n int) (auction.Additive, []auction.Bid) {
+	b.Helper()
+	rule, err := auction.NewAdditive(0.6, 0.4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	bids := make([]auction.Bid, n)
+	for i := range bids {
+		bids[i] = auction.Bid{
+			NodeID:    i,
+			Qualities: []float64{rng.Float64(), rng.Float64()},
+			Payment:   0.05 + 0.25*rng.Float64(),
+		}
+	}
+	return rule, bids
+}
+
+// benchmarkSelect measures one winner determination on a pooled
+// auction.Selector — the exchange's per-job hot path. Steady state must be
+// allocation-free (run with -benchmem).
+func benchmarkSelect(b *testing.B, n, k int) {
+	rule, bids := selectBenchSlate(b, n)
+	req := auction.SelectionRequest{Rule: rule, Bids: bids, K: k, Payment: auction.SecondPrice}
+	var sel auction.Selector
+	rng := rand.New(rand.NewSource(1))
+	if _, err := sel.Select(req, rng); err != nil { // warm the pooled buffers
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sel.Select(req, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelect_N1024K8(b *testing.B)  { benchmarkSelect(b, 1024, 8) }
+func BenchmarkSelect_N4096K16(b *testing.B) { benchmarkSelect(b, 4096, 16) }
+
+// benchmarkSelectFullSort is the pre-refactor baseline kept for comparison:
+// score everything, sort.SliceStable the whole slate, take the top K, with
+// fresh allocations per call — what DetermineWinners did before the partial
+// top-K core. The ≥2× acceptance bar of the refactor is measured against
+// this.
+func benchmarkSelectFullSort(b *testing.B, n, k int) {
+	rule, bids := selectBenchSlate(b, n)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		type scored struct {
+			bid   auction.Bid
+			score float64
+			pos   int
+		}
+		ranked := make([]scored, 0, len(bids))
+		scores := make([]float64, len(bids))
+		tiebreak := make([]float64, len(bids))
+		for j, bd := range bids {
+			s, err := auction.Score(rule, bd.Qualities, bd.Payment)
+			if err != nil {
+				b.Fatal(err)
+			}
+			scores[j] = s
+			tiebreak[j] = rng.Float64()
+			ranked = append(ranked, scored{bid: bd, score: s, pos: j})
+		}
+		sort.SliceStable(ranked, func(a, c int) bool {
+			if ranked[a].score != ranked[c].score {
+				return ranked[a].score > ranked[c].score
+			}
+			return tiebreak[ranked[a].pos] > tiebreak[ranked[c].pos]
+		})
+		limit := k
+		if limit > len(ranked) {
+			limit = len(ranked)
+		}
+		winners := make([]auction.Winner, 0, limit)
+		for _, sb := range ranked[:limit] {
+			if sb.score < 0 {
+				break
+			}
+			winners = append(winners, auction.Winner{Bid: sb.bid, Score: sb.score, Payment: sb.bid.Payment})
+		}
+		if len(winners) != k {
+			b.Fatalf("want %d winners, got %d", k, len(winners))
+		}
+	}
+}
+
+func BenchmarkSelect_FullSortBaseline_N1024K8(b *testing.B)  { benchmarkSelectFullSort(b, 1024, 8) }
+func BenchmarkSelect_FullSortBaseline_N4096K16(b *testing.B) { benchmarkSelectFullSort(b, 4096, 16) }
 
 // ---------------------------------------------------------------------------
 // Ablations over the design choices DESIGN.md §5 calls out.

@@ -23,6 +23,22 @@
 //	curl -s 'localhost:8780/jobs/demo/outcome?wait=1'
 //	curl -s localhost:8780/metrics
 //
+// A job created with an "equilibrium" block (bidder cost family, θ
+// distribution, population size, quality box) additionally serves the
+// solved Theorem 1 bid curve, so edge clients can interpolate their
+// equilibrium (quality, payment) bid instead of running the solver:
+//
+//	curl -s -X POST localhost:8780/jobs -d '{
+//	  "id": "eq-demo", "k": 5, "seed": 7,
+//	  "rule": {"kind": "cobb-douglas", "alpha": [1, 1], "scale": 25},
+//	  "equilibrium": {
+//	    "cost": {"kind": "linear", "beta": [0.5, 0.5]},
+//	    "theta": {"kind": "uniform", "lo": 1, "hi": 2},
+//	    "n": 40, "q_lo": [0, 0], "q_hi": [1, 1]
+//	  }
+//	}'
+//	curl -s 'localhost:8780/jobs/eq-demo/strategy?samples=9'
+//
 // Kill the process and start it again with the same -data-dir:
 // GET /jobs/demo/outcome?round=1 returns the same bytes as before.
 package main

@@ -16,6 +16,7 @@ import (
 
 	"fmore/internal/auction"
 	"fmore/internal/exchange"
+	"fmore/internal/transport"
 )
 
 const (
@@ -60,9 +61,31 @@ func main() {
 		{ID: "cnn-cifar", Auction: auction.Config{Rule: leontief, K: 2}, Seed: 2},
 		{ID: "lstm-news", Auction: auction.Config{Rule: cobb, K: 4}, Seed: 3},
 	}
+	// The lstm-news job also carries the bidder-side game description, so
+	// the exchange can hand its edge clients the solved Theorem 1 bid curve
+	// (GET /jobs/{id}/strategy over HTTP) instead of each node running the
+	// equilibrium solver locally.
+	specs[2].Equilibrium = &transport.EquilibriumSpec{
+		Cost:  transport.CostSpec{Kind: "linear", Beta: []float64{0.5, 0.5}},
+		Theta: transport.DistSpec{Kind: "uniform", Lo: 1, Hi: 2},
+		N:     bidders,
+		QLo:   []float64{0, 0},
+		QHi:   []float64{1, 1},
+	}
 	for _, spec := range specs {
 		if _, err := ex.CreateJob(spec); err != nil {
 			log.Fatal(err)
+		}
+	}
+
+	if job, ok := ex.Job("lstm-news"); ok {
+		strat, err := job.Strategy()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("lstm-news equilibrium bid curve (θ → payment):")
+		for _, pt := range strat.SampleCurve(5) {
+			fmt.Printf("  θ=%.2f  q=(%.2f, %.2f)  p=%.3f\n", pt.Theta, pt.Qualities[0], pt.Qualities[1], pt.Payment)
 		}
 	}
 

@@ -45,11 +45,15 @@ func (c *Config) validate() error {
 	return nil
 }
 
-// Auctioneer runs FMore auction rounds for the aggregator. It is not safe
-// for concurrent use; give each goroutine its own instance.
+// Auctioneer runs FMore auction rounds for the aggregator. It owns a pooled
+// Selector, so a long-lived auctioneer (one per exchange job, one per
+// cluster server) runs winner determination with reusable scratch buffers
+// round after round. It is not safe for concurrent use; give each goroutine
+// its own instance.
 type Auctioneer struct {
 	cfg Config
 	rng *rand.Rand
+	sel Selector
 
 	round int
 }
@@ -75,26 +79,49 @@ func (a *Auctioneer) Ask() Ask {
 }
 
 // Run executes winner determination over the collected sealed bids and
-// advances the round counter. With Psi < 1 it runs ψ-FMore admission.
+// advances the round counter. With Psi < 1 it runs ψ-FMore admission. The
+// selection runs on the auctioneer's pooled Selector; the returned Outcome
+// owns all of its memory and may be retained across rounds.
 func (a *Auctioneer) Run(bids []Bid) (Outcome, error) {
-	a.round++
-	if a.cfg.Psi < 1 {
-		return DetermineWinnersPsi(a.cfg.Rule, bids, a.cfg.K, a.cfg.Psi, a.cfg.Payment, a.rng)
-	}
-	return DetermineWinners(a.cfg.Rule, bids, a.cfg.K, a.cfg.Payment, a.rng)
+	return a.run(bids, nil)
 }
 
 // RunScored is Run with precomputed scores: scores[i] must equal
 // Score(rule, bids[i].Qualities, bids[i].Payment). It exists for callers
 // that batch rule evaluation across many concurrent auctions (see
-// internal/exchange); the rng draw sequence matches Run exactly, so a
-// seeded Auctioneer yields identical outcomes on either entry point.
+// internal/exchange); the score slice is read, never retained, so the
+// caller may reuse its buffer. The rng draw sequence matches Run exactly,
+// so a seeded Auctioneer yields identical outcomes on either entry point.
 func (a *Auctioneer) RunScored(bids []Bid, scores []float64) (Outcome, error) {
-	a.round++
-	if a.cfg.Psi < 1 {
-		return DetermineWinnersPsiScored(a.cfg.Rule, bids, scores, a.cfg.K, a.cfg.Psi, a.cfg.Payment, a.rng)
+	if scores == nil {
+		a.round++
+		return Outcome{}, fmt.Errorf("auction: RunScored requires a score vector")
 	}
-	return DetermineWinnersScored(a.cfg.Rule, bids, scores, a.cfg.K, a.cfg.Payment, a.rng)
+	return a.run(bids, scores)
+}
+
+// run is the shared round body: one Select on the pooled buffers, then a
+// clone so the caller owns the result. Psi >= 1 maps to the plain top-K
+// path (the legacy dispatch), keeping the heap selection on the default
+// configuration's hot path.
+func (a *Auctioneer) run(bids []Bid, scores []float64) (Outcome, error) {
+	a.round++
+	psi := a.cfg.Psi
+	if psi >= 1 {
+		psi = 0
+	}
+	out, err := a.sel.Select(SelectionRequest{
+		Rule:    a.cfg.Rule,
+		Bids:    bids,
+		Scores:  scores,
+		K:       a.cfg.K,
+		Psi:     psi,
+		Payment: a.cfg.Payment,
+	}, a.rng)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return out.Clone(), nil
 }
 
 // Round returns the number of completed auction rounds.

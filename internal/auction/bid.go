@@ -73,6 +73,26 @@ type Outcome struct {
 	AggregatorProfit float64
 }
 
+// Clone returns an Outcome that owns all of its memory: winners (their bid
+// qualities included) are deep-copied and the score vector is freshly
+// allocated. Use it to retain the buffer-aliasing result of Selector.Select
+// beyond the selector's next call.
+func (o Outcome) Clone() Outcome {
+	c := o
+	if o.Winners != nil {
+		c.Winners = make([]Winner, len(o.Winners))
+		for i, w := range o.Winners {
+			w.Bid = w.Bid.Clone()
+			c.Winners[i] = w
+		}
+	}
+	if o.Scores != nil {
+		c.Scores = make([]float64, len(o.Scores))
+		copy(c.Scores, o.Scores)
+	}
+	return c
+}
+
 // WinnerIDs returns the node IDs of the winners in score order.
 func (o Outcome) WinnerIDs() []int {
 	ids := make([]int, len(o.Winners))

@@ -22,6 +22,42 @@
 //     order only with probability ψ, trading selection pressure for data
 //     diversity.
 //
+// # The selection pipeline
+//
+// All winner-determination variants run through one configurable core:
+// build a SelectionRequest (rule, bids, K, optional precomputed scores,
+// ψ or per-node ψ vector, budget, payment rule) and call Selector.Select.
+// The pipeline stages are
+//
+//	score → rank → select → pay
+//
+// The score stage validates each bid, evaluates S(qᵢ, pᵢ) (or accepts the
+// caller's precomputed vector, e.g. from a batched scoring pool) and draws
+// exactly one tiebreak key per bid in input order. The rank stage is a
+// bounded partial top-K selection: a size-K min-heap over (score, tiebreak,
+// position) that also tracks the (K+1)-th reference score second-price
+// payments need, for O(N log K) winner determination at K ≪ N. Variants
+// that can look past the K-th candidate (ψ-admission, budget knapsack) fall
+// back to a full O(N log N) in-place heapsort over the same pooled buffers.
+//
+// Buffer reuse rules: a Selector owns all scratch memory, so a long-lived
+// caller (one Selector per auction stream) runs selections with zero
+// steady-state allocations. The returned Outcome aliases the selector's
+// buffers and the request's bids and is valid only until the next Select
+// call; Outcome.Clone produces an owning copy. The package-level Select
+// and the Auctioneer's Run/RunScored return owning outcomes.
+//
+// # Legacy entry points
+//
+// DetermineWinners, DetermineWinnersScored, DetermineWinnersPsi,
+// DetermineWinnersPsiScored, DetermineWinnersBudget and
+// DetermineWinnersPsiVector predate the pipeline and are retained as thin
+// wrappers over Select. They are bit-for-bit compatible with the original
+// full-sort implementation — identical Outcomes, identical rng draw order —
+// which the exchange's write-ahead-log replay depends on and a seeded
+// equivalence property test enforces. They allocate per call; new code and
+// hot paths should prefer a pooled Selector (or an Auctioneer).
+//
 // The theoretical results of §IV are exposed as executable artifacts:
 // expected-profit curves (Theorems 2 and 3), social surplus / Pareto
 // efficiency (Theorem 4), incentive compatibility (Theorem 5), ψ-neutrality

@@ -145,6 +145,15 @@ func (c *EquilibriumConfig) validate() error {
 	return nil
 }
 
+// Validate applies the grid-size defaults and checks the configuration
+// without solving it. It exists for services that accept a game description
+// from clients and want to fail fast (see the exchange's strategy endpoint);
+// SolveEquilibrium performs the same checks itself.
+func (c *EquilibriumConfig) Validate() error {
+	c.setDefaults()
+	return c.validate()
+}
+
 // Strategy is the precomputed Nash equilibrium strategy tne(θ) =
 // (qˢ(θ), pˢ(θ)) of Theorem 1 for one auction game (fixed rule, cost family,
 // F, N and K). All evaluation methods interpolate over the solved θ grid.
@@ -426,6 +435,39 @@ func (s *Strategy) Config() EquilibriumConfig { return s.cfg }
 
 // ThetaSupport returns the support of the solved θ distribution.
 func (s *Strategy) ThetaSupport() (lo, hi float64) { return s.cfg.Theta.Support() }
+
+// StrategyPoint is one sampled point of the equilibrium bid curve tne(θ).
+// The JSON tags serve the exchange's strategy endpoint, which ships the
+// curve to edge clients so they can interpolate their bid without running
+// the solver.
+type StrategyPoint struct {
+	Theta     float64   `json:"theta"`
+	Qualities []float64 `json:"qualities"`
+	Payment   float64   `json:"payment"`
+	Score     float64   `json:"score"`
+}
+
+// SampleCurve returns n evenly spaced samples of the equilibrium strategy
+// over the θ support, endpoints included. n below 2 is raised to 2. Linear
+// interpolation between adjacent samples reproduces Bid to the sampling
+// resolution, which is how remote clients are expected to evaluate it.
+func (s *Strategy) SampleCurve(n int) []StrategyPoint {
+	if n < 2 {
+		n = 2
+	}
+	lo, hi := s.ThetaSupport()
+	pts := make([]StrategyPoint, n)
+	for i := range pts {
+		theta := lo + (hi-lo)*float64(i)/float64(n-1)
+		pts[i] = StrategyPoint{
+			Theta:     theta,
+			Qualities: s.Quality(theta),
+			Payment:   s.Payment(theta),
+			Score:     s.ScoreAt(theta),
+		}
+	}
+	return pts
+}
 
 // locate finds the grid segment containing theta and the interpolation
 // fraction within it, clamping to the support.

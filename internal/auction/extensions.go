@@ -16,7 +16,9 @@ import (
 //
 // DetermineWinnersBudget adds a per-round payment budget to winner
 // determination; DetermineWinnersPsiVector generalizes ψ-FMore to per-node
-// admission probabilities.
+// admission probabilities. Both are wrappers over the Select pipeline (see
+// select.go) with the same outcomes and rng draw order as the original
+// implementations.
 
 // DetermineWinnersBudget runs FMore winner determination under an
 // aggregator budget: bids are admitted in descending score order while the
@@ -30,36 +32,7 @@ func DetermineWinnersBudget(rule ScoringRule, bids []Bid, k int, budget float64,
 	if budget <= 0 || math.IsNaN(budget) {
 		return Outcome{}, fmt.Errorf("auction: budget must be positive, got %v", budget)
 	}
-	ranked, scores, err := rankBids(rule, bids, rng)
-	if err != nil {
-		return Outcome{}, err
-	}
-	remaining := budget
-	selected := make([]scoredBid, 0, k)
-	for _, sb := range ranked {
-		if len(selected) >= k {
-			break
-		}
-		if sb.score < 0 {
-			break // sorted: everything after violates aggregator IR too
-		}
-		if sb.bid.Payment > remaining {
-			continue // skip, cheaper bids may still fit
-		}
-		selected = append(selected, sb)
-		remaining -= sb.bid.Payment
-	}
-	out, err := buildOutcome(rule, ranked, selected, scores, payment)
-	if err != nil {
-		return Outcome{}, err
-	}
-	// Under second-price payments the raise could exceed the budget; clamp
-	// the raises so the total stays within it, preserving per-winner
-	// payment >= asked payment.
-	if payment == SecondPrice {
-		clampToBudget(rule, &out, budget)
-	}
-	return out, nil
+	return Select(SelectionRequest{Rule: rule, Bids: bids, K: k, Budget: budget, Payment: payment}, rng)
 }
 
 // clampToBudget scales down second-price raises (the payment above the
@@ -102,43 +75,7 @@ func DetermineWinnersPsiVector(rule ScoringRule, bids []Bid, k int, psiOf func(n
 	if psiOf == nil {
 		return Outcome{}, fmt.Errorf("auction: psiOf is required")
 	}
-	ranked, scores, err := rankBids(rule, bids, rng)
-	if err != nil {
-		return Outcome{}, err
-	}
-	eligible := ranked[:0:0]
-	for _, sb := range ranked {
-		if sb.score < 0 {
-			continue
-		}
-		psi := psiOf(sb.bid.NodeID)
-		if psi <= 0 || psi > 1 || math.IsNaN(psi) {
-			return Outcome{}, fmt.Errorf("auction: psi for node %d = %v outside (0, 1]", sb.bid.NodeID, psi)
-		}
-		eligible = append(eligible, sb)
-	}
-	if len(eligible) == 0 {
-		return Outcome{Scores: scores}, nil
-	}
-	const maxPasses = 1 << 16
-	selected := make([]scoredBid, 0, k)
-	remaining := append([]scoredBid(nil), eligible...)
-	for pass := 0; len(selected) < k && len(remaining) > 0 && pass < maxPasses; pass++ {
-		next := remaining[:0]
-		for _, sb := range remaining {
-			if len(selected) >= k {
-				next = append(next, sb)
-				continue
-			}
-			if rng.Float64() < psiOf(sb.bid.NodeID) {
-				selected = append(selected, sb)
-			} else {
-				next = append(next, sb)
-			}
-		}
-		remaining = next
-	}
-	return buildOutcome(rule, ranked, selected, scores, payment)
+	return Select(SelectionRequest{Rule: rule, Bids: bids, K: k, PsiOf: psiOf, Payment: payment}, rng)
 }
 
 // RankPsi builds a per-node ψ assignment that decays with score rank:

@@ -13,9 +13,17 @@ import (
 // special case psi = 1.
 //
 // Like DetermineWinners, bids with negative scores are excluded by the
-// aggregator's individual-rationality constraint.
+// aggregator's individual-rationality constraint. It is a wrapper over the
+// Select pipeline with the same outcomes and rng draw order as the original
+// implementation; hot paths should hold a Selector instead.
 func DetermineWinnersPsi(rule ScoringRule, bids []Bid, k int, psi float64, payment PaymentRule, rng *rand.Rand) (Outcome, error) {
-	return determineWinnersPsi(rule, bids, nil, k, psi, payment, rng)
+	if k < 1 {
+		return Outcome{}, fmt.Errorf("auction: K must be >= 1, got %d", k)
+	}
+	if psi <= 0 || psi > 1 || math.IsNaN(psi) {
+		return Outcome{}, fmt.Errorf("auction: psi must be in (0, 1], got %v", psi)
+	}
+	return Select(SelectionRequest{Rule: rule, Bids: bids, K: k, Psi: psi, Payment: payment}, rng)
 }
 
 // DetermineWinnersPsiScored is DetermineWinnersPsi with precomputed scores,
@@ -26,54 +34,13 @@ func DetermineWinnersPsiScored(rule ScoringRule, bids []Bid, scores []float64, k
 	if scores == nil {
 		return Outcome{}, fmt.Errorf("auction: DetermineWinnersPsiScored requires a score vector")
 	}
-	return determineWinnersPsi(rule, bids, scores, k, psi, payment, rng)
-}
-
-func determineWinnersPsi(rule ScoringRule, bids []Bid, pre []float64, k int, psi float64, payment PaymentRule, rng *rand.Rand) (Outcome, error) {
 	if k < 1 {
 		return Outcome{}, fmt.Errorf("auction: K must be >= 1, got %d", k)
 	}
 	if psi <= 0 || psi > 1 || math.IsNaN(psi) {
 		return Outcome{}, fmt.Errorf("auction: psi must be in (0, 1], got %v", psi)
 	}
-	ranked, scores, err := rankWith(rule, bids, pre, rng)
-	if err != nil {
-		return Outcome{}, err
-	}
-	// Drop IR-violating bids up front.
-	eligible := ranked[:0:0]
-	for _, sb := range ranked {
-		if sb.score >= 0 {
-			eligible = append(eligible, sb)
-		}
-	}
-	if len(eligible) == 0 {
-		return Outcome{Scores: scores}, nil
-	}
-
-	// A pass may select nobody (every ψ-flip fails), so termination is only
-	// almost-sure; the pass cap keeps it deterministic against a pathological
-	// rng while being unreachable in practice (P(no progress per pass) =
-	// (1−ψ)^len(remaining)).
-	const maxPasses = 1 << 16
-	selected := make([]scoredBid, 0, k)
-	remaining := append([]scoredBid(nil), eligible...)
-	for pass := 0; len(selected) < k && len(remaining) > 0 && pass < maxPasses; pass++ {
-		next := remaining[:0]
-		for _, sb := range remaining {
-			if len(selected) >= k {
-				next = append(next, sb)
-				continue
-			}
-			if psi >= 1 || rng.Float64() < psi {
-				selected = append(selected, sb)
-			} else {
-				next = append(next, sb)
-			}
-		}
-		remaining = next
-	}
-	return buildOutcome(rule, ranked, selected, scores, payment)
+	return Select(SelectionRequest{Rule: rule, Bids: bids, Scores: scores, K: k, Psi: psi, Payment: payment}, rng)
 }
 
 // PaperSelectionProbability is the paper's closed form (§III-C) for the

@@ -1,0 +1,516 @@
+package auction
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file is the winner-determination core every public entry point of the
+// package routes through. One request type describes all supported variants
+// (plain FMore top-K, ψ-FMore, per-node ψ vectors, aggregator budgets, first-
+// and second-price payments, precomputed score vectors), and one pipeline
+// executes them:
+//
+//	score → rank → select → pay
+//
+// The score stage validates every bid, evaluates S(qᵢ, pᵢ) (or takes the
+// caller's precomputed vector) and draws exactly one coin-flip tiebreak per
+// bid in input order — the rng contract the exchange's write-ahead log
+// replay depends on. The rank stage is a bounded partial top-K selection: a
+// size-K min-heap over (score, tiebreak, position) that also tracks the best
+// excluded candidate, i.e. the (K+1)-th reference score the second-price
+// rule needs, in O(N log K) instead of the O(N log N) full sort. Variants
+// that walk past the K-th candidate (ψ-admission, budget knapsack) fall back
+// to a full in-place heapsort over the same pooled buffer. The select and
+// pay stages are shared by all variants.
+//
+// All scratch memory lives on the Selector, so a caller that keeps one
+// Selector per auction stream (one per exchange job, one per Auctioneer)
+// runs the whole pipeline with zero steady-state allocations.
+
+// SelectionRequest describes one winner-determination problem. The zero
+// value of every optional field means "off": Scores nil evaluates the rule
+// inline, Psi 0 (or 1) is deterministic admission, PsiOf nil uses the scalar
+// Psi, Budget 0 is unconstrained, Payment 0 is FirstPrice.
+type SelectionRequest struct {
+	// Rule is the broadcast scoring rule S(q, p) = Rule.Value(q) − p.
+	Rule ScoringRule
+	// Bids is the round's sealed bid slate.
+	Bids []Bid
+	// Scores optionally carries precomputed S(qᵢ, pᵢ), one entry per bid —
+	// typically from a batched scoring pool (see internal/exchange). The
+	// slice is read, never retained, and the outcome never aliases it.
+	Scores []float64
+	// K is the number of winners to select (required, >= 1).
+	K int
+	// Psi in (0, 1] runs ψ-FMore admission (§III-C); 0 means plain top-K.
+	// Psi = 1 is the deterministic admission walk of the legacy ψ entry
+	// point: it selects the same winners at the same payments as top-K but
+	// represents an empty winner set as nil (instead of empty), so the ψ
+	// wrappers stay bit-for-bit compatible. New callers wanting plain FMore
+	// should leave Psi at 0.
+	Psi float64
+	// PsiOf, when non-nil, runs the per-node ψ generalization: it must
+	// return an admission probability in (0, 1] for every bidding node.
+	PsiOf func(nodeID int) float64
+	// Budget, when positive, caps the cumulative asked payment of the
+	// winner set (greedy knapsack admission).
+	Budget float64
+	// Payment selects first- or second-price payments (default FirstPrice).
+	Payment PaymentRule
+}
+
+// Selector runs winner determinations over reusable scratch buffers. The
+// zero value is ready to use; buffers grow to the largest slate seen and are
+// then reused, so the steady state allocates nothing. A Selector is not safe
+// for concurrent use — give each goroutine (or each exchange job) its own.
+//
+// Buffer reuse rules: the Outcome returned by Select aliases the Selector's
+// internal buffers (Winners, Scores) and the request's bids (each
+// Winner.Bid.Qualities aliases the corresponding input bid). It is valid
+// only until the next Select call on the same Selector; call Outcome.Clone
+// to retain it. The package-level Select does this for callers that prefer
+// an owning result over buffer reuse.
+type Selector struct {
+	scores   []float64   // per-bid S(qᵢ, pᵢ), input order; aliased by Outcome.Scores
+	tiebreak []float64   // per-bid coin-flip key, input order
+	heap     []scoredBid // bounded top-K heap (deterministic top-K path)
+	ranked   []scoredBid // full descending ranking (ψ and budget paths)
+	walk     []scoredBid // ψ-admission working set
+	selected []scoredBid // winners in selection order (ψ and budget paths)
+	winners  []Winner    // outcome assembly buffer; aliased by Outcome.Winners
+}
+
+// scoredBid pairs a bid with its evaluated score and input position.
+type scoredBid struct {
+	bid   Bid
+	score float64
+	pos   int
+}
+
+// Select runs one winner determination on the Selector's pooled buffers.
+// The returned Outcome follows the buffer reuse rules documented on
+// Selector: it is valid until the next call and aliases the request's bids.
+//
+// The rng contract matches the legacy entry points bit for bit: exactly one
+// Float64 tiebreak draw per bid in input order, followed (for ψ variants)
+// by one admission draw per candidate visit in descending score order.
+func (s *Selector) Select(req SelectionRequest, rng *rand.Rand) (Outcome, error) {
+	if req.K < 1 {
+		return Outcome{}, fmt.Errorf("auction: K must be >= 1, got %d", req.K)
+	}
+	if req.Psi != 0 && (req.Psi <= 0 || req.Psi > 1 || math.IsNaN(req.Psi)) {
+		// NaN compares unequal to 0, so a NaN Psi lands here too.
+		return Outcome{}, fmt.Errorf("auction: psi must be in (0, 1], got %v", req.Psi)
+	}
+	if req.Budget != 0 && (req.Budget <= 0 || math.IsNaN(req.Budget)) {
+		return Outcome{}, fmt.Errorf("auction: budget must be positive, got %v", req.Budget)
+	}
+	if req.PsiOf != nil && req.Psi != 0 {
+		return Outcome{}, fmt.Errorf("auction: Psi and PsiOf are mutually exclusive")
+	}
+	if req.Budget > 0 && (req.PsiOf != nil || req.Psi > 0) {
+		return Outcome{}, fmt.Errorf("auction: Budget cannot be combined with ψ-admission")
+	}
+	if err := s.score(req, rng); err != nil {
+		return Outcome{}, err
+	}
+	switch {
+	case req.PsiOf != nil:
+		return s.selectPsiVector(req, rng)
+	case req.Psi > 0 && req.Psi < 1:
+		return s.selectPsi(req, rng)
+	case req.Psi == 1:
+		return s.selectPsiOne(req)
+	case req.Budget > 0:
+		return s.selectBudget(req)
+	default:
+		return s.selectTopK(req)
+	}
+}
+
+// score validates every bid, fills s.scores (from req.Scores or by
+// evaluating the rule) and draws one tiebreak key per bid. Ties are broken
+// by a fair coin flip as the paper specifies ("ties are resolved by the flip
+// of a coin"), implemented as a random key drawn per bid in input order —
+// the draw sequence is identical whether scores are precomputed or not, so
+// seeded runs agree bit-for-bit regardless of which path scored the bids.
+func (s *Selector) score(req SelectionRequest, rng *rand.Rand) error {
+	n := len(req.Bids)
+	if n == 0 {
+		return ErrNoBids
+	}
+	if req.Scores != nil && len(req.Scores) != n {
+		return fmt.Errorf("auction: %d precomputed scores for %d bids", len(req.Scores), n)
+	}
+	if cap(s.scores) < n {
+		s.scores = make([]float64, n)
+	}
+	s.scores = s.scores[:n]
+	if cap(s.tiebreak) < n {
+		s.tiebreak = make([]float64, n)
+	}
+	s.tiebreak = s.tiebreak[:n]
+	dims := req.Rule.Dims()
+	for i := range req.Bids {
+		b := &req.Bids[i]
+		if err := b.Validate(dims); err != nil {
+			return err
+		}
+		if req.Scores != nil {
+			s.scores[i] = req.Scores[i]
+		} else {
+			// Validate already proved the dimensions, so S(q, p) reduces to
+			// the rule evaluation minus the asked payment.
+			s.scores[i] = req.Rule.Value(b.Qualities) - b.Payment
+		}
+		s.tiebreak[i] = rng.Float64()
+	}
+	return nil
+}
+
+// better reports whether a outranks b: higher score, then higher coin-flip
+// key, then earlier input position. This is the strict total order the
+// legacy stable sort produced, so every ranking below reproduces it exactly.
+func (s *Selector) better(a, b scoredBid) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	if ta, tb := s.tiebreak[a.pos], s.tiebreak[b.pos]; ta != tb {
+		return ta > tb
+	}
+	return a.pos < b.pos
+}
+
+// siftUp and siftDown maintain a min-heap under better — the worst retained
+// candidate sits at the root, so the heap holds the best len(h) candidates
+// seen so far.
+func (s *Selector) siftUp(h []scoredBid, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.better(h[p], h[i]) {
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func (s *Selector) siftDown(h []scoredBid, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && s.better(h[l], h[r]) {
+			m = r
+		}
+		if !s.better(h[i], h[m]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// sortDescending heapsorts h in place into descending better-order. Because
+// better is a strict total order (position breaks every remaining tie), the
+// result is independent of the algorithm — identical to a stable sort.
+func (s *Selector) sortDescending(h []scoredBid) {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		s.siftDown(h, i)
+	}
+	for end := len(h) - 1; end > 0; end-- {
+		h[0], h[end] = h[end], h[0]
+		s.siftDown(h[:end], 0)
+	}
+}
+
+// selectTopK is the deterministic FMore winner determination on the bounded
+// heap: O(N log K) with K ≪ N instead of a full sort. The best candidate
+// excluded from the heap is tracked as it goes — that is exactly the
+// (K+1)-th ranked score the second-price rule references.
+func (s *Selector) selectTopK(req SelectionRequest) (Outcome, error) {
+	n := len(req.Bids)
+	k := min(req.K, n)
+	if cap(s.heap) < k {
+		s.heap = make([]scoredBid, 0, k)
+	}
+	h := s.heap[:0]
+	var excl scoredBid // best candidate not retained in the heap
+	haveExcl := false
+	for i := range req.Bids {
+		e := scoredBid{bid: req.Bids[i], score: s.scores[i], pos: i}
+		if len(h) < k {
+			h = append(h, e)
+			s.siftUp(h, len(h)-1)
+			continue
+		}
+		if s.better(e, h[0]) {
+			if !haveExcl || s.better(h[0], excl) {
+				excl = h[0]
+				haveExcl = true
+			}
+			h[0] = e
+			s.siftDown(h, 0)
+		} else if !haveExcl || s.better(e, excl) {
+			excl = e
+			haveExcl = true
+		}
+	}
+	s.heap = h
+	s.sortDescending(h)
+
+	// The aggregator's individual-rationality constraint (V >= 0): bids with
+	// negative scores are never selected, because U(q) − p < 0 would make
+	// the aggregator worse off than not hiring the node. h is sorted, so the
+	// winners are the non-negative prefix.
+	selected := h
+	for i := range h {
+		if h[i].score < 0 {
+			selected = h[:i]
+			break
+		}
+	}
+
+	// Reference score for second-price: the best score among non-selected
+	// bids — the next heap entry when IR truncated the prefix, otherwise the
+	// best candidate the heap evicted (the (K+1)-th overall).
+	refScore, hasRef := 0.0, false
+	switch {
+	case len(selected) < len(h):
+		refScore, hasRef = h[len(selected)].score, true
+	case haveExcl:
+		refScore, hasRef = excl.score, true
+	}
+	return s.outcome(req, selected, refScore, hasRef), nil
+}
+
+// rankAll fills s.ranked with every bid in descending better-order — the
+// full ranking the ψ-admission and budget walks need because they may visit
+// candidates past the K-th.
+func (s *Selector) rankAll(req SelectionRequest) {
+	n := len(req.Bids)
+	if cap(s.ranked) < n {
+		s.ranked = make([]scoredBid, 0, n)
+	}
+	r := s.ranked[:0]
+	for i := range req.Bids {
+		r = append(r, scoredBid{bid: req.Bids[i], score: s.scores[i], pos: i})
+	}
+	s.ranked = r
+	s.sortDescending(r)
+}
+
+// refAfter returns the second-price reference after nsel winners were taken
+// from the full ranking: the (nsel+1)-th ranked score, when one exists.
+func (s *Selector) refAfter(nsel int) (float64, bool) {
+	if nsel < len(s.ranked) {
+		return s.ranked[nsel].score, true
+	}
+	return 0, false
+}
+
+// selectPsi implements ψ-FMore (§III-C): bids are visited in descending
+// score order and each is admitted with probability psi, repeating passes
+// over the remaining candidates until K winners are chosen or every eligible
+// bid has been admitted.
+func (s *Selector) selectPsi(req SelectionRequest, rng *rand.Rand) (Outcome, error) {
+	s.rankAll(req)
+	// Drop IR-violating bids up front.
+	if cap(s.walk) < len(s.ranked) {
+		s.walk = make([]scoredBid, 0, len(s.ranked))
+	}
+	remaining := s.walk[:0]
+	for _, sb := range s.ranked {
+		if sb.score >= 0 {
+			remaining = append(remaining, sb)
+		}
+	}
+	s.walk = remaining
+	if len(remaining) == 0 {
+		return Outcome{Scores: s.scores}, nil
+	}
+	selected := s.selectedBuf(req.K, len(remaining))
+	// A pass may select nobody (every ψ-flip fails), so termination is only
+	// almost-sure; the pass cap keeps it deterministic against a pathological
+	// rng while being unreachable in practice (P(no progress per pass) =
+	// (1−ψ)^len(remaining)).
+	const maxPasses = 1 << 16
+	for pass := 0; len(selected) < req.K && len(remaining) > 0 && pass < maxPasses; pass++ {
+		next := remaining[:0]
+		for _, sb := range remaining {
+			if len(selected) >= req.K {
+				next = append(next, sb)
+				continue
+			}
+			if rng.Float64() < req.Psi {
+				selected = append(selected, sb)
+			} else {
+				next = append(next, sb)
+			}
+		}
+		remaining = next
+	}
+	s.selected = selected
+	refScore, hasRef := s.refAfter(len(selected))
+	return s.outcome(req, selected, refScore, hasRef), nil
+}
+
+// selectPsiOne is the ψ = 1 degenerate admission walk: every eligible
+// candidate is admitted deterministically in score order (no rng draws), so
+// the winner set equals plain top-K — only the nil representation of an
+// empty winner set differs, which the ψ wrappers' bit-for-bit contract
+// requires.
+func (s *Selector) selectPsiOne(req SelectionRequest) (Outcome, error) {
+	s.rankAll(req)
+	if cap(s.walk) < len(s.ranked) {
+		s.walk = make([]scoredBid, 0, len(s.ranked))
+	}
+	eligible := s.walk[:0]
+	for _, sb := range s.ranked {
+		if sb.score >= 0 {
+			eligible = append(eligible, sb)
+		}
+	}
+	s.walk = eligible
+	if len(eligible) == 0 {
+		return Outcome{Scores: s.scores}, nil
+	}
+	selected := eligible[:min(req.K, len(eligible))]
+	refScore, hasRef := s.refAfter(len(selected))
+	return s.outcome(req, selected, refScore, hasRef), nil
+}
+
+// selectPsiVector generalizes ψ-FMore to a distinct admission probability
+// per node, validating each node's ψ on first visit.
+func (s *Selector) selectPsiVector(req SelectionRequest, rng *rand.Rand) (Outcome, error) {
+	s.rankAll(req)
+	if cap(s.walk) < len(s.ranked) {
+		s.walk = make([]scoredBid, 0, len(s.ranked))
+	}
+	remaining := s.walk[:0]
+	for _, sb := range s.ranked {
+		if sb.score < 0 {
+			continue
+		}
+		psi := req.PsiOf(sb.bid.NodeID)
+		if psi <= 0 || psi > 1 || math.IsNaN(psi) {
+			s.walk = remaining
+			return Outcome{}, fmt.Errorf("auction: psi for node %d = %v outside (0, 1]", sb.bid.NodeID, psi)
+		}
+		remaining = append(remaining, sb)
+	}
+	s.walk = remaining
+	if len(remaining) == 0 {
+		return Outcome{Scores: s.scores}, nil
+	}
+	selected := s.selectedBuf(req.K, len(remaining))
+	const maxPasses = 1 << 16
+	for pass := 0; len(selected) < req.K && len(remaining) > 0 && pass < maxPasses; pass++ {
+		next := remaining[:0]
+		for _, sb := range remaining {
+			if len(selected) >= req.K {
+				next = append(next, sb)
+				continue
+			}
+			if rng.Float64() < req.PsiOf(sb.bid.NodeID) {
+				selected = append(selected, sb)
+			} else {
+				next = append(next, sb)
+			}
+		}
+		remaining = next
+	}
+	s.selected = selected
+	refScore, hasRef := s.refAfter(len(selected))
+	return s.outcome(req, selected, refScore, hasRef), nil
+}
+
+// selectBudget admits bids in descending score order while the cumulative
+// asked payment stays within budget, stopping at K winners. A bid too
+// expensive for the remaining budget is skipped (not terminal), so cheaper
+// lower-score bids can still fill the set — the greedy knapsack heuristic.
+func (s *Selector) selectBudget(req SelectionRequest) (Outcome, error) {
+	s.rankAll(req)
+	remaining := req.Budget
+	selected := s.selectedBuf(req.K, len(req.Bids))
+	for _, sb := range s.ranked {
+		if len(selected) >= req.K {
+			break
+		}
+		if sb.score < 0 {
+			break // sorted: everything after violates aggregator IR too
+		}
+		if sb.bid.Payment > remaining {
+			continue // skip, cheaper bids may still fit
+		}
+		selected = append(selected, sb)
+		remaining -= sb.bid.Payment
+	}
+	s.selected = selected
+	refScore, hasRef := s.refAfter(len(selected))
+	out := s.outcome(req, selected, refScore, hasRef)
+	// Under second-price payments the raise could exceed the budget; clamp
+	// the raises so the total stays within it, preserving per-winner
+	// payment >= asked payment.
+	if req.Payment == SecondPrice {
+		clampToBudget(req.Rule, &out, req.Budget)
+	}
+	return out, nil
+}
+
+// selectedBuf returns the pooled winner-candidate buffer, grown to hold at
+// most min(k, n) entries.
+func (s *Selector) selectedBuf(k, n int) []scoredBid {
+	need := min(k, n)
+	if cap(s.selected) < need {
+		s.selected = make([]scoredBid, 0, need)
+	}
+	return s.selected[:0]
+}
+
+// outcome applies the payment rule and assembles the Outcome from pooled
+// buffers. refScore is the best non-selected score (the second-price
+// reference), floored at 0 — the aggregator IR constraint never pays beyond
+// s(q).
+func (s *Selector) outcome(req SelectionRequest, selected []scoredBid, refScore float64, hasRef bool) Outcome {
+	if refScore < 0 {
+		refScore = 0
+	}
+	if cap(s.winners) < len(selected) || s.winners == nil {
+		s.winners = make([]Winner, 0, max(len(selected), 1))
+	}
+	w := s.winners[:0]
+	out := Outcome{Scores: s.scores}
+	for _, sb := range selected {
+		pay := sb.bid.Payment
+		if req.Payment == SecondPrice && hasRef {
+			// Raise the payment until this winner's score drops to the
+			// reference score: p' = s(q) − refScore ≥ p.
+			if p2 := req.Rule.Value(sb.bid.Qualities) - refScore; p2 > pay {
+				pay = p2
+			}
+		}
+		w = append(w, Winner{Bid: sb.bid, Score: sb.score, Payment: pay})
+		out.AggregatorProfit += req.Rule.Value(sb.bid.Qualities) - pay
+	}
+	s.winners = w
+	out.Winners = w
+	return out
+}
+
+// Select runs one winner determination on a throwaway Selector and returns
+// an Outcome that owns all of its memory (winners are deep-cloned, scores
+// freshly allocated). Callers on a hot path should hold a Selector instead
+// and amortize the buffers.
+func Select(req SelectionRequest, rng *rand.Rand) (Outcome, error) {
+	var s Selector
+	out, err := s.Select(req, rng)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return out.Clone(), nil
+}

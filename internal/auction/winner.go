@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
 )
 
 // PaymentRule selects how winners are paid. The paper supports both the
@@ -37,73 +36,19 @@ func (p PaymentRule) String() string {
 // ErrNoBids reports an auction round with no valid bids.
 var ErrNoBids = errors.New("auction: no bids")
 
-// scoredBid pairs a bid with its evaluated score and input position.
-type scoredBid struct {
-	bid   Bid
-	score float64
-	pos   int
-}
-
-// rankBids validates and scores all bids, returning them sorted by
-// descending score. Ties are broken by a fair coin flip as the paper
-// specifies ("ties are resolved by the flip of a coin"), implemented as a
-// random tiebreak key drawn per bid.
-func rankBids(rule ScoringRule, bids []Bid, rng *rand.Rand) ([]scoredBid, []float64, error) {
-	return rankWith(rule, bids, nil, rng)
-}
-
-// rankWith is the shared ranking core. When pre is non-nil it is taken as
-// the precomputed score vector (one entry per bid, e.g. from a batched
-// scoring worker pool) instead of evaluating the rule inline. The rng draw
-// order — exactly one tiebreak per bid, in input order — is identical on
-// both paths, so seeded runs agree bit-for-bit regardless of which path
-// scored the bids. The returned score slice is freshly allocated and never
-// aliases pre, so callers may reuse their scoring buffers.
-func rankWith(rule ScoringRule, bids []Bid, pre []float64, rng *rand.Rand) ([]scoredBid, []float64, error) {
-	if len(bids) == 0 {
-		return nil, nil, ErrNoBids
-	}
-	if pre != nil && len(pre) != len(bids) {
-		return nil, nil, fmt.Errorf("auction: %d precomputed scores for %d bids", len(pre), len(bids))
-	}
-	ranked := make([]scoredBid, 0, len(bids))
-	scores := make([]float64, len(bids))
-	tiebreak := make([]float64, len(bids))
-	for i, b := range bids {
-		if err := b.Validate(rule.Dims()); err != nil {
-			return nil, nil, err
-		}
-		s := 0.0
-		if pre != nil {
-			s = pre[i]
-		} else {
-			var err error
-			s, err = Score(rule, b.Qualities, b.Payment)
-			if err != nil {
-				return nil, nil, err
-			}
-		}
-		scores[i] = s
-		tiebreak[i] = rng.Float64()
-		ranked = append(ranked, scoredBid{bid: b, score: s, pos: i})
-	}
-	sort.SliceStable(ranked, func(a, b int) bool {
-		if ranked[a].score != ranked[b].score {
-			return ranked[a].score > ranked[b].score
-		}
-		return tiebreak[ranked[a].pos] > tiebreak[ranked[b].pos]
-	})
-	return ranked, scores, nil
-}
-
 // DetermineWinners runs the winner-determination step of FMore: it scores
-// all bids under rule, sorts them descending, selects the top K, and applies
-// the payment rule. rng drives the coin-flip tie-break. The aggregator's
+// all bids under rule, selects the top K by score, and applies the payment
+// rule. rng drives the coin-flip tie-break. The aggregator's
 // individual-rationality constraint (V ≥ 0) is enforced per winner: bids
 // whose score is negative are never selected, because U(q) − p < 0 would
 // make the aggregator worse off than not hiring the node.
+//
+// This is a convenience wrapper over the Select pipeline (see select.go); it
+// produces bit-for-bit the outcomes and rng draw order of the original
+// full-sort implementation, but allocates a fresh Selector per call — hot
+// paths should hold a Selector (or an Auctioneer) instead.
 func DetermineWinners(rule ScoringRule, bids []Bid, k int, payment PaymentRule, rng *rand.Rand) (Outcome, error) {
-	return determineWinners(rule, bids, nil, k, payment, rng)
+	return Select(SelectionRequest{Rule: rule, Bids: bids, K: k, Payment: payment}, rng)
 }
 
 // DetermineWinnersScored is DetermineWinners for callers that have already
@@ -117,60 +62,5 @@ func DetermineWinnersScored(rule ScoringRule, bids []Bid, scores []float64, k in
 	if scores == nil {
 		return Outcome{}, fmt.Errorf("auction: DetermineWinnersScored requires a score vector")
 	}
-	return determineWinners(rule, bids, scores, k, payment, rng)
-}
-
-func determineWinners(rule ScoringRule, bids []Bid, pre []float64, k int, payment PaymentRule, rng *rand.Rand) (Outcome, error) {
-	if k < 1 {
-		return Outcome{}, fmt.Errorf("auction: K must be >= 1, got %d", k)
-	}
-	ranked, scores, err := rankWith(rule, bids, pre, rng)
-	if err != nil {
-		return Outcome{}, err
-	}
-	limit := k
-	if limit > len(ranked) {
-		limit = len(ranked)
-	}
-	selected := make([]scoredBid, 0, limit)
-	for _, sb := range ranked[:limit] {
-		if sb.score < 0 {
-			break // ranked is sorted; everything after is worse
-		}
-		selected = append(selected, sb)
-	}
-	return buildOutcome(rule, ranked, selected, scores, payment)
-}
-
-// buildOutcome applies the payment rule and assembles the Outcome.
-func buildOutcome(rule ScoringRule, ranked, selected []scoredBid, scores []float64, payment PaymentRule) (Outcome, error) {
-	// Reference score for second-price: the best score among non-selected
-	// bids (the (K+1)-th overall when K winners were taken).
-	refScore := 0.0
-	hasRef := false
-	if len(selected) < len(ranked) {
-		refScore = ranked[len(selected)].score
-		if refScore < 0 {
-			refScore = 0 // aggregator IR floor: never pay beyond s(q)
-		}
-		hasRef = true
-	}
-
-	out := Outcome{
-		Winners: make([]Winner, 0, len(selected)),
-		Scores:  scores,
-	}
-	for _, sb := range selected {
-		pay := sb.bid.Payment
-		if payment == SecondPrice && hasRef {
-			// Raise the payment until this winner's score drops to the
-			// reference score: p' = s(q) − refScore ≥ p.
-			if p2 := rule.Value(sb.bid.Qualities) - refScore; p2 > pay {
-				pay = p2
-			}
-		}
-		out.Winners = append(out.Winners, Winner{Bid: sb.bid.Clone(), Score: sb.score, Payment: pay})
-		out.AggregatorProfit += rule.Value(sb.bid.Qualities) - pay
-	}
-	return out, nil
+	return Select(SelectionRequest{Rule: rule, Bids: bids, Scores: scores, K: k, Payment: payment}, rng)
 }

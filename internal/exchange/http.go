@@ -25,6 +25,7 @@ const maxWait = 30 * time.Second
 //	POST /jobs/{id}/bids      submit one sealed bid
 //	POST /jobs/{id}/close     close the current round now
 //	GET  /jobs/{id}/outcome   fetch a round outcome (?round=N, ?wait=1)
+//	GET  /jobs/{id}/strategy  fetch the solved equilibrium bid curve (?samples=N)
 //	POST /nodes               register a node
 //	POST /nodes/{id}/blacklist ban a node
 //	GET  /metrics             throughput and latency snapshot
@@ -38,6 +39,7 @@ func NewHandler(ex *Exchange) http.Handler {
 	mux.HandleFunc("POST /jobs/{id}/bids", h.submitBid)
 	mux.HandleFunc("POST /jobs/{id}/close", h.closeRound)
 	mux.HandleFunc("GET /jobs/{id}/outcome", h.outcome)
+	mux.HandleFunc("GET /jobs/{id}/strategy", h.strategy)
 	mux.HandleFunc("POST /nodes", h.registerNode)
 	mux.HandleFunc("POST /nodes/{id}/blacklist", h.blacklistNode)
 	mux.HandleFunc("GET /metrics", h.metrics)
@@ -62,6 +64,10 @@ type jobRequest struct {
 	// KeepOutcomes bounds the job's retained outcome history (0 = server
 	// default of 128); older rounds answer 410 Gone.
 	KeepOutcomes int `json:"keep_outcomes,omitempty"`
+	// Equilibrium optionally describes the bidder-side game; with it the
+	// job serves GET /jobs/{id}/strategy so clients can bid the Theorem 1
+	// equilibrium without solving it locally.
+	Equilibrium *transport.EquilibriumSpec `json:"equilibrium,omitempty"`
 }
 
 // jobResponse describes a hosted job, spec and window behavior included so
@@ -77,6 +83,8 @@ type jobResponse struct {
 	MaxRounds    int    `json:"max_rounds"`
 	MinBids      int    `json:"min_bids"`
 	KeepOutcomes int    `json:"keep_outcomes"`
+	// HasStrategy reports whether GET /jobs/{id}/strategy is available.
+	HasStrategy bool `json:"has_strategy"`
 }
 
 // bidRequest is the POST /jobs/{id}/bids payload.
@@ -137,6 +145,7 @@ func (h *handler) createJob(w http.ResponseWriter, r *http.Request) {
 		MaxRounds:    req.MaxRounds,
 		MinBids:      req.MinBids,
 		KeepOutcomes: req.KeepOutcomes,
+		Equilibrium:  req.Equilibrium,
 	})
 	if err != nil {
 		writeErr(w, statusFor(err), err)
@@ -271,6 +280,56 @@ func (h *handler) outcome(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, outcomeView(ro))
 }
 
+// strategyResponse is the GET /jobs/{id}/strategy payload: the equilibrium
+// bid curve sampled over the θ support. Clients interpolate linearly
+// between points to obtain their own (quality, payment) bid.
+type strategyResponse struct {
+	Job     string                  `json:"job"`
+	Rule    string                  `json:"rule"`
+	N       int                     `json:"n"`
+	K       int                     `json:"k"`
+	ThetaLo float64                 `json:"theta_lo"`
+	ThetaHi float64                 `json:"theta_hi"`
+	Points  []auction.StrategyPoint `json:"points"`
+}
+
+// defaultStrategySamples balances curve fidelity against payload size; the
+// solver's own θ grid has 129 points, so more than that adds nothing.
+const defaultStrategySamples = 33
+
+func (h *handler) strategy(w http.ResponseWriter, r *http.Request) {
+	job, ok := h.ex.Job(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrUnknownJob, r.PathValue("id")))
+		return
+	}
+	samples := defaultStrategySamples
+	if s := r.URL.Query().Get("samples"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 2 || n > 1024 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad samples %q (want an integer in [2, 1024])", s))
+			return
+		}
+		samples = n
+	}
+	strat, err := job.Strategy()
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	spec := job.Spec()
+	lo, hi := strat.ThetaSupport()
+	writeJSON(w, http.StatusOK, strategyResponse{
+		Job:     job.ID(),
+		Rule:    spec.Auction.Rule.Name(),
+		N:       spec.Equilibrium.N,
+		K:       spec.Auction.K,
+		ThetaLo: lo,
+		ThetaHi: hi,
+		Points:  strat.SampleCurve(samples),
+	})
+}
+
 func (h *handler) registerNode(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		NodeID int    `json:"node_id"`
@@ -316,6 +375,7 @@ func jobView(j *Job) jobResponse {
 		MaxRounds:    spec.MaxRounds,
 		MinBids:      spec.MinBids,
 		KeepOutcomes: spec.KeepOutcomes,
+		HasStrategy:  spec.Equilibrium != nil,
 	}
 }
 
@@ -344,7 +404,8 @@ func outcomeView(ro RoundOutcome) outcomeResponse {
 // statusFor maps exchange errors onto HTTP status codes.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, ErrUnknownJob), errors.Is(err, ErrRoundPending):
+	case errors.Is(err, ErrUnknownJob), errors.Is(err, ErrRoundPending),
+		errors.Is(err, ErrNoStrategy):
 		return http.StatusNotFound
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		// A long-poll (?wait=1) that ran out of time: the request was fine,

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"fmore/internal/auction"
+	"fmore/internal/transport"
 )
 
 // Sentinel errors of the job lifecycle.
@@ -32,6 +33,9 @@ var (
 	// ErrNotRegistered reports a bid from an unknown node on an exchange
 	// requiring registration.
 	ErrNotRegistered = errors.New("exchange: node is not registered")
+	// ErrNoStrategy reports a strategy request against a job whose spec
+	// carries no equilibrium game description.
+	ErrNoStrategy = errors.New("exchange: job has no equilibrium game configured")
 	// ErrBlacklisted reports a bid from a banned node.
 	ErrBlacklisted = errors.New("exchange: node is blacklisted")
 )
@@ -60,6 +64,12 @@ type JobSpec struct {
 	// KeepOutcomes bounds the retained outcome history per job
 	// (default 128); older rounds are evicted.
 	KeepOutcomes int
+	// Equilibrium optionally describes the bidder-side game (cost family, θ
+	// distribution, population size, quality box). When set, the exchange
+	// solves Theorem 1's symmetric equilibrium lazily and serves the bid
+	// curve from GET /jobs/{id}/strategy, so edge clients need not run the
+	// solver locally. Validated (not solved) at job creation.
+	Equilibrium *transport.EquilibriumSpec
 }
 
 func (s *JobSpec) setDefaults() {
@@ -113,7 +123,10 @@ type Job struct {
 	doneCh   chan struct{} // closed (and replaced) on every state change
 
 	// closeMu serializes round closes; the buffers below are reused across
-	// rounds so the steady-state scoring path allocates nothing.
+	// rounds so the steady-state scoring path allocates nothing. The
+	// auctioneer carries the job's pooled auction.Selector, so winner
+	// determination itself (partial top-K heap, tiebreak and score scratch)
+	// also reuses its buffers round after round.
 	closeMu  sync.Mutex
 	spare    []auction.Bid
 	scores   []float64
@@ -121,6 +134,15 @@ type Job struct {
 	auct     *auction.Auctioneer
 	src      *countingSource
 	loopDone chan struct{} // non-nil iff a bid-window goroutine runs
+
+	// strategyOnce guards the lazy equilibrium solve; concurrent strategy
+	// requests share one solve and its cached result. strategyCfg is the
+	// game configuration validated at job creation — solving always uses
+	// exactly what was validated.
+	strategyOnce sync.Once
+	strategyCfg  *auction.EquilibriumConfig
+	strategy     *auction.Strategy
+	strategyErr  error
 }
 
 // countingSource wraps the job's seeded rng source and counts every step it
@@ -467,6 +489,20 @@ func (j *Job) WaitOutcome(ctx context.Context, round int) (RoundOutcome, error) 
 	}
 }
 
+// Strategy returns the job's solved equilibrium strategy (Theorem 1),
+// solving it on first use. The solve runs once per job lifetime; its result
+// (or error) is cached. Jobs without an Equilibrium spec report
+// ErrNoStrategy.
+func (j *Job) Strategy() (*auction.Strategy, error) {
+	if j.strategyCfg == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoStrategy, j.id)
+	}
+	j.strategyOnce.Do(func() {
+		j.strategy, j.strategyErr = auction.SolveEquilibrium(*j.strategyCfg)
+	})
+	return j.strategy, j.strategyErr
+}
+
 // restoreRound reinstates one persisted round during log replay. Replay is
 // single-threaded and happens before the exchange is reachable, so no locks
 // are taken. A gap in the replayed numbering (a record lost to a torn tail
@@ -493,17 +529,29 @@ func newJob(ex *Exchange, id string, spec JobSpec) (*Job, error) {
 		return nil, err
 	}
 	spec.Auction = auct.Config() // normalized (defaults applied)
+	var eqCfg *auction.EquilibriumConfig
+	if spec.Equilibrium != nil {
+		// Fail fast on an unsolvable game description and keep the validated
+		// configuration; the (expensive) solve itself stays lazy until the
+		// first strategy request, and always runs on exactly this config.
+		cfg, err := spec.Equilibrium.Config(spec.Auction.Rule, spec.Auction.K)
+		if err != nil {
+			return nil, fmt.Errorf("exchange: equilibrium spec for job %s: %w", id, err)
+		}
+		eqCfg = &cfg
+	}
 	ctx, cancel := context.WithCancel(ex.ctx)
 	return &Job{
-		id:     id,
-		spec:   spec,
-		ex:     ex,
-		ctx:    ctx,
-		cancel: cancel,
-		seen:   make(map[int]struct{}),
-		round:  1,
-		doneCh: make(chan struct{}),
-		auct:   auct,
-		src:    src,
+		id:          id,
+		spec:        spec,
+		ex:          ex,
+		ctx:         ctx,
+		cancel:      cancel,
+		seen:        make(map[int]struct{}),
+		round:       1,
+		doneCh:      make(chan struct{}),
+		auct:        auct,
+		src:         src,
+		strategyCfg: eqCfg,
 	}, nil
 }

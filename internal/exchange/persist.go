@@ -75,6 +75,10 @@ type walJob struct {
 	MaxRounds    int                `json:"max_rounds,omitempty"`
 	MinBids      int                `json:"min_bids"`
 	KeepOutcomes int                `json:"keep_outcomes"`
+	// Equilibrium is the optional bidder-side game description; it is
+	// already a JSON wire form, so it persists verbatim. Absent on records
+	// written before the strategy endpoint existed.
+	Equilibrium *transport.EquilibriumSpec `json:"eq,omitempty"`
 }
 
 // walWinner is one selected bid of a persisted outcome.
@@ -499,6 +503,7 @@ func (w *walJob) spec() (JobSpec, error) {
 		MaxRounds:    w.MaxRounds,
 		MinBids:      w.MinBids,
 		KeepOutcomes: w.KeepOutcomes,
+		Equilibrium:  w.Equilibrium,
 	}
 	spec.setDefaults()
 	return spec, nil
@@ -567,6 +572,7 @@ func (ex *Exchange) logJobCreated(spec JobSpec) error {
 		MaxRounds:    spec.MaxRounds,
 		MinBids:      spec.MinBids,
 		KeepOutcomes: spec.KeepOutcomes,
+		Equilibrium:  spec.Equilibrium,
 	}})
 	return nil
 }

@@ -125,7 +125,9 @@ type BidFunc func(node *mec.EdgeNode) (auction.Bid, error)
 
 // FMoreSelector implements the paper's scheme: each active node submits its
 // equilibrium bid, and the auctioneer's winner determination (optionally
-// ψ-randomized) picks the round's participants.
+// ψ-randomized) picks the round's participants. The auctioneer runs the
+// pooled selection core of internal/auction, so per-round selection reuses
+// its scratch buffers across the whole figure reproduction.
 type FMoreSelector struct {
 	auctioneer *auction.Auctioneer
 	bid        BidFunc

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"fmore/internal/auction"
+	"fmore/internal/dist"
 )
 
 // MsgKind discriminates Envelope payloads.
@@ -129,6 +130,123 @@ func SpecForRule(rule auction.ScoringRule) (RuleSpec, error) {
 	default:
 		return RuleSpec{}, fmt.Errorf("transport: rule %T is not serializable", rule)
 	}
+}
+
+// CostSpec is the serializable description of a bidder cost family c(q, θ),
+// rebuilt into an auction.CostFunction. Like RuleSpec, its JSON tags serve
+// the exchange's HTTP front end.
+type CostSpec struct {
+	// Kind is "linear", "quadratic" or "power".
+	Kind string `json:"kind"`
+	// Beta holds the per-dimension coefficients.
+	Beta []float64 `json:"beta"`
+	// Gamma is the power-cost exponent (ignored otherwise).
+	Gamma float64 `json:"gamma,omitempty"`
+}
+
+// Build reconstructs the cost function.
+func (c CostSpec) Build() (auction.CostFunction, error) {
+	var (
+		cost auction.CostFunction
+		err  error
+	)
+	switch c.Kind {
+	case "linear":
+		cost, err = auction.NewLinearCost(c.Beta...)
+	case "quadratic":
+		cost, err = auction.NewQuadraticCost(c.Beta...)
+	case "power":
+		cost, err = auction.NewPowerCost(c.Gamma, c.Beta...)
+	default:
+		return nil, fmt.Errorf("transport: unknown cost kind %q", c.Kind)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("transport: building cost: %w", err)
+	}
+	return cost, nil
+}
+
+// DistSpec is the serializable description of the private-type distribution
+// F of θ.
+type DistSpec struct {
+	// Kind is "uniform" (the paper's choice for all experiments).
+	Kind string  `json:"kind"`
+	Lo   float64 `json:"lo"`
+	Hi   float64 `json:"hi"`
+}
+
+// Build reconstructs the distribution.
+func (d DistSpec) Build() (dist.Distribution, error) {
+	switch d.Kind {
+	case "uniform":
+		u, err := dist.NewUniform(d.Lo, d.Hi)
+		if err != nil {
+			return nil, fmt.Errorf("transport: building distribution: %w", err)
+		}
+		return u, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown distribution kind %q", d.Kind)
+	}
+}
+
+// EquilibriumSpec describes the bidder-side auction game of a hosted job —
+// everything SolveEquilibrium needs beyond the job's own scoring rule and
+// K. A job carrying it can serve the solved Theorem 1 strategy to its edge
+// clients (GET /jobs/{id}/strategy on the exchange), so nodes need not run
+// the equilibrium solver locally.
+type EquilibriumSpec struct {
+	// Cost is the common-knowledge cost family c(q, θ).
+	Cost CostSpec `json:"cost"`
+	// Theta is the distribution F of the private cost parameter.
+	Theta DistSpec `json:"theta"`
+	// N is the number of bidders in the game (the population size, > K).
+	N int `json:"n"`
+	// QLo, QHi bound the feasible quality box per dimension.
+	QLo []float64 `json:"q_lo"`
+	QHi []float64 `json:"q_hi"`
+	// Solver optionally names the payment solver: "quadrature" (default),
+	// "euler" or "rk4".
+	Solver string `json:"solver,omitempty"`
+}
+
+// Config assembles and validates the full equilibrium configuration for a
+// job's scoring rule and winner count.
+func (e EquilibriumSpec) Config(rule auction.ScoringRule, k int) (auction.EquilibriumConfig, error) {
+	cost, err := e.Cost.Build()
+	if err != nil {
+		return auction.EquilibriumConfig{}, err
+	}
+	theta, err := e.Theta.Build()
+	if err != nil {
+		return auction.EquilibriumConfig{}, err
+	}
+	var solver auction.SolverKind
+	switch e.Solver {
+	case "":
+		// leave zero: SolveEquilibrium applies its default
+	case "quadrature":
+		solver = auction.SolverQuadrature
+	case "euler":
+		solver = auction.SolverEuler
+	case "rk4":
+		solver = auction.SolverRK4
+	default:
+		return auction.EquilibriumConfig{}, fmt.Errorf("transport: unknown solver %q", e.Solver)
+	}
+	cfg := auction.EquilibriumConfig{
+		Rule:   rule,
+		Cost:   cost,
+		Theta:  theta,
+		N:      e.N,
+		K:      k,
+		QLo:    append([]float64(nil), e.QLo...),
+		QHi:    append([]float64(nil), e.QHi...),
+		Solver: solver,
+	}
+	if err := cfg.Validate(); err != nil {
+		return auction.EquilibriumConfig{}, err
+	}
+	return cfg, nil
 }
 
 // Ask is the round's bid ask.

@@ -334,6 +334,9 @@ func (s *Server) runRound(round int, auctioneer *auction.Auctioneer, report *Ser
 		auctionBids[i] = auction.Bid{NodeID: b.bid.NodeID, Qualities: b.bid.Qualities, Payment: b.bid.Payment}
 		byID[b.bid.NodeID] = b.sess
 	}
+	// Winner determination runs on the pooled selection core either way:
+	// the delegated engine (the exchange adapter) reuses its job's selector
+	// across rounds, and the in-process auctioneer carries its own.
 	var (
 		outcome auction.Outcome
 		err     error
