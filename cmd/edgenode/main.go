@@ -1,8 +1,19 @@
-// Command edgenode runs one standalone FMore edge node: it generates its
-// private local dataset, computes its Nash equilibrium bid, connects to the
-// aggregator (cmd/aggregator), and participates in federated training.
+// Command edgenode runs one standalone FMore edge node in one of two
+// transports behind the same bidding logic:
 //
-// Usage (against a running aggregator expecting 4 nodes):
+// Exchange mode (-exchange-url): the node speaks the exchange's versioned
+// /v1 HTTP API through the pkg/client SDK. It registers, fetches the job's
+// solved Theorem 1 bid curve from the server (falling back to a local solve
+// only when the job carries no equilibrium spec), subscribes to the
+// server-push round event stream, and bids into every round it sees —
+// learning outcomes the moment they close instead of long-polling:
+//
+//	edgenode -exchange-url http://localhost:8780 -job demo -id 3 -rounds 5
+//
+// Legacy TCP mode (default): the original gob/TCP aggregator protocol
+// (cmd/aggregator) with local data generation and federated training. The
+// gob dialect is kept as an optional transport; new deployments should
+// front an exchange:
 //
 //	edgenode -addr localhost:9000 -id 0 -task mnist-o -data 200 &
 //	edgenode -addr localhost:9000 -id 1 -task mnist-o -data 120 &
@@ -11,6 +22,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -21,6 +34,7 @@ import (
 	"fmore/internal/dist"
 	"fmore/internal/ml"
 	"fmore/internal/transport"
+	"fmore/pkg/client"
 )
 
 func main() {
@@ -43,8 +57,28 @@ func run(args []string) error {
 	theta := fs.Float64("theta", 0, "private cost parameter (0 = draw randomly)")
 	nBidders := fs.Int("bidders", 4, "expected number of competing bidders (for the equilibrium)")
 	k := fs.Int("k", 2, "expected number of winners (for the equilibrium)")
+	exchangeURL := fs.String("exchange-url", "",
+		"exchange base URL (e.g. http://localhost:8780); switches from the gob/TCP aggregator protocol to the /v1 HTTP API")
+	jobID := fs.String("job", "", "exchange job to bid into (exchange mode)")
+	rounds := fs.Int("rounds", 0, "rounds to participate in before exiting (exchange mode; 0 = until the job closes)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *exchangeURL != "" {
+		return runExchange(exchangeConfig{
+			url:      *exchangeURL,
+			jobID:    *jobID,
+			nodeID:   *id,
+			rounds:   *rounds,
+			theta:    *theta,
+			seed:     *seed,
+			cpu:      *cpu,
+			bw:       *bandwidth,
+			dataSize: *dataSize,
+			nBidders: *nBidders,
+			k:        *k,
+		})
 	}
 
 	task, err := parseTask(*taskName)
@@ -64,31 +98,11 @@ func run(args []string) error {
 
 	// Equilibrium strategy for the deployment market (additive rule
 	// 0.4/0.3/0.3 over normalized CPU/bandwidth/data, as in §V-A).
-	rule, err := auction.NewAdditive(0.4, 0.3, 0.3)
+	strategy, err := solveLocalStrategy(*nBidders, *k)
 	if err != nil {
 		return err
 	}
-	cost, err := auction.NewLinearCost(0.1, 0.1, 0.1)
-	if err != nil {
-		return err
-	}
-	thetaDist, err := dist.NewUniform(0.5, 1.5)
-	if err != nil {
-		return err
-	}
-	strategy, err := auction.SolveEquilibrium(auction.EquilibriumConfig{
-		Rule: rule, Cost: cost, Theta: thetaDist,
-		N: *nBidders, K: *k,
-		QLo: []float64{0, 0, 0}, QHi: []float64{1, 1, 1},
-		ThetaGridPoints: 65, QualityGridPoints: 24,
-	})
-	if err != nil {
-		return err
-	}
-	myTheta := *theta
-	if myTheta == 0 {
-		myTheta = thetaDist.Sample(rand.New(rand.NewSource(*seed + 3000 + int64(*id))))
-	}
+	myTheta := drawTheta(*theta, *seed, *id)
 
 	qualities := []float64{*cpu / 8, *bandwidth / 100, float64(*dataSize) / 10000}
 	fmt.Printf("node %d: θ=%.3f data=%d bidding p=%.4f q=%.3v\n",
@@ -109,6 +123,151 @@ func run(args []string) error {
 	}
 	fmt.Printf("node %d: rounds=%d won=%d earned=%.4f final-accuracy=%.4f\n",
 		*id, summary.RoundsSeen, summary.RoundsWon, summary.TotalEarned, summary.FinalAccuracy)
+	return nil
+}
+
+// solveLocalStrategy runs the Theorem 1 solver for the deployment market
+// (additive 0.4/0.3/0.3 over normalized CPU/bandwidth/data, linear cost,
+// θ ~ U[0.5, 1.5]). The TCP path always solves locally; the exchange path
+// only falls back here when the job serves no strategy.
+func solveLocalStrategy(nBidders, k int) (*auction.Strategy, error) {
+	rule, err := auction.NewAdditive(0.4, 0.3, 0.3)
+	if err != nil {
+		return nil, err
+	}
+	cost, err := auction.NewLinearCost(0.1, 0.1, 0.1)
+	if err != nil {
+		return nil, err
+	}
+	thetaDist, err := dist.NewUniform(0.5, 1.5)
+	if err != nil {
+		return nil, err
+	}
+	return auction.SolveEquilibrium(auction.EquilibriumConfig{
+		Rule: rule, Cost: cost, Theta: thetaDist,
+		N: nBidders, K: k,
+		QLo: []float64{0, 0, 0}, QHi: []float64{1, 1, 1},
+		ThetaGridPoints: 65, QualityGridPoints: 24,
+	})
+}
+
+// drawTheta returns the node's private cost parameter: the explicit flag
+// value, or a seeded draw from the market's θ distribution.
+func drawTheta(theta float64, seed int64, id int) float64 {
+	if theta != 0 {
+		return theta
+	}
+	thetaDist, err := dist.NewUniform(0.5, 1.5)
+	if err != nil {
+		panic(err) // constants; cannot fail
+	}
+	return thetaDist.Sample(rand.New(rand.NewSource(seed + 3000 + int64(id))))
+}
+
+// exchangeConfig parameterizes exchange-mode participation.
+type exchangeConfig struct {
+	url, jobID     string
+	nodeID, rounds int
+	theta          float64
+	seed           int64
+	cpu, bw        float64
+	dataSize       int
+	nBidders, k    int
+}
+
+// runExchange participates in a hosted exchange job over the /v1 API: it
+// registers, obtains a bid (the job's server-solved strategy curve when
+// available, a local solve otherwise), and rides the server-push event
+// stream — bidding on every round_open, settling on every round_closed.
+func runExchange(cfg exchangeConfig) error {
+	if cfg.jobID == "" {
+		return errors.New("exchange mode needs -job")
+	}
+	c, err := client.New(cfg.url)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if err := c.Register(ctx, cfg.nodeID, fmt.Sprintf("edgenode-%d", cfg.nodeID)); err != nil {
+		return fmt.Errorf("registering: %w", err)
+	}
+	job, err := c.Job(ctx, cfg.jobID)
+	if err != nil {
+		return fmt.Errorf("resolving job: %w", err)
+	}
+	myTheta := cfg.theta
+
+	var makeBid func() client.Bid
+	if bidder, err := c.NewBidder(ctx, cfg.jobID, cfg.nodeID, myTheta); err == nil {
+		if myTheta == 0 {
+			// Draw the private type from the game's own θ support (the
+			// curve advertises it) rather than the deployment default, so
+			// the equilibrium bid is interior, not clamped to an endpoint.
+			s := bidder.Strategy()
+			u := rand.New(rand.NewSource(cfg.seed + 3000 + int64(cfg.nodeID))).Float64()
+			myTheta = s.ThetaLo + u*(s.ThetaHi-s.ThetaLo)
+			bidder = bidder.WithTheta(myTheta)
+		}
+		fmt.Printf("node %d: θ=%.3f bidding the exchange-solved strategy (p=%.4f)\n",
+			cfg.nodeID, myTheta, bidder.Bid().Payment)
+		makeBid = bidder.Bid
+	} else if client.ErrorCode(err) == client.CodeNoStrategy {
+		myTheta = drawTheta(cfg.theta, cfg.seed, cfg.nodeID)
+		strategy, serr := solveLocalStrategy(cfg.nBidders, cfg.k)
+		if serr != nil {
+			return serr
+		}
+		qualities := []float64{cfg.cpu / 8, cfg.bw / 100, float64(cfg.dataSize) / 10000}
+		payment := strategy.Payment(myTheta)
+		fmt.Printf("node %d: θ=%.3f job has no strategy endpoint; solved locally (p=%.4f)\n",
+			cfg.nodeID, myTheta, payment)
+		makeBid = func() client.Bid {
+			return client.Bid{NodeID: cfg.nodeID, Qualities: qualities, Payment: payment}
+		}
+	} else {
+		return fmt.Errorf("fetching strategy: %w", err)
+	}
+
+	// Watch from the currently collecting round: the stream opens with a
+	// round_open for it, which triggers the first bid; older history is not
+	// replayed (this node was not part of it).
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	watch, err := c.WatchRounds(wctx, cfg.jobID, client.WatchOptions{AfterRound: job.Round - 1})
+	if err != nil {
+		return fmt.Errorf("watching rounds: %w", err)
+	}
+	seen, won := 0, 0
+	earned := 0.0
+	for ev := range watch.Events() {
+		switch ev.Type {
+		case client.RoundOpen:
+			if _, err := c.SubmitBid(ctx, cfg.jobID, makeBid()); err != nil &&
+				client.ErrorCode(err) != client.CodeDuplicateBid {
+				fmt.Printf("node %d: round %d bid rejected: %v\n", cfg.nodeID, ev.Round, err)
+			}
+		case client.RoundClosed:
+			seen++
+			if ev.Outcome.Error != "" {
+				fmt.Printf("node %d: round %d failed: %s\n", cfg.nodeID, ev.Round, ev.Outcome.Error)
+			} else if p, ok := ev.Outcome.Won(cfg.nodeID); ok {
+				won++
+				earned += p
+				fmt.Printf("node %d: round %d WON, paid %.4f\n", cfg.nodeID, ev.Round, p)
+			} else {
+				fmt.Printf("node %d: round %d lost (%d bids)\n", cfg.nodeID, ev.Round, ev.Outcome.NumBids)
+			}
+			if cfg.rounds > 0 && seen >= cfg.rounds {
+				cancel()
+			}
+		case client.JobClosed:
+			fmt.Printf("node %d: job %s closed\n", cfg.nodeID, cfg.jobID)
+		}
+	}
+	if err := watch.Err(); err != nil {
+		return fmt.Errorf("event stream: %w", err)
+	}
+	fmt.Printf("node %d: rounds=%d won=%d earned=%.4f\n", cfg.nodeID, seen, won, earned)
 	return nil
 }
 

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"fmore/internal/transport"
+	"fmore/pkg/client"
+)
+
+// listenRe scrapes the resolved listen address from the service log.
+var listenRe = regexp.MustCompile(`listening on ([^ ]+) `)
+
+// startExchange builds the binary once per test run and starts it with the
+// given data dir, returning the base URL and a stopper that SIGTERMs the
+// process and waits for exit.
+func startExchange(t *testing.T, bin, dataDir string) (string, func()) {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-data-dir", dataDir)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	stopped := false
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { _ = cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(15 * time.Second):
+			_ = cmd.Process.Kill()
+			<-done
+		}
+	}
+	t.Cleanup(stop)
+
+	// Scrape the log for the resolved port; keep draining afterwards so
+	// the process never blocks on a full pipe.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if m := listenRe.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr, stop
+	case <-time.After(30 * time.Second):
+		t.Fatal("exchange did not announce its listen address within 30s")
+		return "", nil
+	}
+}
+
+// TestE2ESmoke is the CI end-to-end smoke: build the real binary, start it
+// with a data dir, drive one full round through the pkg/client SDK with
+// the event stream attached, check the metrics round counter, then restart
+// the process and verify the outcome survived byte-identically.
+func TestE2ESmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the real binary")
+	}
+	workDir := t.TempDir()
+	bin := filepath.Join(workDir, "fmore-exchange")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building binary: %v\n%s", err, out)
+	}
+	dataDir := filepath.Join(workDir, "data")
+
+	url, stop := startExchange(t, bin, dataDir)
+	c, err := client.New(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	if _, err := c.CreateJob(ctx, client.JobSpec{
+		ID:   "smoke",
+		Rule: transport.RuleSpec{Kind: "additive", Alpha: []float64{0.5, 0.5}},
+		K:    2,
+		Seed: 42,
+	}); err != nil {
+		t.Fatalf("create job: %v", err)
+	}
+
+	watchCtx, cancelWatch := context.WithCancel(ctx)
+	defer cancelWatch()
+	watch, err := c.WatchRounds(watchCtx, "smoke", client.WatchOptions{})
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	for node := 0; node < 4; node++ {
+		if _, err := c.SubmitBid(ctx, "smoke", client.Bid{
+			NodeID:    node,
+			Qualities: []float64{0.2 * float64(node+1), 0.9 - 0.1*float64(node)},
+			Payment:   0.1,
+		}); err != nil {
+			t.Fatalf("bid %d: %v", node, err)
+		}
+	}
+	closed, err := c.CloseRound(ctx, "smoke")
+	if err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if closed.Round != 1 || len(closed.Winners) != 2 {
+		t.Fatalf("close outcome = %+v", closed)
+	}
+	// The round arrives by push with the outcome inline.
+	deadline := time.After(30 * time.Second)
+	var pushed *client.Outcome
+	for pushed == nil {
+		select {
+		case ev, ok := <-watch.Events():
+			if !ok {
+				t.Fatalf("watch ended early: %v", watch.Err())
+			}
+			if ev.Type == client.RoundClosed {
+				pushed = ev.Outcome
+			}
+		case <-deadline:
+			t.Fatal("no round_closed event within 30s")
+		}
+	}
+	if fmt.Sprint(*pushed) != fmt.Sprint(closed) {
+		t.Fatalf("pushed outcome differs from close response:\n%+v\n%+v", pushed, closed)
+	}
+	// Metrics report the round (the CI greps this counter via the SDK).
+	m, err := c.Metrics(ctx)
+	if err != nil || m.RoundsTotal < 1 || m.BidsAccepted < 4 {
+		t.Fatalf("metrics = %+v err %v", m, err)
+	}
+	rawBefore := rawOutcome(t, url, "smoke", 1)
+	cancelWatch()
+	stop()
+
+	// Restart from the same data dir: same bytes through the same API.
+	url2, _ := startExchange(t, bin, dataDir)
+	c2, err := client.New(url2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := c2.Outcome(ctx, "smoke", 1)
+	if err != nil || recovered.Round != 1 {
+		t.Fatalf("recovered outcome = %+v err %v", recovered, err)
+	}
+	if rawAfter := rawOutcome(t, url2, "smoke", 1); rawAfter != rawBefore {
+		t.Fatalf("outcome bytes changed across process restart:\n%s\n%s", rawBefore, rawAfter)
+	}
+	// Legacy alias still answers with a deprecation pointer.
+	resp, err := http.Get(url2 + "/jobs/smoke/outcome?round=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //nolint:errcheck // read
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Deprecation") != "true" {
+		t.Fatalf("legacy alias: status %d Deprecation %q", resp.StatusCode, resp.Header.Get("Deprecation"))
+	}
+}
+
+// rawOutcome fetches the raw bytes of one outcome response (the byte-level
+// witness the SDK would re-serialize away).
+func rawOutcome(t *testing.T, base, jobID string, round int) string {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/outcome?round=%d", base, jobID, round))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //nolint:errcheck // read
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("raw outcome status %d: %s", resp.StatusCode, b)
+	}
+	return strings.TrimSpace(string(b))
+}

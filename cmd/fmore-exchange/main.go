@@ -1,5 +1,7 @@
 // fmore-exchange runs the auction exchange as a standalone HTTP service:
-// a long-lived aggregator front end hosting many concurrent FL jobs.
+// a long-lived aggregator front end hosting many concurrent FL jobs behind
+// the versioned /v1 API (pre-v1 unversioned paths still answer as
+// deprecated aliases for one release).
 //
 //	go run ./cmd/fmore-exchange -addr :8780 -data-dir ./exchange-data
 //
@@ -10,25 +12,36 @@
 // consistent round numbering and the same deterministic draw sequence.
 // Without the flag the exchange is in-memory only.
 //
-// Quickstart against a running instance:
+// The supported Go surface is the pkg/client SDK; the raw API quickstart
+// below shows the wire shapes. Create a job, bid, read the outcome:
 //
-//	curl -s -X POST localhost:8780/jobs -d '{
+//	curl -s -X POST localhost:8780/v1/jobs -d '{
 //	  "id": "demo", "k": 2, "seed": 7, "bid_window_ms": 1000,
 //	  "keep_outcomes": 64,
 //	  "rule": {"kind": "additive", "alpha": [0.5, 0.5]}
 //	}'
-//	curl -s -X POST localhost:8780/jobs/demo/bids -d '{
+//	curl -s -X POST localhost:8780/v1/jobs/demo/bids -d '{
 //	  "node_id": 1, "qualities": [0.8, 0.6], "payment": 0.2
 //	}'
-//	curl -s 'localhost:8780/jobs/demo/outcome?wait=1'
-//	curl -s localhost:8780/metrics
+//	curl -s 'localhost:8780/v1/jobs/demo/outcome?wait=1'
+//	curl -s localhost:8780/v1/metrics
+//
+// Instead of polling, subscribe to the server-push round stream (SSE;
+// round_open, round_closed with the outcome inline, job_closed; reconnect
+// with Last-Event-ID to replay missed rounds losslessly):
+//
+//	curl -sN localhost:8780/v1/jobs/demo/events
+//
+// Errors are uniform {code, message, retry_after_ms?} JSON. POST /v1/jobs
+// and bid submission honor an Idempotency-Key header (retries replay the
+// original response); listings paginate with ?cursor= and ?limit=.
 //
 // A job created with an "equilibrium" block (bidder cost family, θ
 // distribution, population size, quality box) additionally serves the
 // solved Theorem 1 bid curve, so edge clients can interpolate their
 // equilibrium (quality, payment) bid instead of running the solver:
 //
-//	curl -s -X POST localhost:8780/jobs -d '{
+//	curl -s -X POST localhost:8780/v1/jobs -d '{
 //	  "id": "eq-demo", "k": 5, "seed": 7,
 //	  "rule": {"kind": "cobb-douglas", "alpha": [1, 1], "scale": 25},
 //	  "equilibrium": {
@@ -37,10 +50,10 @@
 //	    "n": 40, "q_lo": [0, 0], "q_hi": [1, 1]
 //	  }
 //	}'
-//	curl -s 'localhost:8780/jobs/eq-demo/strategy?samples=9'
+//	curl -s 'localhost:8780/v1/jobs/eq-demo/strategy?samples=9'
 //
 // Kill the process and start it again with the same -data-dir:
-// GET /jobs/demo/outcome?round=1 returns the same bytes as before.
+// GET /v1/jobs/demo/outcome?round=1 returns the same bytes as before.
 package main
 
 import (
@@ -48,6 +61,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os/signal"
 	"syscall"
@@ -57,12 +71,12 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", ":8780", "HTTP listen address")
+	addr := flag.String("addr", ":8780", "HTTP listen address (:0 picks a free port, logged on start)")
 	workers := flag.Int("workers", 0, "scoring pool workers (0 = GOMAXPROCS)")
 	dataDir := flag.String("data-dir", "",
 		"directory for the write-ahead outcome log; replayed on start (empty = in-memory only)")
 	requireReg := flag.Bool("require-registration", false,
-		"reject bids from nodes that have not registered via POST /nodes")
+		"reject bids from nodes that have not registered via POST /v1/nodes")
 	flag.Parse()
 
 	opts := exchange.Options{
@@ -83,19 +97,30 @@ func main() {
 	} else {
 		ex = exchange.New(opts)
 	}
+	// Listen explicitly (rather than ListenAndServe) so -addr :0 works and
+	// the resolved address is in the log for scripts to scrape.
+	listener, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	// Event streams are long-lived requests; deriving them from a
+	// cancelable base context lets shutdown end them instead of waiting out
+	// the drain timeout.
+	srvCtx, srvCancel := context.WithCancel(context.Background())
+	defer srvCancel()
 	server := &http.Server{
-		Addr:              *addr,
 		Handler:           exchange.NewHandler(ex),
 		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return srvCtx },
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
-	go func() { errCh <- server.ListenAndServe() }()
+	go func() { errCh <- server.Serve(listener) }()
 	log.Printf("fmore-exchange listening on %s (workers=%d, require-registration=%v, data-dir=%q)",
-		*addr, *workers, *requireReg, *dataDir)
+		listener.Addr(), *workers, *requireReg, *dataDir)
 
 	select {
 	case err := <-errCh:
@@ -104,6 +129,7 @@ func main() {
 	}
 
 	log.Print("shutting down")
+	srvCancel() // release open event streams so the drain below is quick
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := server.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

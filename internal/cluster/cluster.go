@@ -7,10 +7,12 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"net"
+	"net/http"
 	"sync"
 	"time"
 
@@ -21,6 +23,7 @@ import (
 	"fmore/internal/mec"
 	"fmore/internal/ml"
 	"fmore/internal/transport"
+	"fmore/pkg/client"
 )
 
 // Config parameterizes a cluster run.
@@ -219,22 +222,60 @@ func Run(cfg Config) (*Result, error) {
 		BidTimeout:      30 * time.Second,
 		UpdateTimeout:   120 * time.Second,
 	}
+	var (
+		regErrMu sync.Mutex
+		regErr   error
+	)
 	if cfg.UseExchange && !cfg.RandomSelection {
+		// The exchange runs as a real HTTP service on loopback and the
+		// harness reaches it exclusively through the pkg/client SDK — the
+		// same path a separately deployed exchange would be driven over, so
+		// the cluster experiment exercises the full /v1 API surface
+		// (serialization, idempotency keys, error envelope) rather than an
+		// in-process shortcut.
 		ex := exchange.New(exchange.Options{RequireRegistration: true})
 		defer ex.Close()
-		job, err := ex.CreateJob(exchange.JobSpec{
-			ID:      "cluster",
-			Auction: auction.Config{Rule: rule, K: cfg.K, Psi: cfg.Psi},
-			Seed:    cfg.Seed,
+		exLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("cluster: exchange listen: %w", err)
+		}
+		exSrv := &http.Server{Handler: exchange.NewHandler(ex)}
+		go exSrv.Serve(exLn) //nolint:errcheck // closed on teardown
+		defer exSrv.Close()  //nolint:errcheck // harness teardown
+		cl, err := client.New("http://" + exLn.Addr().String())
+		if err != nil {
+			return nil, fmt.Errorf("cluster: exchange client: %w", err)
+		}
+		ruleSpec, err := transport.SpecForRule(rule)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: exchange rule: %w", err)
+		}
+		ctx := context.Background()
+		job, err := cl.CreateJob(ctx, client.JobSpec{
+			ID:   "cluster",
+			Rule: ruleSpec,
+			K:    cfg.K,
+			Psi:  cfg.Psi,
+			Seed: cfg.Seed,
 			// BidWindow 0: the transport server owns the round cadence and
 			// drives the job manually through the engine adapter.
 		})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: exchange job: %w", err)
 		}
-		serverCfg.Engine = exchange.NewEngine(ex, job.ID())
+		serverCfg.Engine = client.NewEngine(ctx, cl, job.ID)
+		// The exchange requires registration, so a failed mirror here would
+		// silently drop the node from every round (its bids answer 403 and
+		// the engine tolerates individual rejections) — capture the first
+		// failure and fail the run loudly instead.
 		serverCfg.OnRegister = func(nodeID int) {
-			ex.RegisterNode(nodeID, "cluster-tcp-node")
+			if err := cl.Register(ctx, nodeID, "cluster-tcp-node"); err != nil {
+				regErrMu.Lock()
+				if regErr == nil {
+					regErr = fmt.Errorf("cluster: mirroring node %d into the exchange: %w", nodeID, err)
+				}
+				regErrMu.Unlock()
+			}
 		}
 	}
 	server, err := transport.NewServer(serverCfg)
@@ -309,6 +350,12 @@ func Run(cfg Config) (*Result, error) {
 	wg.Wait()
 	if out.err != nil {
 		return nil, fmt.Errorf("cluster: server: %w", out.err)
+	}
+	regErrMu.Lock()
+	mirrorErr := regErr
+	regErrMu.Unlock()
+	if mirrorErr != nil {
+		return nil, mirrorErr
 	}
 	res.Report = out.report
 

@@ -57,12 +57,46 @@
 // bids/sec) restart from zero — only outcomes, specs and the registry are
 // durable. The log is append-only and currently not compacted.
 //
-// NewHandler exposes the service over HTTP/JSON (POST /jobs,
-// POST /jobs/{id}/bids, GET /jobs/{id}/outcome, GET /metrics);
+// # The /v1 API
+//
+// NewHandler exposes the service over a versioned HTTP/JSON surface; see
+// its doc comment for the route table. The v1 contract, which the
+// pkg/client SDK (the supported Go consumer) wraps:
+//
+//   - Uniform errors. Every failure is {code, message, retry_after_ms?}
+//     with Content-Type application/json; code is stable API surface
+//     (unknown_job, duplicate_bid, job_closed, below_quorum, timeout, …)
+//     mapped from the package's sentinel errors by classify.
+//   - Idempotency. POST /v1/jobs and POST /v1/jobs/{id}/bids honor an
+//     Idempotency-Key header: a repeated key replays the recorded response
+//     (Idempotent-Replay: true) instead of failing on the duplicate side
+//     effect, making client retries safe. Keys are process-local.
+//   - Pagination. GET /v1/jobs and GET /v1/jobs/{id}/outcomes page with
+//     ?cursor= / ?limit= and return next_cursor while more remain.
+//   - Server-push rounds. GET /v1/jobs/{id}/events is a Server-Sent Events
+//     stream (round_open, round_closed with the outcome inline, job_closed,
+//     heartbeat comments) backed by a per-job fan-out: closeRound publishes
+//     to every subscriber inside the same critical section that appends the
+//     outcome to history, so replay-then-live resumption (Last-Event-ID or
+//     ?after=) can never lose or duplicate a round within the KeepOutcomes
+//     retention window. Slow subscribers are dropped rather than ever
+//     blocking the round pipeline — a dropped reader reconnects and
+//     replays. This replaces outcome long-polling for edge clients
+//     (GET .../outcome?wait=1 remains for one-shot waits).
+//
+// # Deprecation policy
+//
+// The pre-v1 unversioned paths (POST /jobs, GET /jobs/{id}/outcome, …)
+// answer as thin aliases of their /v1 twins for one release, marked with
+// Deprecation: true and a Link: successor-version header; the legacy
+// GET /jobs keeps its original {"jobs": [ids]} shape. The events and
+// outcomes-listing endpoints are v1-only. New consumers must use /v1 (or
+// pkg/client, which only speaks /v1).
+//
 // cmd/fmore-exchange is the runnable front end (see its -data-dir flag),
-// and examples/exchange is an in-process quickstart including a
+// and examples/exchange is a full SDK-driven quickstart including a
 // close-and-reopen pass. Engine adapts one job to the transport.Engine
-// interface so the TCP aggregator harness (internal/transport,
-// internal/cluster) delegates winner determination to the exchange instead
-// of a private auctioneer.
+// interface for in-process embedding; the cluster harness instead uses
+// pkg/client's Engine over HTTP, exercising the same API surface a
+// deployed exchange would serve.
 package exchange

@@ -1,0 +1,320 @@
+package exchange
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sseEvent is one parsed test-side SSE frame.
+type sseEvent struct {
+	id    string
+	event string
+	data  map[string]any
+}
+
+// readEvent reads one SSE frame, skipping heartbeats. Safe to call from
+// subscriber goroutines (errors are returned, never Fatal'd).
+func readEvent(_ *testing.T, r *bufio.Reader) (sseEvent, error) {
+	var ev sseEvent
+	seen := false
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return ev, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			if seen {
+				return ev, nil
+			}
+			continue
+		}
+		if strings.HasPrefix(line, ":") {
+			continue
+		}
+		field, value, _ := strings.Cut(line, ":")
+		value = strings.TrimPrefix(value, " ")
+		switch field {
+		case "id":
+			ev.id = value
+			seen = true
+		case "event":
+			ev.event = value
+			seen = true
+		case "data":
+			if err := json.Unmarshal([]byte(value), &ev.data); err != nil {
+				return ev, fmt.Errorf("bad event data %q: %v", value, err)
+			}
+			seen = true
+		}
+	}
+}
+
+// openStream opens the SSE endpoint and returns a reader over it.
+func openStream(t *testing.T, url, lastEventID string) (*bufio.Reader, func()) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close() //nolint:errcheck // error path
+		t.Fatalf("events stream status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events Content-Type = %q", ct)
+	}
+	return bufio.NewReader(resp.Body), func() { resp.Body.Close() } //nolint:errcheck // teardown
+}
+
+// driveRound submits `bids` bids and closes the round.
+func driveRound(t *testing.T, base, jobID string, bids int, round int) {
+	t.Helper()
+	for node := 0; node < bids; node++ {
+		resp, body := postJSON(t, base+"/v1/jobs/"+jobID+"/bids", map[string]any{
+			"node_id": node, "qualities": []float64{0.3 + 0.1*float64(node), 0.5}, "payment": 0.1,
+		})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("round %d bid %d: status %d body %v", round, node, resp.StatusCode, body)
+		}
+	}
+	if resp, body := postJSON(t, base+"/v1/jobs/"+jobID+"/close", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("round %d close: status %d body %v", round, resp.StatusCode, body)
+	}
+}
+
+// TestSSEFanout32Subscribers is the acceptance check for the event stream:
+// 32 concurrent subscribers each receive every round_closed event with the
+// outcome inline, in order, under -race.
+func TestSSEFanout32Subscribers(t *testing.T) {
+	srv, _ := httpFixture(t)
+	const subscribers = 32
+	const rounds = 3
+
+	if resp, body := postJSON(t, srv.URL+"/v1/jobs", map[string]any{
+		"id": "fan", "k": 2, "seed": 11,
+		"rule": map[string]any{"kind": "additive", "alpha": []float64{0.5, 0.5}},
+	}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %v", resp.StatusCode, body)
+	}
+
+	ready := make(chan struct{}, subscribers)
+	type result struct {
+		got []sseEvent
+		err error
+	}
+	results := make([]result, subscribers)
+	var wg sync.WaitGroup
+	for i := 0; i < subscribers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// No t.Fatal from subscriber goroutines: report through results.
+			resp, err := http.Get(srv.URL + "/v1/jobs/fan/events")
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			defer resp.Body.Close() //nolint:errcheck // teardown
+			if resp.StatusCode != http.StatusOK {
+				results[i].err = fmt.Errorf("stream status %d", resp.StatusCode)
+				return
+			}
+			r := bufio.NewReader(resp.Body)
+			// The subscribe-time round_open marks the stream live.
+			first, err := readEvent(t, r)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			if first.event != EventRoundOpen {
+				results[i].err = fmt.Errorf("first event %q, want round_open", first.event)
+				return
+			}
+			ready <- struct{}{}
+			for len(results[i].got) < rounds {
+				ev, err := readEvent(t, r)
+				if err != nil {
+					results[i].err = err
+					return
+				}
+				if ev.event == EventRoundClosed {
+					results[i].got = append(results[i].got, ev)
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < subscribers; i++ {
+		<-ready
+	}
+	for round := 1; round <= rounds; round++ {
+		driveRound(t, srv.URL, "fan", 5, round)
+	}
+	wg.Wait()
+
+	for i, res := range results {
+		if res.err != nil {
+			t.Fatalf("subscriber %d: %v", i, res.err)
+		}
+		if len(res.got) != rounds {
+			t.Fatalf("subscriber %d saw %d rounds, want %d", i, len(res.got), rounds)
+		}
+		for n, ev := range res.got {
+			if ev.id != fmt.Sprint(n+1) {
+				t.Errorf("subscriber %d event %d id = %q, want %d", i, n, ev.id, n+1)
+			}
+			if got := ev.data["round"].(float64); int(got) != n+1 {
+				t.Errorf("subscriber %d event %d round = %v", i, n, got)
+			}
+			winners, ok := ev.data["winners"].([]any)
+			if !ok || len(winners) != 2 {
+				t.Errorf("subscriber %d round %d winners = %v, want 2 inline", i, n+1, ev.data["winners"])
+			}
+			if nb := ev.data["num_bids"].(float64); nb != 5 {
+				t.Errorf("subscriber %d round %d num_bids = %v", i, n+1, nb)
+			}
+		}
+	}
+}
+
+// TestSSEResumeLastEventID pins lossless resumption: a subscriber
+// reconnecting with Last-Event-ID replays every retained round it missed
+// before going live.
+func TestSSEResumeLastEventID(t *testing.T) {
+	srv, _ := httpFixture(t)
+	if resp, body := postJSON(t, srv.URL+"/v1/jobs", map[string]any{
+		"id": "resume", "k": 1, "seed": 3,
+		"rule": map[string]any{"kind": "additive", "alpha": []float64{1, 1}},
+	}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %v", resp.StatusCode, body)
+	}
+	for round := 1; round <= 3; round++ {
+		driveRound(t, srv.URL, "resume", 3, round)
+	}
+
+	// Resume after round 1: rounds 2 and 3 replay, then round_open(4).
+	r, closeBody := openStream(t, srv.URL+"/v1/jobs/resume/events", "1")
+	defer closeBody()
+	for want := 2; want <= 3; want++ {
+		ev, err := readEvent(t, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.event != EventRoundClosed || ev.id != fmt.Sprint(want) {
+			t.Fatalf("replay event = %q id %q, want round_closed %d", ev.event, ev.id, want)
+		}
+	}
+	ev, err := readEvent(t, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.event != EventRoundOpen || int(ev.data["round"].(float64)) != 4 {
+		t.Fatalf("post-replay event = %q %v, want round_open 4", ev.event, ev.data)
+	}
+	// A round closing after resume arrives live.
+	driveRound(t, srv.URL, "resume", 3, 4)
+	ev, err = readEvent(t, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.event != EventRoundClosed || ev.id != "4" {
+		t.Fatalf("live event = %q id %q, want round_closed 4", ev.event, ev.id)
+	}
+}
+
+// TestSSEJobClosedEndsStream: a MaxRounds job emits job_closed and the
+// stream terminates; a late subscriber to a closed job gets the retained
+// history and job_closed immediately.
+func TestSSEJobClosedEndsStream(t *testing.T) {
+	srv, _ := httpFixture(t)
+	if resp, body := postJSON(t, srv.URL+"/v1/jobs", map[string]any{
+		"id": "short", "k": 1, "seed": 5, "max_rounds": 1,
+		"rule": map[string]any{"kind": "additive", "alpha": []float64{1, 1}},
+	}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %v", resp.StatusCode, body)
+	}
+	r, closeBody := openStream(t, srv.URL+"/v1/jobs/short/events", "")
+	defer closeBody()
+	if ev, err := readEvent(t, r); err != nil || ev.event != EventRoundOpen {
+		t.Fatalf("first event %v err %v", ev.event, err)
+	}
+	driveRound(t, srv.URL, "short", 2, 1)
+	ev, err := readEvent(t, r)
+	if err != nil || ev.event != EventRoundClosed {
+		t.Fatalf("event %q err %v, want round_closed", ev.event, err)
+	}
+	ev, err = readEvent(t, r)
+	if err != nil || ev.event != EventJobClosed {
+		t.Fatalf("event %q err %v, want job_closed", ev.event, err)
+	}
+	if _, err := readEvent(t, r); err == nil {
+		t.Fatal("stream still open after job_closed")
+	}
+
+	// Late subscriber: history replays, then job_closed, no hang.
+	r2, closeBody2 := openStream(t, srv.URL+"/v1/jobs/short/events", "")
+	defer closeBody2()
+	ev, err = readEvent(t, r2)
+	if err != nil || ev.event != EventRoundClosed || ev.id != "1" {
+		t.Fatalf("late replay = %q id %q err %v", ev.event, ev.id, err)
+	}
+	ev, err = readEvent(t, r2)
+	if err != nil || ev.event != EventJobClosed {
+		t.Fatalf("late final = %q err %v, want job_closed", ev.event, err)
+	}
+}
+
+// TestSSEHeartbeat pins the keep-alive: an idle stream still emits comment
+// frames so intermediaries do not reap the connection.
+func TestSSEHeartbeat(t *testing.T) {
+	old := sseHeartbeat
+	sseHeartbeat = 20 * time.Millisecond
+	defer func() { sseHeartbeat = old }()
+
+	srv, _ := httpFixture(t)
+	if resp, body := postJSON(t, srv.URL+"/v1/jobs", map[string]any{
+		"id": "idle", "k": 1,
+		"rule": map[string]any{"kind": "additive", "alpha": []float64{1}},
+	}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %v", resp.StatusCode, body)
+	}
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/v1/jobs/idle/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //nolint:errcheck // teardown
+	r := bufio.NewReader(resp.Body)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("no heartbeat within 5s")
+		}
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.HasPrefix(line, []byte(":")) {
+			return // heartbeat observed
+		}
+	}
+}

@@ -2,55 +2,322 @@ package exchange
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"fmore/internal/auction"
 	"fmore/internal/transport"
 )
 
-// maxWait caps how long GET /jobs/{id}/outcome?wait=1 blocks.
+// maxWait caps how long GET /v1/jobs/{id}/outcome?wait=1 blocks.
 const maxWait = 30 * time.Second
 
-// NewHandler returns the exchange's HTTP/JSON front end:
+// sseHeartbeat is the event stream's keep-alive comment interval; proxies
+// and idle-connection reapers see traffic even on a quiet job. Tests shorten
+// it.
+var sseHeartbeat = 15 * time.Second
+
+// Error codes of the v1 error envelope. Every error response is
 //
-//	POST /jobs                create a job
-//	GET  /jobs                list hosted job IDs
-//	GET  /jobs/{id}           job status
-//	DELETE /jobs/{id}         close and evict a job
-//	POST /jobs/{id}/bids      submit one sealed bid
-//	POST /jobs/{id}/close     close the current round now
-//	GET  /jobs/{id}/outcome   fetch a round outcome (?round=N, ?wait=1)
-//	GET  /jobs/{id}/strategy  fetch the solved equilibrium bid curve (?samples=N)
-//	POST /nodes               register a node
-//	POST /nodes/{id}/blacklist ban a node
-//	GET  /metrics             throughput and latency snapshot
+//	{"code": "...", "message": "...", "retry_after_ms": N?}
+//
+// with Content-Type application/json; code is stable API surface, message is
+// human-readable detail.
+const (
+	codeInvalidRequest = "invalid_request"
+	codeNotFound       = "not_found"
+	codeNotAllowed     = "method_not_allowed"
+	codeUnknownJob     = "unknown_job"
+	codeRoundPending   = "round_pending"
+	codeNoStrategy     = "no_strategy"
+	codeOutcomeEvicted = "outcome_evicted"
+	codeDuplicateBid   = "duplicate_bid"
+	codeJobClosed      = "job_closed"
+	codeBelowQuorum    = "below_quorum"
+	codeExchangeClosed = "exchange_closed"
+	codeNotRegistered  = "not_registered"
+	codeBlacklisted    = "blacklisted"
+	codeTimeout        = "timeout"
+	codeInternal       = "internal_error"
+)
+
+// errorEnvelope is the uniform v1 error shape (legacy paths share it).
+type errorEnvelope struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// NewHandler returns the exchange's HTTP front end. The versioned surface
+// lives under /v1:
+//
+//	POST   /v1/jobs                  create a job (Idempotency-Key honored)
+//	GET    /v1/jobs                  list jobs (cursor pagination)
+//	GET    /v1/jobs/{id}             job status
+//	DELETE /v1/jobs/{id}             close and evict a job
+//	POST   /v1/jobs/{id}/bids        submit one sealed bid (Idempotency-Key)
+//	POST   /v1/jobs/{id}/close       close the current round now
+//	GET    /v1/jobs/{id}/outcome     fetch a round outcome (?round=N, ?wait=1)
+//	GET    /v1/jobs/{id}/outcomes    list retained outcomes (cursor pagination)
+//	GET    /v1/jobs/{id}/events      SSE round stream (Last-Event-ID resume)
+//	GET    /v1/jobs/{id}/strategy    solved equilibrium bid curve (?samples=N)
+//	POST   /v1/nodes                 register a node
+//	POST   /v1/nodes/{id}/blacklist  ban a node
+//	GET    /v1/metrics               throughput and latency snapshot
+//
+// Every pre-v1 unversioned path still answers as a deprecated alias of its
+// /v1 twin (Deprecation and Link: successor-version headers set) for one
+// release; /v1/jobs/{id}/events and /v1/jobs/{id}/outcomes are v1-only. All
+// errors use the {code, message, retry_after_ms?} envelope.
 func NewHandler(ex *Exchange) http.Handler {
-	h := &handler{ex: ex}
+	h := &handler{ex: ex, idem: newIdemCache(idemCacheCap)}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", h.createJob)
-	mux.HandleFunc("GET /jobs", h.listJobs)
-	mux.HandleFunc("GET /jobs/{id}", h.jobStatus)
-	mux.HandleFunc("DELETE /jobs/{id}", h.removeJob)
-	mux.HandleFunc("POST /jobs/{id}/bids", h.submitBid)
-	mux.HandleFunc("POST /jobs/{id}/close", h.closeRound)
-	mux.HandleFunc("GET /jobs/{id}/outcome", h.outcome)
-	mux.HandleFunc("GET /jobs/{id}/strategy", h.strategy)
-	mux.HandleFunc("POST /nodes", h.registerNode)
-	mux.HandleFunc("POST /nodes/{id}/blacklist", h.blacklistNode)
-	mux.HandleFunc("GET /metrics", h.metrics)
+	routes := []struct {
+		method, path string
+		fn           http.HandlerFunc
+	}{
+		{http.MethodPost, "/jobs", h.createJob},
+		{http.MethodGet, "/jobs/{id}", h.jobStatus},
+		{http.MethodDelete, "/jobs/{id}", h.removeJob},
+		{http.MethodPost, "/jobs/{id}/bids", h.submitBid},
+		{http.MethodPost, "/jobs/{id}/close", h.closeRound},
+		{http.MethodGet, "/jobs/{id}/outcome", h.outcome},
+		{http.MethodGet, "/jobs/{id}/strategy", h.strategy},
+		{http.MethodPost, "/nodes", h.registerNode},
+		{http.MethodPost, "/nodes/{id}/blacklist", h.blacklistNode},
+		{http.MethodGet, "/metrics", h.metrics},
+	}
+	for _, rt := range routes {
+		mux.HandleFunc(rt.method+" /v1"+rt.path, rt.fn)
+		mux.HandleFunc(rt.method+" "+rt.path, legacyAlias(rt.fn))
+	}
+	// The job listing changed shape in v1 (cursor pagination over full job
+	// views); the legacy path keeps its original {"jobs": [ids]} payload.
+	mux.HandleFunc("GET /v1/jobs", h.listJobs)
+	mux.HandleFunc("GET /jobs", legacyAlias(h.listJobsLegacy))
+	// v1-only additions.
+	mux.HandleFunc("GET /v1/jobs/{id}/outcomes", h.listOutcomes)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", h.events)
+	// Fallback for everything the typed routes miss. The method-less "/"
+	// pattern outranks the mux's built-in 405 handling, so wrong-method
+	// requests land here too: re-probe the mux per method to tell "no such
+	// route" (404) from "route exists under another method" (405 with
+	// Allow) — both in the JSON envelope, never the mux's text/plain.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if allowed := allowedMethods(mux, r); len(allowed) > 0 {
+			w.Header().Set("Allow", strings.Join(allowed, ", "))
+			writeError(w, http.StatusMethodNotAllowed, codeNotAllowed,
+				fmt.Sprintf("%s not allowed for %s (allow: %s)", r.Method, r.URL.Path, strings.Join(allowed, ", ")))
+			return
+		}
+		writeError(w, http.StatusNotFound, codeNotFound,
+			fmt.Sprintf("no route for %s %s (the versioned API lives under /v1)", r.Method, r.URL.Path))
+	})
 	return mux
 }
 
-type handler struct {
-	ex *Exchange
+// allowedMethods returns the methods under which the request's path matches
+// a specific route (the catch-all excluded).
+func allowedMethods(mux *http.ServeMux, r *http.Request) []string {
+	var allowed []string
+	for _, m := range []string{http.MethodGet, http.MethodPost, http.MethodDelete} {
+		probe := r.Clone(r.Context())
+		probe.Method = m
+		if _, pattern := mux.Handler(probe); pattern != "" && pattern != "/" {
+			allowed = append(allowed, m)
+		}
+	}
+	return allowed
 }
 
-// jobRequest is the POST /jobs payload.
+// legacyAlias marks a pre-v1 route as deprecated while serving the identical
+// handler: the response carries Deprecation and a successor-version link so
+// clients can discover the /v1 twin mechanically.
+func legacyAlias(fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", r.URL.Path))
+		fn(w, r)
+	}
+}
+
+type handler struct {
+	ex   *Exchange
+	idem *idemCache
+}
+
+// --- idempotency ------------------------------------------------------------
+
+// idemCacheCap bounds the recorded-response cache; entries beyond it evict
+// FIFO. Keys live as long as the process (replays are best-effort, not
+// durable across restarts).
+const idemCacheCap = 4096
+
+// maxIdempotentBody bounds the request payloads read for fingerprinting.
+const maxIdempotentBody = 8 << 20
+
+// idemEntry is one idempotency-key slot. done closes when the first request
+// carrying the key settles; status 0 afterwards means it failed without
+// recording a response (the key is released for a clean retry).
+type idemEntry struct {
+	done   chan struct{}
+	status int
+	body   []byte
+}
+
+// idemCache replays recorded responses for repeated Idempotency-Key values,
+// so a client retrying POST /v1/jobs or a bid submission after a network
+// failure gets the original result instead of a duplicate-side-effect
+// error. Entries are claimed before the operation executes, so a retry
+// racing its own in-flight first attempt waits for that attempt's recorded
+// response instead of executing twice.
+type idemCache struct {
+	cap   int
+	mu    sync.Mutex
+	m     map[string]*idemEntry
+	order []string
+}
+
+func newIdemCache(cap int) *idemCache {
+	return &idemCache{cap: cap, m: make(map[string]*idemEntry)}
+}
+
+// begin claims the key. owner reports whether the caller runs the operation
+// (and must settle the entry via finish or abort); otherwise the returned
+// entry belongs to an earlier request — wait on done and replay.
+func (c *idemCache) begin(key string) (e *idemEntry, owner bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok {
+		return e, false
+	}
+	if len(c.m) >= c.cap {
+		c.evictOneLocked()
+	}
+	e = &idemEntry{done: make(chan struct{})}
+	c.m[key] = e
+	c.order = append(c.order, key)
+	return e, true
+}
+
+// evictOneLocked drops the oldest *settled* entry. In-flight entries are
+// never evicted — losing one would let a racing duplicate become a second
+// owner and execute the operation twice; if every entry is in flight the
+// cache temporarily exceeds cap (bounded by concurrent keyed requests).
+func (c *idemCache) evictOneLocked() {
+	for i, k := range c.order {
+		e := c.m[k]
+		select {
+		case <-e.done:
+			delete(c.m, k)
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			return
+		default:
+		}
+	}
+}
+
+// finish records the response and releases waiters.
+func (c *idemCache) finish(e *idemEntry, status int, body []byte) {
+	e.status = status
+	e.body = body
+	close(e.done)
+}
+
+// abort releases the key after a failed attempt: waiters (and future
+// requests) get a clean slate instead of a recorded error. The key leaves
+// the eviction order too — otherwise error-dominated keyed traffic would
+// grow it without bound (and a later re-begin of the same key would appear
+// twice, letting an eviction of the stale occurrence delete the live one).
+func (c *idemCache) abort(key string, e *idemEntry) {
+	c.mu.Lock()
+	if cur, ok := c.m[key]; ok && cur == e {
+		delete(c.m, key)
+		for i, k := range c.order {
+			if k == key {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				break
+			}
+		}
+	}
+	c.mu.Unlock()
+	close(e.done)
+}
+
+// idemToken is one handler's claim on an idempotency key. A zero token
+// (no Idempotency-Key header) is inert.
+type idemToken struct {
+	c       *idemCache
+	key     string
+	e       *idemEntry
+	settled bool
+}
+
+// finish records a successful response; abort (deferred) becomes a no-op.
+func (t *idemToken) finish(status int, body []byte) {
+	if t.e == nil || t.settled {
+		return
+	}
+	t.settled = true
+	t.c.finish(t.e, status, body)
+}
+
+// abort releases an unsettled claim; deferred on every handler exit path.
+func (t *idemToken) abort() {
+	if t.e == nil || t.settled {
+		return
+	}
+	t.settled = true
+	t.c.abort(t.key, t.e)
+}
+
+// idemBegin implements the Idempotency-Key contract for one request. The
+// key is scoped to the operation and fingerprinted with the payload, so a
+// reused key with a different body does not replay the old response — it
+// misses the cache and runs normally (typically into the underlying
+// conflict). handled reports that a recorded response was replayed (or an
+// in-flight twin's response was awaited) and the caller must return.
+func (h *handler) idemBegin(w http.ResponseWriter, r *http.Request, op, scope string, body []byte) (tok idemToken, handled bool) {
+	key := r.Header.Get("Idempotency-Key")
+	if key == "" {
+		return idemToken{}, false
+	}
+	sum := sha256.Sum256(body)
+	full := op + "\x00" + scope + "\x00" + key + "\x00" + string(sum[:])
+	for {
+		e, owner := h.idem.begin(full)
+		if owner {
+			return idemToken{c: h.idem, key: full, e: e}, false
+		}
+		select {
+		case <-e.done:
+		case <-r.Context().Done():
+			return idemToken{}, true // client gone; nothing to write
+		}
+		if e.status == 0 {
+			// The first attempt aborted without a recorded response; race
+			// for ownership of a fresh slot.
+			continue
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Idempotent-Replay", "true")
+		w.WriteHeader(e.status)
+		_, _ = w.Write(e.body)
+		return idemToken{}, true
+	}
+}
+
+// --- request/response shapes ------------------------------------------------
+
+// jobRequest is the POST /v1/jobs payload.
 type jobRequest struct {
 	ID          string             `json:"id,omitempty"`
 	Rule        transport.RuleSpec `json:"rule"`
@@ -65,7 +332,7 @@ type jobRequest struct {
 	// default of 128); older rounds answer 410 Gone.
 	KeepOutcomes int `json:"keep_outcomes,omitempty"`
 	// Equilibrium optionally describes the bidder-side game; with it the
-	// job serves GET /jobs/{id}/strategy so clients can bid the Theorem 1
+	// job serves GET /v1/jobs/{id}/strategy so clients can bid the Theorem 1
 	// equilibrium without solving it locally.
 	Equilibrium *transport.EquilibriumSpec `json:"equilibrium,omitempty"`
 }
@@ -83,11 +350,18 @@ type jobResponse struct {
 	MaxRounds    int    `json:"max_rounds"`
 	MinBids      int    `json:"min_bids"`
 	KeepOutcomes int    `json:"keep_outcomes"`
-	// HasStrategy reports whether GET /jobs/{id}/strategy is available.
+	// HasStrategy reports whether GET /v1/jobs/{id}/strategy is available.
 	HasStrategy bool `json:"has_strategy"`
 }
 
-// bidRequest is the POST /jobs/{id}/bids payload.
+// jobListResponse is the GET /v1/jobs page.
+type jobListResponse struct {
+	Jobs []jobResponse `json:"jobs"`
+	// NextCursor, when non-empty, fetches the next page via ?cursor=.
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// bidRequest is the POST /v1/jobs/{id}/bids payload.
 type bidRequest struct {
 	NodeID    int       `json:"node_id"`
 	Qualities []float64 `json:"qualities"`
@@ -95,15 +369,20 @@ type bidRequest struct {
 	Meta      string    `json:"meta,omitempty"`
 }
 
-// winnerJSON is one selected bid in an outcome response.
+// winnerJSON is one selected bid in an outcome response. BidPayment is the
+// payment the bid asked for; Payment is what the aggregator pays (they
+// differ under the second-price rule).
 type winnerJSON struct {
-	NodeID    int       `json:"node_id"`
-	Score     float64   `json:"score"`
-	Payment   float64   `json:"payment"`
-	Qualities []float64 `json:"qualities"`
+	NodeID     int       `json:"node_id"`
+	Score      float64   `json:"score"`
+	Payment    float64   `json:"payment"`
+	BidPayment float64   `json:"bid_payment"`
+	Qualities  []float64 `json:"qualities"`
 }
 
-// outcomeResponse is the GET /jobs/{id}/outcome payload.
+// outcomeResponse is the GET /v1/jobs/{id}/outcome payload, and the data of
+// round_closed events. Error is set (and the winner fields zero) when the
+// round failed.
 type outcomeResponse struct {
 	Job              string       `json:"job"`
 	Round            int          `json:"round"`
@@ -114,17 +393,38 @@ type outcomeResponse struct {
 	AggregatorProfit float64      `json:"aggregator_profit"`
 	// Scores is indexed by the round's bids in ascending node-ID order.
 	Scores []float64 `json:"scores"`
+	Error  string    `json:"error,omitempty"`
 }
 
+// outcomeListResponse is the GET /v1/jobs/{id}/outcomes page.
+type outcomeListResponse struct {
+	Outcomes []outcomeResponse `json:"outcomes"`
+	// NextCursor, when non-empty, is the round number to pass as ?cursor=
+	// for the next page.
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// --- handlers ---------------------------------------------------------------
+
 func (h *handler) createJob(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(io.LimitReader(r.Body, maxIdempotentBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Sprintf("reading job spec: %v", err))
+		return
+	}
+	tok, handled := h.idemBegin(w, r, "create-job", "", raw)
+	if handled {
+		return
+	}
+	defer tok.abort()
 	var req jobRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+	if err := json.Unmarshal(raw, &req); err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Sprintf("decoding job spec: %v", err))
 		return
 	}
 	rule, err := req.Rule.Build()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err.Error())
 		return
 	}
 	var payment auction.PaymentRule
@@ -134,7 +434,7 @@ func (h *handler) createJob(w http.ResponseWriter, r *http.Request) {
 	case "second-price":
 		payment = auction.SecondPrice
 	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown payment rule %q", req.Payment))
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Sprintf("unknown payment rule %q", req.Payment))
 		return
 	}
 	job, err := h.ex.CreateJob(JobSpec{
@@ -148,62 +448,105 @@ func (h *handler) createJob(w http.ResponseWriter, r *http.Request) {
 		Equilibrium:  req.Equilibrium,
 	})
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, jobView(job))
+	h.writeJSONIdempotent(w, http.StatusCreated, jobView(job), &tok)
 }
 
-func (h *handler) listJobs(w http.ResponseWriter, _ *http.Request) {
+func (h *handler) listJobsLegacy(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"jobs": h.ex.JobIDs()})
+}
+
+// listJobs serves the v1 paginated listing: jobs in lexical ID order,
+// ?cursor= the last ID of the previous page, ?limit= page size.
+func (h *handler) listJobs(w http.ResponseWriter, r *http.Request) {
+	limit, err := parseLimit(r.URL.Query().Get("limit"), 100, 1000)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err.Error())
+		return
+	}
+	cursor := r.URL.Query().Get("cursor")
+	ids := h.ex.JobIDs()
+	if cursor != "" {
+		for len(ids) > 0 && ids[0] <= cursor {
+			ids = ids[1:]
+		}
+	}
+	var resp jobListResponse
+	resp.Jobs = make([]jobResponse, 0, min(limit, len(ids)))
+	for _, id := range ids {
+		if len(resp.Jobs) == limit {
+			resp.NextCursor = resp.Jobs[len(resp.Jobs)-1].ID
+			break
+		}
+		if job, ok := h.ex.Job(id); ok {
+			resp.Jobs = append(resp.Jobs, jobView(job))
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (h *handler) jobStatus(w http.ResponseWriter, r *http.Request) {
 	job, ok := h.ex.Job(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrUnknownJob, r.PathValue("id")))
+		writeErr(w, fmt.Errorf("%w: %q", ErrUnknownJob, r.PathValue("id")))
 		return
 	}
 	writeJSON(w, http.StatusOK, jobView(job))
 }
 
 func (h *handler) submitBid(w http.ResponseWriter, r *http.Request) {
-	var req bidRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding bid: %w", err))
+	jobID := r.PathValue("id")
+	raw, err := io.ReadAll(io.LimitReader(r.Body, maxIdempotentBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Sprintf("reading bid: %v", err))
 		return
 	}
-	round, err := h.ex.SubmitBid(r.PathValue("id"), auction.Bid{
+	tok, handled := h.idemBegin(w, r, "submit-bid", jobID, raw)
+	if handled {
+		return
+	}
+	defer tok.abort()
+	var req bidRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Sprintf("decoding bid: %v", err))
+		return
+	}
+	round, err := h.ex.SubmitBid(jobID, auction.Bid{
 		NodeID:    req.NodeID,
 		Qualities: req.Qualities,
 		Payment:   req.Payment,
 	})
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
 	// Meta-on-bid is a labeling convenience of the open posture only, and
 	// only an accepted bid earns it: rejected requests must not mutate the
 	// registry, and on a gated exchange registration happens exclusively
-	// through POST /nodes.
+	// through POST /v1/nodes.
 	if req.Meta != "" && !h.ex.opts.RequireRegistration {
 		h.ex.RegisterNode(req.NodeID, req.Meta)
 	}
-	writeJSON(w, http.StatusAccepted, map[string]any{"job": r.PathValue("id"), "round": round})
+	h.writeJSONIdempotent(w, http.StatusAccepted, map[string]any{"job": jobID, "round": round}, &tok)
 }
 
 func (h *handler) removeJob(w http.ResponseWriter, r *http.Request) {
 	if err := h.ex.RemoveJob(r.PathValue("id")); err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"job": r.PathValue("id"), "removed": true})
 }
 
+// closeRound closes the collecting round now. An already-closed job answers
+// 409 job_closed (the job exists — the operation conflicts with its state);
+// only a job the exchange does not host answers 404.
 func (h *handler) closeRound(w http.ResponseWriter, r *http.Request) {
 	ro, err := h.ex.CloseRound(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, outcomeView(ro))
@@ -212,7 +555,7 @@ func (h *handler) closeRound(w http.ResponseWriter, r *http.Request) {
 func (h *handler) outcome(w http.ResponseWriter, r *http.Request) {
 	job, ok := h.ex.Job(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrUnknownJob, r.PathValue("id")))
+		writeErr(w, fmt.Errorf("%w: %q", ErrUnknownJob, r.PathValue("id")))
 		return
 	}
 	q := r.URL.Query()
@@ -220,7 +563,7 @@ func (h *handler) outcome(w http.ResponseWriter, r *http.Request) {
 	if s := q.Get("wait"); s != "" {
 		v, err := strconv.ParseBool(s)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad wait %q (want a boolean)", s))
+			writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Sprintf("bad wait %q (want a boolean)", s))
 			return
 		}
 		wait = v
@@ -228,13 +571,13 @@ func (h *handler) outcome(w http.ResponseWriter, r *http.Request) {
 	if q.Get("round") == "" && !wait {
 		ro, ok := job.Latest()
 		if !ok {
-			writeErr(w, http.StatusNotFound, errors.New("exchange: no completed rounds yet"))
+			writeError(w, http.StatusNotFound, codeRoundPending, "no completed rounds yet")
 			return
 		}
 		if ro.Err != nil {
 			// A failed round must not read as a winnerless success; report
 			// it exactly as the by-round path would.
-			writeErr(w, statusFor(ro.Err), ro.Err)
+			writeErr(w, ro.Err)
 			return
 		}
 		writeJSON(w, http.StatusOK, outcomeView(ro))
@@ -250,7 +593,7 @@ func (h *handler) outcome(w http.ResponseWriter, r *http.Request) {
 		if s := q.Get("round"); s != "" {
 			n, perr := strconv.Atoi(s)
 			if perr != nil {
-				writeErr(w, http.StatusBadRequest, fmt.Errorf("bad round %q", s))
+				writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Sprintf("bad round %q", s))
 				return
 			}
 			ro, err = job.WaitOutcome(ctx, n)
@@ -261,7 +604,7 @@ func (h *handler) outcome(w http.ResponseWriter, r *http.Request) {
 			ro, err = job.WaitLatest(ctx)
 		}
 		if err != nil {
-			writeErr(w, statusFor(err), err)
+			writeErr(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, outcomeView(ro))
@@ -269,20 +612,153 @@ func (h *handler) outcome(w http.ResponseWriter, r *http.Request) {
 	}
 	n, err := strconv.Atoi(q.Get("round"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad round %q", q.Get("round")))
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Sprintf("bad round %q", q.Get("round")))
 		return
 	}
 	ro, err := job.Outcome(n)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, outcomeView(ro))
 }
 
-// strategyResponse is the GET /jobs/{id}/strategy payload: the equilibrium
-// bid curve sampled over the θ support. Clients interpolate linearly
-// between points to obtain their own (quality, payment) bid.
+// listOutcomes serves the v1 paginated outcome listing: retained rounds with
+// numbers strictly greater than ?cursor=, oldest first. Failed rounds appear
+// with their error set so pages stay contiguous.
+func (h *handler) listOutcomes(w http.ResponseWriter, r *http.Request) {
+	job, ok := h.ex.Job(r.PathValue("id"))
+	if !ok {
+		writeErr(w, fmt.Errorf("%w: %q", ErrUnknownJob, r.PathValue("id")))
+		return
+	}
+	limit, err := parseLimit(r.URL.Query().Get("limit"), 100, 1000)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err.Error())
+		return
+	}
+	after := 0
+	if s := r.URL.Query().Get("cursor"); s != "" {
+		after, err = strconv.Atoi(s)
+		if err != nil || after < 0 {
+			writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Sprintf("bad cursor %q (want a round number)", s))
+			return
+		}
+	}
+	page, more := job.OutcomesAfter(after, limit)
+	resp := outcomeListResponse{Outcomes: make([]outcomeResponse, len(page))}
+	for i, ro := range page {
+		resp.Outcomes[i] = outcomeView(ro)
+	}
+	if more {
+		resp.NextCursor = strconv.Itoa(page[len(page)-1].Round)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// events streams the job's round lifecycle as Server-Sent Events:
+//
+//	event: round_open    data: {"job": "...", "round": N}
+//	event: round_closed  data: <outcomeResponse>   (id: round number)
+//	event: job_closed    data: {"job": "..."}
+//
+// round_closed events carry the outcome inline and an SSE id equal to the
+// round number; a reconnecting client sends Last-Event-ID (or ?after=) and
+// every retained round it missed is replayed before live events resume, so
+// a dropped subscriber loses nothing within the job's KeepOutcomes window.
+// Heartbeat comments flow every sseHeartbeat while the stream idles. The
+// stream ends after job_closed, or when the subscriber falls too far behind
+// (reconnect to resume).
+func (h *handler) events(w http.ResponseWriter, r *http.Request) {
+	job, ok := h.ex.Job(r.PathValue("id"))
+	if !ok {
+		writeErr(w, fmt.Errorf("%w: %q", ErrUnknownJob, r.PathValue("id")))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, codeInternal, "response writer does not support streaming")
+		return
+	}
+	after := 0
+	lastID := r.Header.Get("Last-Event-ID")
+	if lastID == "" {
+		lastID = r.URL.Query().Get("after")
+	}
+	if lastID != "" {
+		n, err := strconv.Atoi(lastID)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Sprintf("bad Last-Event-ID %q (want a round number)", lastID))
+			return
+		}
+		after = n
+	}
+
+	past, cur, sub := job.Subscribe(after)
+	if sub != nil {
+		defer job.Unsubscribe(sub)
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	for _, ro := range past {
+		writeSSE(w, strconv.Itoa(ro.Round), EventRoundClosed, outcomeView(ro))
+	}
+	if sub == nil {
+		writeSSE(w, "", EventJobClosed, map[string]string{"job": job.ID()})
+		flusher.Flush()
+		return
+	}
+	writeSSE(w, "", EventRoundOpen, map[string]any{"job": job.ID(), "round": cur})
+	flusher.Flush()
+
+	ticker := time.NewTicker(sseHeartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+			_, _ = fmt.Fprint(w, ": hb\n\n")
+			flusher.Flush()
+		case ev, ok := <-sub.C:
+			if !ok {
+				// Dropped for falling behind; the client reconnects with
+				// Last-Event-ID and replays what it missed.
+				return
+			}
+			switch ev.Type {
+			case EventRoundClosed:
+				writeSSE(w, strconv.Itoa(ev.Round), EventRoundClosed, outcomeView(*ev.Outcome))
+			case EventRoundOpen:
+				writeSSE(w, "", EventRoundOpen, map[string]any{"job": ev.Job, "round": ev.Round})
+			case EventJobClosed:
+				writeSSE(w, "", EventJobClosed, map[string]string{"job": ev.Job})
+				flusher.Flush()
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// writeSSE emits one SSE frame. data is JSON-marshaled; json.Marshal output
+// is single-line, so no data-field splitting is needed.
+func writeSSE(w http.ResponseWriter, id, event string, data any) {
+	b, err := json.Marshal(data)
+	if err != nil {
+		return
+	}
+	if id != "" {
+		_, _ = fmt.Fprintf(w, "id: %s\n", id)
+	}
+	_, _ = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+}
+
+// strategyResponse is the GET /v1/jobs/{id}/strategy payload: the
+// equilibrium bid curve sampled over the θ support. Clients interpolate
+// linearly between points to obtain their own (quality, payment) bid.
 type strategyResponse struct {
 	Job     string                  `json:"job"`
 	Rule    string                  `json:"rule"`
@@ -300,21 +776,21 @@ const defaultStrategySamples = 33
 func (h *handler) strategy(w http.ResponseWriter, r *http.Request) {
 	job, ok := h.ex.Job(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrUnknownJob, r.PathValue("id")))
+		writeErr(w, fmt.Errorf("%w: %q", ErrUnknownJob, r.PathValue("id")))
 		return
 	}
 	samples := defaultStrategySamples
 	if s := r.URL.Query().Get("samples"); s != "" {
 		n, err := strconv.Atoi(s)
 		if err != nil || n < 2 || n > 1024 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad samples %q (want an integer in [2, 1024])", s))
+			writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Sprintf("bad samples %q (want an integer in [2, 1024])", s))
 			return
 		}
 		samples = n
 	}
 	strat, err := job.Strategy()
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
 	spec := job.Spec()
@@ -336,7 +812,7 @@ func (h *handler) registerNode(w http.ResponseWriter, r *http.Request) {
 		Meta   string `json:"meta,omitempty"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding node: %w", err))
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Sprintf("decoding node: %v", err))
 		return
 	}
 	info := h.ex.RegisterNode(req.NodeID, req.Meta)
@@ -346,13 +822,13 @@ func (h *handler) registerNode(w http.ResponseWriter, r *http.Request) {
 func (h *handler) blacklistNode(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad node id %q", r.PathValue("id")))
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Sprintf("bad node id %q", r.PathValue("id")))
 		return
 	}
 	// BlacklistNode (not Registry().Blacklist) so the ban lands in the
 	// outcome log and survives a restart.
 	if !h.ex.BlacklistNode(id) {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("node %d is not registered", id))
+		writeError(w, http.StatusNotFound, codeNotFound, fmt.Sprintf("node %d is not registered", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"node_id": id, "blacklisted": true})
@@ -379,47 +855,81 @@ func jobView(j *Job) jobResponse {
 	}
 }
 
+// outcomeView renders a round for the wire. Failed rounds carry their error
+// string (events and the outcome listing must represent them); the scalar
+// outcome endpoints never reach this path with a failed round.
 func outcomeView(ro RoundOutcome) outcomeResponse {
+	resp := outcomeResponse{
+		Job:       ro.JobID,
+		Round:     ro.Round,
+		NumBids:   ro.NumBids,
+		LatencyMS: float64(ro.Latency) / float64(time.Millisecond),
+	}
+	if ro.Err != nil {
+		resp.Error = ro.Err.Error()
+		return resp
+	}
 	winners := make([]winnerJSON, len(ro.Outcome.Winners))
 	for i, win := range ro.Outcome.Winners {
 		winners[i] = winnerJSON{
-			NodeID:    win.Bid.NodeID,
-			Score:     win.Score,
-			Payment:   win.Payment,
-			Qualities: win.Bid.Qualities,
+			NodeID:     win.Bid.NodeID,
+			Score:      win.Score,
+			Payment:    win.Payment,
+			BidPayment: win.Bid.Payment,
+			Qualities:  win.Bid.Qualities,
 		}
 	}
-	return outcomeResponse{
-		Job:              ro.JobID,
-		Round:            ro.Round,
-		NumBids:          ro.NumBids,
-		LatencyMS:        float64(ro.Latency) / float64(time.Millisecond),
-		Winners:          winners,
-		TotalPayment:     ro.Outcome.TotalPayment(),
-		AggregatorProfit: ro.Outcome.AggregatorProfit,
-		Scores:           ro.Outcome.Scores,
-	}
+	resp.Winners = winners
+	resp.TotalPayment = ro.Outcome.TotalPayment()
+	resp.AggregatorProfit = ro.Outcome.AggregatorProfit
+	resp.Scores = ro.Outcome.Scores
+	return resp
 }
 
-// statusFor maps exchange errors onto HTTP status codes.
-func statusFor(err error) int {
+// parseLimit parses a ?limit= value with a default and an upper bound.
+func parseLimit(s string, def, max int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("bad limit %q (want a positive integer)", s)
+	}
+	if n > max {
+		n = max
+	}
+	return n, nil
+}
+
+// classify maps an exchange error onto its HTTP status and envelope code.
+func classify(err error) (status int, code string) {
 	switch {
-	case errors.Is(err, ErrUnknownJob), errors.Is(err, ErrRoundPending),
-		errors.Is(err, ErrNoStrategy):
-		return http.StatusNotFound
+	case errors.Is(err, ErrUnknownJob):
+		return http.StatusNotFound, codeUnknownJob
+	case errors.Is(err, ErrRoundPending):
+		return http.StatusNotFound, codeRoundPending
+	case errors.Is(err, ErrNoStrategy):
+		return http.StatusNotFound, codeNoStrategy
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		// A long-poll (?wait=1) that ran out of time: the request was fine,
 		// the outcome just is not there yet — retryable, not a client error.
-		return http.StatusGatewayTimeout
+		return http.StatusGatewayTimeout, codeTimeout
 	case errors.Is(err, ErrOutcomeEvicted):
-		return http.StatusGone
-	case errors.Is(err, ErrDuplicateBid), errors.Is(err, ErrJobClosed),
-		errors.Is(err, ErrBelowQuorum), errors.Is(err, ErrExchangeClosed):
-		return http.StatusConflict
-	case errors.Is(err, ErrNotRegistered), errors.Is(err, ErrBlacklisted):
-		return http.StatusForbidden
+		return http.StatusGone, codeOutcomeEvicted
+	case errors.Is(err, ErrDuplicateBid):
+		return http.StatusConflict, codeDuplicateBid
+	case errors.Is(err, ErrJobClosed):
+		return http.StatusConflict, codeJobClosed
+	case errors.Is(err, ErrBelowQuorum):
+		return http.StatusConflict, codeBelowQuorum
+	case errors.Is(err, ErrExchangeClosed):
+		return http.StatusConflict, codeExchangeClosed
+	case errors.Is(err, ErrNotRegistered):
+		return http.StatusForbidden, codeNotRegistered
+	case errors.Is(err, ErrBlacklisted):
+		return http.StatusForbidden, codeBlacklisted
 	default:
-		return http.StatusBadRequest
+		return http.StatusBadRequest, codeInvalidRequest
 	}
 }
 
@@ -429,6 +939,35 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// writeJSONIdempotent writes a success response and, when the request
+// carried an Idempotency-Key, records the exact bytes for replay.
+func (h *handler) writeJSONIdempotent(w http.ResponseWriter, status int, v any, tok *idemToken) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
+		return
+	}
+	body = append(body, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+	tok.finish(status, body)
+}
+
+// writeErr renders an exchange error in the uniform envelope. Timeouts
+// advertise a retry delay; everything else is either permanent or resolved
+// by the next round.
+func writeErr(w http.ResponseWriter, err error) {
+	status, code := classify(err)
+	env := errorEnvelope{Code: code, Message: err.Error()}
+	if status == http.StatusGatewayTimeout {
+		env.RetryAfterMS = int64(time.Second / time.Millisecond)
+	}
+	writeJSON(w, status, env)
+}
+
+// writeError renders an explicit status/code pair (request validation and
+// routing failures that never reach the exchange core).
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, errorEnvelope{Code: code, Message: message})
 }

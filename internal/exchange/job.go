@@ -111,7 +111,8 @@ type Job struct {
 	cancel context.CancelFunc
 
 	// mu guards the collecting state: the bid buffer, dedup set, round
-	// counter, outcome history, and the round-completion broadcast channel.
+	// counter, outcome history, the round-completion broadcast channel, and
+	// the event-stream subscriber set.
 	mu       sync.Mutex
 	closed   bool
 	scoring  bool
@@ -121,6 +122,7 @@ type Job struct {
 	baseRnd  int // outcomes[0] holds round baseRnd+1
 	outcomes []RoundOutcome
 	doneCh   chan struct{} // closed (and replaced) on every state change
+	subs     map[*Subscription]struct{}
 
 	// closeMu serializes round closes; the buffers below are reused across
 	// rounds so the steady-state scoring path allocates nothing. The
@@ -323,6 +325,17 @@ func (j *Job) closeRound() (RoundOutcome, error) {
 		j.closed = true
 	}
 	j.broadcastLocked()
+	// Push the transition to event-stream subscribers inside the same
+	// critical section that appended the outcome, so a Subscribe can never
+	// observe the history without either seeing this round in it or
+	// receiving this event.
+	j.publishLocked(Event{Type: EventRoundClosed, Job: j.id, Round: ro.Round, Outcome: &ro})
+	switch {
+	case maxed:
+		j.publishLocked(Event{Type: EventJobClosed, Job: j.id})
+	case !j.closed:
+		j.publishLocked(Event{Type: EventRoundOpen, Job: j.id, Round: j.round})
+	}
 	j.mu.Unlock()
 
 	if maxed {
@@ -397,6 +410,7 @@ func (j *Job) close(record bool) {
 	}
 	j.closed = true
 	j.broadcastLocked()
+	j.publishLocked(Event{Type: EventJobClosed, Job: j.id})
 	j.mu.Unlock()
 	j.cancel()
 	if record {
@@ -430,6 +444,28 @@ func (j *Job) outcomeLocked(round int) (ro RoundOutcome, err error, pending bool
 		return RoundOutcome{}, ErrJobClosed, false
 	}
 	return RoundOutcome{}, fmt.Errorf("%w: round %d", ErrRoundPending, round), true
+}
+
+// OutcomesAfter returns up to limit retained rounds with numbers strictly
+// greater than after, oldest first, and reports whether more retained
+// rounds remain past the returned page. It backs the v1 cursor-paginated
+// outcome listing; failed rounds are included (their Err set) so pages stay
+// contiguous.
+func (j *Job) OutcomesAfter(after, limit int) (page []RoundOutcome, more bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	start := after - j.baseRnd
+	if start < 0 {
+		start = 0
+	}
+	if start >= len(j.outcomes) {
+		return nil, false
+	}
+	rest := j.outcomes[start:]
+	if limit > 0 && len(rest) > limit {
+		return append(page, rest[:limit]...), true
+	}
+	return append(page, rest...), false
 }
 
 // Latest returns the most recent completed round, if any.
@@ -550,6 +586,7 @@ func newJob(ex *Exchange, id string, spec JobSpec) (*Job, error) {
 		seen:        make(map[int]struct{}),
 		round:       1,
 		doneCh:      make(chan struct{}),
+		subs:        make(map[*Subscription]struct{}),
 		auct:        auct,
 		src:         src,
 		strategyCfg: eqCfg,

@@ -2,6 +2,7 @@ package exchange
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -124,6 +125,12 @@ type persister struct {
 	f         *os.File
 	syncDelay time.Duration
 
+	// bufs recycles frame buffers between the appenders (which encode into
+	// one) and the writer goroutine (which returns it after the disk write).
+	// Record encoding used to be the durable close path's largest
+	// allocation; pooling it keeps the steady state allocation-free.
+	bufs sync.Pool
+
 	mu     sync.Mutex // guards ch against send-after-close, and err
 	closed bool
 	err    error
@@ -134,8 +141,23 @@ type persister struct {
 
 // persistMsg is either a framed record to append, a flush barrier, or both.
 type persistMsg struct {
-	rec   []byte
+	rec   *frameBuf
 	flush chan struct{}
+}
+
+// frameBuf is one pooled frame: an 8-byte length+CRC header followed by the
+// JSON payload, built in place by frameRecord. The bound json.Encoder
+// writes straight into the buffer, so one encode costs zero steady-state
+// allocations once the pool is warm.
+type frameBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+func newFrameBuf() *frameBuf {
+	fb := &frameBuf{}
+	fb.enc = json.NewEncoder(&fb.buf)
+	return fb
 }
 
 func newPersister(f *os.File, syncDelay time.Duration) *persister {
@@ -148,29 +170,35 @@ func newPersister(f *os.File, syncDelay time.Duration) *persister {
 		ch:        make(chan persistMsg, walBuffer),
 		done:      make(chan struct{}),
 	}
+	p.bufs.New = func() any { return newFrameBuf() }
 	go p.run()
 	return p
 }
 
-// append frames rec and queues it for the writer. Errors (encode or disk)
-// are sticky and surfaced through Err/Sync; the exchange keeps serving from
-// memory either way, mirroring how a database treats a failing WAL device.
+// append frames rec into a pooled buffer and queues it for the writer,
+// which returns the buffer to the pool once the bytes are on their way to
+// disk. Errors (encode or disk) are sticky and surfaced through Err/Sync;
+// the exchange keeps serving from memory either way, mirroring how a
+// database treats a failing WAL device.
 func (p *persister) append(rec walRecord) {
-	buf, err := frameRecord(rec)
+	fb := p.bufs.Get().(*frameBuf)
+	err := frameRecord(fb, rec)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if err != nil {
+		p.bufs.Put(fb)
 		if p.err == nil {
 			p.err = err
 		}
 		return
 	}
 	if p.closed {
+		p.bufs.Put(fb)
 		return
 	}
 	// The send happens under mu so close() can never close the channel
 	// between the closed-check and the send.
-	p.ch <- persistMsg{rec: buf}
+	p.ch <- persistMsg{rec: fb}
 }
 
 // sync blocks until every record appended so far is on disk and returns the
@@ -232,12 +260,15 @@ func (p *persister) run() {
 	var flushes []chan struct{}
 	dirty := false
 	write := func(msg persistMsg) {
-		if len(msg.rec) > 0 && p.Err() == nil {
-			if _, err := p.f.Write(msg.rec); err != nil {
-				p.fail(err)
-			} else {
-				dirty = true
+		if msg.rec != nil {
+			if p.Err() == nil {
+				if _, err := p.f.Write(msg.rec.buf.Bytes()); err != nil {
+					p.fail(err)
+				} else {
+					dirty = true
+				}
 			}
+			p.bufs.Put(msg.rec)
 		}
 		if msg.flush != nil {
 			flushes = append(flushes, msg.flush)
@@ -283,19 +314,28 @@ func (p *persister) run() {
 	commit()
 }
 
-// frameRecord encodes rec as a length-prefixed, CRC-guarded frame:
+// frameRecord encodes rec into fb as a length-prefixed, CRC-guarded frame:
 //
 //	uint32 LE payload length | uint32 LE CRC-32 (IEEE) of payload | payload JSON
-func frameRecord(rec walRecord) ([]byte, error) {
-	payload, err := json.Marshal(rec)
-	if err != nil {
-		return nil, fmt.Errorf("exchange: encoding wal record: %w", err)
+//
+// The header is written as a placeholder first and patched once the payload
+// size is known, so the whole frame lands in one reused buffer with no
+// intermediate marshal allocation. The bound encoder produces exactly
+// json.Marshal's bytes plus a trailing newline, which is truncated to keep
+// the on-disk format byte-identical to pre-pooling logs.
+func frameRecord(fb *frameBuf, rec walRecord) error {
+	var pad [8]byte
+	fb.buf.Reset()
+	fb.buf.Write(pad[:]) // header placeholder; Write to a Buffer cannot fail
+	if err := fb.enc.Encode(rec); err != nil {
+		return fmt.Errorf("exchange: encoding wal record: %w", err)
 	}
-	buf := make([]byte, 8+len(payload))
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
-	copy(buf[8:], payload)
-	return buf, nil
+	fb.buf.Truncate(fb.buf.Len() - 1) // drop the encoder's trailing newline
+	frame := fb.buf.Bytes()
+	payload := frame[8:]
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	return nil
 }
 
 // scanWAL reads records until EOF or the first torn/corrupt frame and

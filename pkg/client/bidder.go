@@ -1,0 +1,55 @@
+package client
+
+import (
+	"context"
+	"fmt"
+)
+
+// bidderSamples is the strategy-curve resolution a Bidder fetches; matching
+// the solver's own θ grid (129 points) makes the interpolated bid
+// indistinguishable from a local solve at a few KB of payload.
+const bidderSamples = 129
+
+// Bidder bids a job's solved Theorem 1 equilibrium strategy on behalf of
+// one edge node: it fetches the bid curve once and interpolates the node's
+// (quality, payment) bid from its private type θ, so the node never runs
+// the equilibrium solver locally.
+type Bidder struct {
+	c      *Client
+	jobID  string
+	nodeID int
+	theta  float64
+	strat  *Strategy
+}
+
+// NewBidder fetches the job's strategy curve and returns a bidder for the
+// node with private cost parameter theta. Jobs created without an
+// equilibrium spec fail with CodeNoStrategy.
+func (c *Client) NewBidder(ctx context.Context, jobID string, nodeID int, theta float64) (*Bidder, error) {
+	strat, err := c.Strategy(ctx, jobID, bidderSamples)
+	if err != nil {
+		return nil, fmt.Errorf("client: fetching strategy for job %s: %w", jobID, err)
+	}
+	return &Bidder{c: c, jobID: jobID, nodeID: nodeID, theta: theta, strat: strat}, nil
+}
+
+// Strategy returns the fetched bid curve.
+func (b *Bidder) Strategy() *Strategy { return b.strat }
+
+// WithTheta returns a bidder for a different private type reusing the
+// already-fetched curve — e.g. after discovering the game's θ support from
+// Strategy().ThetaLo/ThetaHi.
+func (b *Bidder) WithTheta(theta float64) *Bidder {
+	nb := *b
+	nb.theta = theta
+	return &nb
+}
+
+// Bid returns the node's equilibrium bid (without submitting it).
+func (b *Bidder) Bid() Bid { return b.strat.Bid(b.nodeID, b.theta) }
+
+// Submit places the node's equilibrium bid into the job's collecting round
+// and returns the round it entered.
+func (b *Bidder) Submit(ctx context.Context) (round int, err error) {
+	return b.c.SubmitBid(ctx, b.jobID, b.Bid())
+}

@@ -1,0 +1,478 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	mrand "math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client is a typed client for the exchange's /v1 API. All methods are safe
+// for concurrent use; the underlying http.Client reuses connections.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (timeouts, proxies, test
+// doubles). The default is a plain http.Client with keep-alive reuse.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithRetries sets how many times an idempotent request is retried after a
+// transient failure (network error or 502/503/504). Default 3; 0 disables.
+func WithRetries(n int) Option {
+	return func(c *Client) { c.retries = n }
+}
+
+// WithBackoff sets the base retry delay; attempt n sleeps roughly
+// base·2ⁿ with ±50% jitter, capped at 5s. Default 100ms.
+func WithBackoff(d time.Duration) Option {
+	return func(c *Client) { c.backoff = d }
+}
+
+// New returns a client for the exchange at baseURL (e.g.
+// "http://localhost:8780"). The /v1 prefix is implied; do not include it.
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: parsing base URL: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("client: base URL %q must be http or https", baseURL)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("client: base URL %q has no host", baseURL)
+	}
+	c := &Client{
+		base:    strings.TrimRight(u.String(), "/"),
+		hc:      &http.Client{},
+		retries: 3,
+		backoff: 100 * time.Millisecond,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// BaseURL returns the exchange base URL the client was built with.
+func (c *Client) BaseURL() string { return c.base }
+
+// CreateJob creates (or idempotently re-creates) a hosted job. When
+// spec.IdempotencyKey is empty a random key is generated for the call, so
+// automatic retries after a network failure cannot create the job twice; a
+// caller-supplied key additionally makes whole-call replays safe — the
+// exchange returns the originally recorded response.
+func (c *Client) CreateJob(ctx context.Context, spec JobSpec) (Job, error) {
+	key := spec.IdempotencyKey
+	if key == "" {
+		key = newIdempotencyKey()
+	}
+	var job Job
+	err := c.do(ctx, request{
+		method:  http.MethodPost,
+		path:    "/v1/jobs",
+		body:    spec.wire(),
+		headers: map[string]string{"Idempotency-Key": key},
+		out:     &job,
+		retry:   true,
+	})
+	return job, err
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, jobID string) (Job, error) {
+	var job Job
+	err := c.do(ctx, request{method: http.MethodGet, path: "/v1/jobs/" + url.PathEscape(jobID), out: &job, retry: true})
+	return job, err
+}
+
+// Jobs lists every hosted job, following cursor pagination to the end.
+func (c *Client) Jobs(ctx context.Context) ([]Job, error) {
+	var all []Job
+	cursor := ""
+	for {
+		q := url.Values{}
+		if cursor != "" {
+			q.Set("cursor", cursor)
+		}
+		var page struct {
+			Jobs       []Job  `json:"jobs"`
+			NextCursor string `json:"next_cursor"`
+		}
+		if err := c.do(ctx, request{method: http.MethodGet, path: "/v1/jobs", query: q, out: &page, retry: true}); err != nil {
+			return nil, err
+		}
+		all = append(all, page.Jobs...)
+		if page.NextCursor == "" {
+			return all, nil
+		}
+		cursor = page.NextCursor
+	}
+}
+
+// RemoveJob closes the job and evicts it from the exchange.
+func (c *Client) RemoveJob(ctx context.Context, jobID string) error {
+	return c.do(ctx, request{method: http.MethodDelete, path: "/v1/jobs/" + url.PathEscape(jobID)})
+}
+
+// SubmitBid submits one sealed bid into the job's collecting round and
+// returns the round it entered. Each call carries a fresh idempotency key,
+// so transparent retries after a transport failure cannot double-bid (the
+// exchange replays the recorded acceptance instead of answering 409).
+func (c *Client) SubmitBid(ctx context.Context, jobID string, bid Bid) (round int, err error) {
+	var resp struct {
+		Round int `json:"round"`
+	}
+	err = c.do(ctx, request{
+		method:  http.MethodPost,
+		path:    "/v1/jobs/" + url.PathEscape(jobID) + "/bids",
+		body:    bid,
+		headers: map[string]string{"Idempotency-Key": newIdempotencyKey()},
+		out:     &resp,
+		retry:   true,
+	})
+	return resp.Round, err
+}
+
+// CloseRound closes the job's collecting round now and returns its outcome.
+// Not retried automatically: closing is not idempotent (a retry would close
+// the next round too).
+func (c *Client) CloseRound(ctx context.Context, jobID string) (Outcome, error) {
+	var out Outcome
+	err := c.do(ctx, request{method: http.MethodPost, path: "/v1/jobs/" + url.PathEscape(jobID) + "/close", out: &out})
+	return out, err
+}
+
+// Outcome fetches one completed round.
+func (c *Client) Outcome(ctx context.Context, jobID string, round int) (Outcome, error) {
+	q := url.Values{"round": {strconv.Itoa(round)}}
+	var out Outcome
+	err := c.do(ctx, request{method: http.MethodGet, path: "/v1/jobs/" + url.PathEscape(jobID) + "/outcome", query: q, out: &out, retry: true})
+	return out, err
+}
+
+// LatestOutcome fetches the most recent completed round without blocking.
+func (c *Client) LatestOutcome(ctx context.Context, jobID string) (Outcome, error) {
+	var out Outcome
+	err := c.do(ctx, request{method: http.MethodGet, path: "/v1/jobs/" + url.PathEscape(jobID) + "/outcome", out: &out, retry: true})
+	return out, err
+}
+
+// WaitOutcome blocks until the round completes (long-polling the exchange,
+// re-issuing the poll on server timeouts) or ctx expires. round 0 waits for
+// the latest completed round instead of a specific one.
+func (c *Client) WaitOutcome(ctx context.Context, jobID string, round int) (Outcome, error) {
+	q := url.Values{"wait": {"1"}}
+	if round > 0 {
+		q.Set("round", strconv.Itoa(round))
+	}
+	for {
+		var out Outcome
+		err := c.do(ctx, request{method: http.MethodGet, path: "/v1/jobs/" + url.PathEscape(jobID) + "/outcome", query: q, out: &out, retry: true})
+		if err == nil {
+			return out, nil
+		}
+		// A 504 means the server's poll window lapsed with the round still
+		// pending; keep waiting as long as our own context allows.
+		var ae *APIError
+		if !errors.As(err, &ae) || ae.Code != CodeTimeout {
+			return Outcome{}, err
+		}
+		if ctx.Err() != nil {
+			return Outcome{}, ctx.Err()
+		}
+	}
+}
+
+// Outcomes fetches one page of retained rounds with numbers strictly
+// greater than afterRound (oldest first) and reports whether more remain.
+// limit 0 uses the server default.
+func (c *Client) Outcomes(ctx context.Context, jobID string, afterRound, limit int) (page []Outcome, more bool, err error) {
+	q := url.Values{}
+	if afterRound > 0 {
+		q.Set("cursor", strconv.Itoa(afterRound))
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	var resp struct {
+		Outcomes   []Outcome `json:"outcomes"`
+		NextCursor string    `json:"next_cursor"`
+	}
+	err = c.do(ctx, request{method: http.MethodGet, path: "/v1/jobs/" + url.PathEscape(jobID) + "/outcomes", query: q, out: &resp, retry: true})
+	return resp.Outcomes, resp.NextCursor != "", err
+}
+
+// Register adds the node to the exchange's registry (idempotent).
+func (c *Client) Register(ctx context.Context, nodeID int, meta string) error {
+	body := map[string]any{"node_id": nodeID}
+	if meta != "" {
+		body["meta"] = meta
+	}
+	return c.do(ctx, request{method: http.MethodPost, path: "/v1/nodes", body: body, retry: true})
+}
+
+// Blacklist bans the node from all future rounds.
+func (c *Client) Blacklist(ctx context.Context, nodeID int) error {
+	return c.do(ctx, request{method: http.MethodPost, path: "/v1/nodes/" + strconv.Itoa(nodeID) + "/blacklist", retry: true})
+}
+
+// Strategy fetches the job's solved Theorem 1 equilibrium bid curve with
+// the given sample count (0 uses the server default). Interpolate with the
+// returned Strategy's Payment/Qualities, or use NewBidder.
+func (c *Client) Strategy(ctx context.Context, jobID string, samples int) (*Strategy, error) {
+	q := url.Values{}
+	if samples > 0 {
+		q.Set("samples", strconv.Itoa(samples))
+	}
+	var s Strategy
+	if err := c.do(ctx, request{method: http.MethodGet, path: "/v1/jobs/" + url.PathEscape(jobID) + "/strategy", query: q, out: &s, retry: true}); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Metrics fetches the exchange's health snapshot.
+func (c *Client) Metrics(ctx context.Context) (Metrics, error) {
+	var m Metrics
+	err := c.do(ctx, request{method: http.MethodGet, path: "/v1/metrics", out: &m, retry: true})
+	return m, err
+}
+
+// --- transport core ---------------------------------------------------------
+
+// request is one API call description for do.
+type request struct {
+	method  string
+	path    string
+	query   url.Values
+	body    any
+	headers map[string]string
+	out     any
+	// retry marks the request safe to re-issue after a transient failure
+	// (GETs, and POSTs carrying an idempotency key).
+	retry bool
+}
+
+// do executes one API request with context-aware retries and jittered
+// exponential backoff on transient failures.
+func (c *Client) do(ctx context.Context, req request) error {
+	var bodyBytes []byte
+	if req.body != nil {
+		var err error
+		if bodyBytes, err = json.Marshal(req.body); err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+	}
+	u := c.base + req.path
+	if len(req.query) > 0 {
+		u += "?" + req.query.Encode()
+	}
+	maxAttempts := 1
+	if req.retry {
+		maxAttempts += c.retries
+	}
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := sleepBackoff(ctx, c.backoff, attempt-1); err != nil {
+				return lastErr
+			}
+		}
+		hr, err := http.NewRequestWithContext(ctx, req.method, u, bytes.NewReader(bodyBytes))
+		if err != nil {
+			return fmt.Errorf("client: building request: %w", err)
+		}
+		if req.body != nil {
+			hr.Header.Set("Content-Type", "application/json")
+		}
+		for k, v := range req.headers {
+			hr.Header.Set(k, v)
+		}
+		resp, err := c.hc.Do(hr)
+		if err != nil {
+			lastErr = fmt.Errorf("client: %s %s: %w", req.method, req.path, err)
+			if ctx.Err() != nil {
+				return lastErr
+			}
+			continue
+		}
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			if req.out == nil {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close() //nolint:errcheck // drained
+				return nil
+			}
+			err := json.NewDecoder(resp.Body).Decode(req.out)
+			resp.Body.Close() //nolint:errcheck // decoded
+			if err != nil {
+				return fmt.Errorf("client: decoding %s %s response: %w", req.method, req.path, err)
+			}
+			return nil
+		}
+		apiErr := decodeAPIError(resp)
+		lastErr = apiErr
+		if !transientStatus(resp.StatusCode) {
+			return apiErr
+		}
+	}
+	return lastErr
+}
+
+// transientStatus reports whether a failure status is worth retrying.
+// 504 is the long-poll timeout — WaitOutcome handles it explicitly, and a
+// plain request hitting a gateway timeout is equally safe to re-issue.
+func transientStatus(status int) bool {
+	switch status {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// sleepBackoff sleeps base·2ᵃᵗᵗᵉᵐᵖᵗ with ±50% jitter (capped at 5s), or
+// returns early when ctx expires.
+func sleepBackoff(ctx context.Context, base time.Duration, attempt int) error {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	d := time.Duration(float64(base) * math.Pow(2, float64(attempt)))
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	d = time.Duration(float64(d) * (0.5 + mrand.Float64())) //nolint:gosec // jitter, not crypto
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// decodeAPIError reads the v1 error envelope (falling back to the raw body
+// for non-JSON responses, e.g. an intermediary's error page).
+func decodeAPIError(resp *http.Response) *APIError {
+	defer resp.Body.Close() //nolint:errcheck // error path
+	ae := &APIError{Status: resp.StatusCode}
+	var env struct {
+		Code         string `json:"code"`
+		Message      string `json:"message"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if err := json.Unmarshal(raw, &env); err == nil && env.Code != "" {
+		ae.Code = env.Code
+		ae.Message = env.Message
+		ae.RetryAfter = time.Duration(env.RetryAfterMS) * time.Millisecond
+		return ae
+	}
+	ae.Message = strings.TrimSpace(string(raw))
+	if ae.Message == "" {
+		ae.Message = resp.Status
+	}
+	return ae
+}
+
+// newIdempotencyKey returns a random 128-bit hex key.
+func newIdempotencyKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unheard of; fall back to math/rand rather
+		// than failing the request over a retry-safety nicety.
+		for i := range b {
+			b[i] = byte(mrand.Int()) //nolint:gosec // fallback only
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// wire converts the SDK spec to the POST /v1/jobs payload.
+func (s JobSpec) wire() map[string]any {
+	m := map[string]any{
+		"rule": s.Rule,
+		"k":    s.K,
+	}
+	if s.ID != "" {
+		m["id"] = s.ID
+	}
+	if s.Payment != "" {
+		m["payment"] = s.Payment
+	}
+	if s.Psi != 0 {
+		m["psi"] = s.Psi
+	}
+	if s.Seed != 0 {
+		m["seed"] = s.Seed
+	}
+	if s.BidWindow > 0 {
+		m["bid_window_ms"] = int64(s.BidWindow / time.Millisecond)
+	}
+	if s.MaxRounds > 0 {
+		m["max_rounds"] = s.MaxRounds
+	}
+	if s.MinBids > 0 {
+		m["min_bids"] = s.MinBids
+	}
+	if s.KeepOutcomes > 0 {
+		m["keep_outcomes"] = s.KeepOutcomes
+	}
+	if s.Equilibrium != nil {
+		m["equilibrium"] = s.Equilibrium
+	}
+	return m
+}
+
+// JobSpec configures a job to create. Rule and Equilibrium use the wire
+// forms re-exported as RuleSpec/EquilibriumSpec, so external modules can
+// populate them without internal imports.
+type JobSpec struct {
+	// ID names the job; empty lets the exchange assign one.
+	ID string
+	// Rule is the scoring rule (additive, leontief, cobb-douglas).
+	Rule RuleSpec
+	// K is the per-round winner count.
+	K int
+	// Payment is "first-price" (default) or "second-price".
+	Payment string
+	// Psi enables ψ-FMore when in (0, 1).
+	Psi float64
+	// Seed drives the job's deterministic tiebreak rng.
+	Seed int64
+	// BidWindow > 0 makes the exchange close rounds on a timer; zero means
+	// manual rounds (CloseRound).
+	BidWindow time.Duration
+	// MaxRounds closes the job after that many rounds (0 = unlimited).
+	MaxRounds int
+	// MinBids is the round quorum (default 1).
+	MinBids int
+	// KeepOutcomes bounds retained history (0 = server default).
+	KeepOutcomes int
+	// Equilibrium optionally describes the bidder-side game so the job can
+	// serve the solved Theorem 1 strategy.
+	Equilibrium *EquilibriumSpec
+	// IdempotencyKey, when set, is sent as the Idempotency-Key header so a
+	// repeated CreateJob with the same key replays the original response
+	// instead of failing on the duplicate ID.
+	IdempotencyKey string
+}

@@ -1,0 +1,38 @@
+// Package client is the typed Go SDK for the FMore exchange's versioned
+// /v1 HTTP API (internal/exchange, served by cmd/fmore-exchange). It is the
+// single supported way for in-repo consumers — cmd/edgenode's exchange
+// mode, internal/cluster's exchange path, examples/exchange — to talk to an
+// exchange; nothing else should construct raw exchange HTTP requests.
+//
+// A Client wraps one exchange base URL with connection reuse, uniform
+// {code, message} error decoding (APIError), and context-aware retries with
+// jittered exponential backoff. Mutating calls are made retry-safe with
+// idempotency keys: CreateJob and SubmitBid attach one automatically, so a
+// request replayed after a network failure returns the original result
+// instead of a duplicate-ID or duplicate-bid conflict.
+//
+// The request/response surface mirrors the API one-to-one — CreateJob,
+// Jobs (cursor pagination followed transparently), SubmitBid, CloseRound,
+// Outcome/LatestOutcome/WaitOutcome/Outcomes, Register, Blacklist,
+// Strategy, Metrics — plus three higher-level helpers:
+//
+//   - WatchRounds subscribes to the job's server-push round stream
+//     (GET /v1/jobs/{id}/events, Server-Sent Events). The returned Watch
+//     delivers round_open / round_closed (outcome inline) / job_closed
+//     events in order and survives connection drops: it reconnects with
+//     Last-Event-ID set to the last delivered round and the exchange
+//     replays whatever was missed, so within the job's retained history a
+//     consumer observes every round exactly once. This replaces outcome
+//     long-polling for edge nodes.
+//
+//   - Bidder (NewBidder) fetches a job's solved Theorem 1 equilibrium bid
+//     curve once and interpolates the node's (quality, payment) bid from
+//     its private type θ — the node never runs the equilibrium solver.
+//
+//   - Engine adapts a remote job to transport.Engine, which is how the TCP
+//     aggregator harness (internal/cluster) delegates winner determination
+//     to an exchange over HTTP.
+//
+// See example_test.go for a runnable end-to-end round trip against an
+// in-process exchange.
+package client

@@ -1,0 +1,106 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"fmore/internal/auction"
+)
+
+// Engine adapts a remote exchange job to the transport.Engine interface:
+// each aggregator round becomes one exchange round driven through the v1
+// API (submit the collected bids, close, return the outcome). It replaces
+// the old in-process adapter so the TCP aggregator harness and any other
+// embedder reach the exchange exclusively through the SDK — the same path a
+// separately deployed exchange would be driven over.
+//
+// The job should be created with BidWindow = 0 (manual rounds); the caller
+// owns the round cadence.
+type Engine struct {
+	c     *Client
+	jobID string
+	ctx   context.Context
+}
+
+// NewEngine returns the adapter for jobID on c's exchange. ctx bounds every
+// round's API calls; pass context.Background() for no deadline.
+func NewEngine(ctx context.Context, c *Client, jobID string) *Engine {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Engine{c: c, jobID: jobID, ctx: ctx}
+}
+
+// RunRound implements transport.Engine. The transport round number is
+// informational; the job keeps its own contiguous round counter.
+// Individually rejected bids (blacklisted or unregistered nodes) drop out
+// of the round without failing it, mirroring the aggregator's tolerance of
+// misbehaving nodes; the round errors only if no bid is admitted.
+//
+// Submissions fire concurrently — they are independent HTTP requests, and
+// sequencing them would multiply round latency by the bidder count. The
+// outcome is unaffected: the exchange canonically orders each round's bid
+// set by node ID before scoring.
+func (e *Engine) RunRound(round int, bids []auction.Bid) (auction.Outcome, error) {
+	var (
+		mu       sync.Mutex
+		lastErr  error
+		admitted int
+		wg       sync.WaitGroup
+	)
+	for _, b := range bids {
+		wg.Add(1)
+		go func(b auction.Bid) {
+			defer wg.Done()
+			_, err := e.c.SubmitBid(e.ctx, e.jobID, Bid{
+				NodeID:    b.NodeID,
+				Qualities: b.Qualities,
+				Payment:   b.Payment,
+			})
+			mu.Lock()
+			if err != nil {
+				lastErr = err
+			} else {
+				admitted++
+			}
+			mu.Unlock()
+		}(b)
+	}
+	wg.Wait()
+	if admitted == 0 {
+		if lastErr == nil {
+			lastErr = auction.ErrNoBids
+		}
+		return auction.Outcome{}, fmt.Errorf("client: engine admitted 0/%d bids (transport round %d): %w", len(bids), round, lastErr)
+	}
+	out, err := e.c.CloseRound(e.ctx, e.jobID)
+	if err != nil {
+		return auction.Outcome{}, fmt.Errorf("client: engine close (transport round %d): %w", round, err)
+	}
+	return out.AuctionOutcome(), nil
+}
+
+// AuctionOutcome converts the wire outcome back into the auction engine's
+// native form; BidPayment restores each winning bid's asked payment so
+// downstream accounting (second-price analysis, profit checks) sees exactly
+// what an in-process auctioneer would have returned.
+func (o Outcome) AuctionOutcome() auction.Outcome {
+	winners := make([]auction.Winner, len(o.Winners))
+	for i, w := range o.Winners {
+		winners[i] = auction.Winner{
+			Bid: auction.Bid{
+				NodeID:    w.NodeID,
+				Qualities: append([]float64(nil), w.Qualities...),
+				Payment:   w.BidPayment,
+			},
+			Score:   w.Score,
+			Payment: w.Payment,
+		}
+	}
+	return auction.Outcome{
+		Winners:          winners,
+		Scores:           append([]float64(nil), o.Scores...),
+		AggregatorProfit: o.AggregatorProfit,
+	}
+}
