@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registered on the DefaultServeMux served at -pprof-addr
 	"os"
 
 	"fmore/internal/auction"
@@ -42,8 +44,16 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "shared experiment seed")
 	random := fs.Bool("random", false, "RandFL baseline selection")
 	psi := fs.Float64("psi", 1, "psi-FMore admission probability")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "aggregator: pprof:", err)
+			}
+		}()
 	}
 
 	task, err := parseTask(*taskName)

@@ -10,7 +10,14 @@
 // replayed on the next start: a crashed or restarted exchange serves the
 // identical retained outcome history and continues its jobs with
 // consistent round numbering and the same deterministic draw sequence.
-// Without the flag the exchange is in-memory only.
+// The log compacts itself: once the active segment passes -snapshot-bytes
+// (default 8 MiB; -snapshot-interval adds a timer) the exchange snapshots
+// its durable state, rotates onto a fresh segment and deletes the covered
+// ones, so replay time and disk usage stay bounded by live state instead of
+// total rounds served. Without the flag the exchange is in-memory only.
+//
+// -pprof-addr (off by default) serves net/http/pprof on a separate
+// listener for live profiling.
 //
 // The supported Go surface is the pkg/client SDK; the raw API quickstart
 // below shows the wire shapes. Create a job, bid, read the outcome:
@@ -63,6 +70,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registered on the DefaultServeMux served at -pprof-addr
 	"os/signal"
 	"syscall"
 	"time"
@@ -77,11 +85,30 @@ func main() {
 		"directory for the write-ahead outcome log; replayed on start (empty = in-memory only)")
 	requireReg := flag.Bool("require-registration", false,
 		"reject bids from nodes that have not registered via POST /v1/nodes")
+	snapshotBytes := flag.Int64("snapshot-bytes", 0,
+		"WAL segment size that triggers snapshot + log rotation (0 = default 8 MiB, negative disables)")
+	snapshotInterval := flag.Duration("snapshot-interval", 0,
+		"additionally snapshot + rotate the WAL on this period (0 = size trigger only)")
+	pprofAddr := flag.String("pprof-addr", "",
+		"serve net/http/pprof on this address (empty = disabled); keep it loopback-only in production")
 	flag.Parse()
 
 	opts := exchange.Options{
 		Workers:             *workers,
 		RequireRegistration: *requireReg,
+		SnapshotBytes:       *snapshotBytes,
+		SnapshotInterval:    *snapshotInterval,
+	}
+	if *pprofAddr != "" {
+		// The profiling surface stays off the service mux (and off by
+		// default): exposing goroutine dumps and heap profiles next to the
+		// public API would be an operational footgun.
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
 	}
 	var (
 		ex  *exchange.Exchange

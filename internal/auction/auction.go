@@ -100,17 +100,46 @@ func (a *Auctioneer) RunScored(bids []Bid, scores []float64) (Outcome, error) {
 	return a.run(bids, scores)
 }
 
+// RunScoredInto is RunScored with the result deep-copied into buf's pooled
+// memory instead of freshly allocated: the returned Outcome aliases buf and
+// is valid until buf's next CloneInto or Recycle (see OutcomeBuffer's
+// ownership rules). The rng draw sequence is identical to RunScored, so a
+// seeded Auctioneer yields bit-identical outcomes on either entry point —
+// that equivalence is what lets internal/exchange's pooled round close
+// replay against logs written by the allocating path.
+func (a *Auctioneer) RunScoredInto(bids []Bid, scores []float64, buf *OutcomeBuffer) (Outcome, error) {
+	if scores == nil {
+		a.round++
+		return Outcome{}, fmt.Errorf("auction: RunScoredInto requires a score vector")
+	}
+	out, err := a.selectRound(bids, scores)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return out.CloneInto(buf), nil
+}
+
 // run is the shared round body: one Select on the pooled buffers, then a
-// clone so the caller owns the result. Psi >= 1 maps to the plain top-K
-// path (the legacy dispatch), keeping the heap selection on the default
-// configuration's hot path.
+// clone so the caller owns the result.
 func (a *Auctioneer) run(bids []Bid, scores []float64) (Outcome, error) {
+	out, err := a.selectRound(bids, scores)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return out.Clone(), nil
+}
+
+// selectRound advances the round counter and runs one Select on the pooled
+// buffers; the result aliases the selector's scratch. Psi >= 1 maps to the
+// plain top-K path (the legacy dispatch), keeping the heap selection on the
+// default configuration's hot path.
+func (a *Auctioneer) selectRound(bids []Bid, scores []float64) (Outcome, error) {
 	a.round++
 	psi := a.cfg.Psi
 	if psi >= 1 {
 		psi = 0
 	}
-	out, err := a.sel.Select(SelectionRequest{
+	return a.sel.Select(SelectionRequest{
 		Rule:    a.cfg.Rule,
 		Bids:    bids,
 		Scores:  scores,
@@ -118,10 +147,6 @@ func (a *Auctioneer) run(bids []Bid, scores []float64) (Outcome, error) {
 		Psi:     psi,
 		Payment: a.cfg.Payment,
 	}, a.rng)
-	if err != nil {
-		return Outcome{}, err
-	}
-	return out.Clone(), nil
 }
 
 // Round returns the number of completed auction rounds.

@@ -45,7 +45,12 @@
 // steady-state allocations. The returned Outcome aliases the selector's
 // buffers and the request's bids and is valid only until the next Select
 // call; Outcome.Clone produces an owning copy. The package-level Select
-// and the Auctioneer's Run/RunScored return owning outcomes.
+// and the Auctioneer's Run/RunScored return owning outcomes. Callers that
+// retain outcomes round after round (the exchange's per-job history) use
+// Auctioneer.RunScoredInto with a recycled OutcomeBuffer instead: the
+// result is deep-copied into caller-pooled, generation-tagged memory —
+// same rng draw sequence, no per-round allocation — and stays valid until
+// the buffer's next reuse (see OutcomeBuffer's ownership rules).
 //
 // # Legacy entry points
 //

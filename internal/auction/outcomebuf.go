@@ -1,0 +1,77 @@
+package auction
+
+// OutcomeBuffer is a reusable backing store for one retained Outcome: the
+// winner records, a flat backing array for every winner's quality vector,
+// and the score vector all live in buffer-owned memory that CloneInto
+// refills round after round, so a long-lived caller (one exchange job, one
+// cluster server) can retain outcomes without per-round allocation.
+//
+// Ownership rules:
+//
+//   - An Outcome built by CloneInto aliases the buffer. It stays immutable
+//     until the buffer's next CloneInto, which overwrites it in place.
+//   - Recycle advances the buffer's generation. Holders that tagged an
+//     Outcome with Generation at build time can verify the tag before
+//     trusting the data; a mismatch means the buffer moved on.
+//   - To keep an Outcome past the buffer's reuse, deep-copy it with
+//     Outcome.Clone.
+//
+// The zero value is ready to use (the first CloneInto sizes it).
+type OutcomeBuffer struct {
+	gen     uint64
+	winners []Winner
+	quals   []float64
+	scores  []float64
+}
+
+// Generation returns the buffer's recycle count. An Outcome built in this
+// buffer is valid only while the generation it was built under is current.
+func (b *OutcomeBuffer) Generation() uint64 { return b.gen }
+
+// Recycle invalidates every Outcome previously built in the buffer and
+// readies it for reuse. The backing memory is retained, so the next
+// CloneInto of a similarly sized outcome allocates nothing.
+func (b *OutcomeBuffer) Recycle() { b.gen++ }
+
+// CloneInto deep-copies o into b's backing memory and returns an Outcome
+// aliasing the buffer: equivalent to Clone, but allocation-free once the
+// buffer is warm. Growing the buffer allocates fresh backing arrays and
+// leaves old ones to any prior holders, so growth never corrupts an
+// already-issued Outcome — only Recycle (or the next CloneInto) retires
+// one. Nil-ness of Winners and Scores is preserved, so a CloneInto result
+// is reflect.DeepEqual to a Clone of the same outcome.
+func (o Outcome) CloneInto(b *OutcomeBuffer) Outcome {
+	c := o
+	if o.Winners != nil {
+		need := 0
+		for i := range o.Winners {
+			need += len(o.Winners[i].Bid.Qualities)
+		}
+		if cap(b.quals) < need {
+			b.quals = make([]float64, 0, need)
+		}
+		quals := b.quals[:0]
+		if cap(b.winners) < len(o.Winners) {
+			b.winners = make([]Winner, len(o.Winners))
+		}
+		ws := b.winners[:len(o.Winners)]
+		for i, w := range o.Winners {
+			if w.Bid.Qualities != nil {
+				start := len(quals)
+				quals = append(quals, w.Bid.Qualities...)
+				w.Bid.Qualities = quals[start:len(quals):len(quals)]
+			}
+			ws[i] = w
+		}
+		b.quals = quals
+		c.Winners = ws
+	}
+	if o.Scores != nil {
+		if cap(b.scores) < len(o.Scores) {
+			b.scores = make([]float64, len(o.Scores))
+		}
+		c.Scores = b.scores[:len(o.Scores)]
+		copy(c.Scores, o.Scores)
+	}
+	return c
+}

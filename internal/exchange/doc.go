@@ -4,58 +4,105 @@
 // registered edge nodes.
 //
 // The single-job auctioneer of internal/auction (Algorithm 1) scores one
-// round synchronously; the exchange scales that engine to service shape:
+// round synchronously; the exchange scales that engine to service shape.
 //
+// # Concurrency: the striped intake and the round close
+//
+// The hot path is bid ingestion, and it never touches a job-wide lock:
+//
+//   - Each Job fronts its bid collection with P intake shards (next power
+//     of two ≥ GOMAXPROCS, Options.IntakeShards to override). A node hashes
+//     to one shard — its private mutex, append-only buffer and dedup set —
+//     so concurrent POST /v1/jobs/{id}/bids serialize only on stripe
+//     collisions, never against each other globally and never against a
+//     round close in progress. The one-bid-per-node-per-round rule holds
+//     exactly because a node always lands on the same shard.
+//   - Each shard carries the round number its buffered bids belong to; the
+//     close drains shards one by one, advancing each shard's round at its
+//     drain. A submit racing the close is therefore labeled with the round
+//     it actually joined: the closing round if it entered the buffer before
+//     the drain, the next round otherwise. An atomic pending counter backs
+//     the quorum check and PendingBids without touching any shard.
+//   - closeRound (serialized per job by closeMu) drains the shards into a
+//     reused gather buffer, sorts it into canonical ascending-NodeID order
+//     (packed int64 (NodeID, position) keys — no per-compare closure), has
+//     the shared worker pool score it, and runs winner determination
+//     through the job's auction.Auctioneer, whose pooled Selector reuses
+//     its scratch round after round. Outcomes are bit-for-bit what the
+//     standalone auctioneer would produce, independent of arrival order.
 //   - Registry is a sharded node directory (striped locks, atomic per-node
-//     counters) so a very large bidder population never contends on one
-//     mutex.
-//   - Each Job owns an auction.Auctioneer, a per-round bid buffer, and a
-//     round state machine. Bid-collection windows are driven by
-//     context.Context deadlines; jobs can also be driven manually with
-//     CloseRound (that is how internal/transport delegates its rounds
-//     here).
-//   - A shared scoring worker pool batches S(q, p) evaluations across all
-//     jobs and reuses per-job score buffers, keeping the scoring hot path
-//     allocation-free. Winner determination then enters the auction engine
-//     through Auctioneer.RunScored, so exchange outcomes are bit-for-bit
-//     the outcomes the standalone auctioneer would produce.
-//   - Bids within a round are canonically ordered by node ID before
-//     scoring, so per-job outcomes are deterministic under a fixed seed no
-//     matter the concurrent arrival order.
-//   - Metrics tracks rounds/sec, bids/sec and a p99 round latency over a
-//     sliding window (nearest-rank percentiles).
+//     counters); Metrics is entirely lock-free, including the latency ring
+//     (atomic slots), so a slow /metrics scrape can never stall a bid or a
+//     round close.
+//
+// # Ownership: the pooled outcome lifecycle
+//
+// The steady-state round close allocates nothing. Winner determination
+// copies its result into a job-owned auction.OutcomeBuffer (generation
+// tagged; see that type's rules), and the retained history holds that
+// pooled form. The boundary:
+//
+//   - closeRound's return value and the history entries alias pooled
+//     memory, immutable until the round leaves the KeepOutcomes window —
+//     then the buffer is recycled for a future round.
+//   - Everything that escapes the job copies out: the read accessors
+//     (Outcome, Latest, WaitLatest, WaitOutcome, OutcomesAfter), the
+//     replayed history handed to Subscribe, the round_closed events fanned
+//     out to subscribers (cloned once per round, only when subscribers
+//     exist), and the transport Engine adapter. HTTP and SSE rendering
+//     therefore never reads job-pooled memory outside the job's lock.
 //
 // # Durability
 //
-// Open(dir, opts) backs the exchange with a write-ahead outcome log at
-// dir/exchange.wal, so a long-lived auctioneer's allocation history — the
-// thing the incentive mechanism's credibility rests on — survives a crash.
-// Every durable mutation appends one record: job created (full spec, rule
-// serialized as its wire form), round completed (outcome verbatim), job
-// closed or removed, node registered, node blacklisted. Records are framed
-// as
+// Open(dir, opts) backs the exchange with a write-ahead outcome log, so a
+// long-lived auctioneer's allocation history — the thing the incentive
+// mechanism's credibility rests on — survives a crash. Every durable
+// mutation appends one record: job created (full spec, rule serialized as
+// its wire form), round completed (outcome verbatim, cumulative rng draw
+// count included), job closed or removed, node registered, node
+// blacklisted. Records are framed as
 //
 //	uint32 LE payload length | uint32 LE CRC-32 (IEEE) | payload JSON
 //
 // and appended by a dedicated writer goroutine that group-commits: records
 // arriving within the coalescing window (Options.SyncInterval, default 2ms)
 // share one fsync. closeRound hands the record to a channel and never waits
-// on disk. Sync flushes on demand; Close flushes on shutdown. A kill -9 can
-// lose at most the unflushed window — never tear what a prior fsync wrote.
+// on disk (the frame is encoded before the hand-off, so the close path's
+// record scratch is reusable immediately). Sync flushes on demand; Close
+// flushes on shutdown. A kill -9 can lose at most the unflushed window —
+// never tear what a prior fsync wrote.
 //
-// On Open, the log is replayed: jobs are recreated with their specs and
-// seeds, the retained outcome history (bounded by KeepOutcomes), round
-// numbering, registry, per-node bid counters and blacklist are restored,
-// and a torn tail from a crash mid-append (short frame or CRC mismatch) is
-// truncated. Each round record carries the job's cumulative rng-source step
-// count; replay fast-forwards a freshly seeded source by exactly that many
-// steps, so a restarted exchange serves byte-identical outcome responses
-// for all retained rounds and continues drawing the same tiebreak and
-// ψ-admission sequence the uncrashed process would have drawn. Bids of a
-// round that had not closed at the crash are lost (their round re-collects
-// after restart), and process-local throughput counters (rounds/sec,
-// bids/sec) restart from zero — only outcomes, specs and the registry are
-// durable. The log is append-only and currently not compacted.
+// # Snapshot + rotation (log compaction)
+//
+// The log is segmented: segment 1 is dir/exchange.wal (the historical
+// name, so pre-rotation data dirs open unchanged), later segments are
+// dir/exchange-NNNNNN.wal, and the record framing is identical in all of
+// them. Compaction (Exchange.Compact, triggered automatically once the
+// active segment passes Options.SnapshotBytes — default 8 MiB — and
+// optionally every Options.SnapshotInterval) collapses everything before a
+// cut into dir/exchange.snap: job specs, closed flags, round numbering,
+// cumulative rng draw counts, the KeepOutcomes-bounded outcome history
+// verbatim, and the registry with per-node bid counters, meta and bans.
+//
+// The protocol, in crash-safe order: (1) create and fsync the next
+// segment; (2) stop the world (the jobs mutex plus every job's closeMu —
+// node records may still race, but replaying one is idempotent) and
+// enqueue the rotation through the writer's own channel, making the cut
+// exactly the enqueue order; (3) the writer fsyncs and retires the old
+// segment before touching the new one; (4) the snapshot commits via
+// write-temp/fsync/rename; (5) old segments are deleted. A kill between
+// any two steps leaves either the previous snapshot (or none) with every
+// segment it needs, or the new snapshot with its tail; Open replays
+// snapshot + tail bit-for-bit identically to a full-log replay — retained
+// outcome responses are byte-identical and post-recovery rounds draw the
+// same tiebreak and ψ-admission sequence — and deletes whatever garbage
+// the crash left (covered segments, torn temp files). A torn tail in the
+// active segment is truncated, exactly as before rotation existed.
+//
+// Bids of a round that had not closed at the crash are lost (their round
+// re-collects after restart), and process-local throughput counters
+// (rounds/sec, bids/sec) restart from zero — only outcomes, specs and the
+// registry are durable.
 //
 // # The /v1 API
 //
@@ -93,10 +140,10 @@
 // outcomes-listing endpoints are v1-only. New consumers must use /v1 (or
 // pkg/client, which only speaks /v1).
 //
-// cmd/fmore-exchange is the runnable front end (see its -data-dir flag),
-// and examples/exchange is a full SDK-driven quickstart including a
-// close-and-reopen pass. Engine adapts one job to the transport.Engine
-// interface for in-process embedding; the cluster harness instead uses
-// pkg/client's Engine over HTTP, exercising the same API surface a
-// deployed exchange would serve.
+// cmd/fmore-exchange is the runnable front end (see its -data-dir,
+// -snapshot-bytes and -pprof-addr flags), and examples/exchange is a full
+// SDK-driven quickstart including a close-and-reopen pass. Engine adapts
+// one job to the transport.Engine interface for in-process embedding; the
+// cluster harness instead uses pkg/client's Engine over HTTP, exercising
+// the same API surface a deployed exchange would serve.
 package exchange

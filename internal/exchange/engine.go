@@ -50,5 +50,7 @@ func (e *Engine) RunRound(round int, bids []auction.Bid) (auction.Outcome, error
 	if err != nil {
 		return auction.Outcome{}, fmt.Errorf("exchange: engine close (transport round %d): %w", round, err)
 	}
+	// Exchange.CloseRound returns an owned copy, which the transport server
+	// is free to retain for its report.
 	return ro.Outcome, nil
 }

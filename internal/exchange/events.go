@@ -23,8 +23,10 @@ type Event struct {
 	// Job and Round identify the transition (Round is zero for job_closed).
 	Job   string
 	Round int
-	// Outcome is set on round_closed events. It references the job's
-	// immutable retained history and must not be mutated.
+	// Outcome is set on round_closed events. It owns its memory (the
+	// publisher copies out of the job's pooled history before fan-out), so
+	// subscribers may render or retain it at any pace. It must not be
+	// mutated — every subscriber of the round shares the one copy.
 	Outcome *RoundOutcome
 }
 
@@ -52,6 +54,10 @@ type Subscription struct {
 //
 // Rounds older than the job's retained history (KeepOutcomes) cannot be
 // replayed; resumption is lossless within the retention window.
+//
+// The returned outcomes own their memory: the caller renders them outside
+// the job lock, which may be KeepOutcomes round closes later — the pooled
+// history entries they were copied from can be recycled by then.
 func (j *Job) Subscribe(afterRound int) (past []RoundOutcome, cur int, sub *Subscription) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -60,9 +66,12 @@ func (j *Job) Subscribe(afterRound int) (past []RoundOutcome, cur int, sub *Subs
 		start = 0
 	}
 	if start < len(j.outcomes) {
-		past = append(past, j.outcomes[start:]...)
+		past = make([]RoundOutcome, 0, len(j.outcomes)-start)
+		for _, ro := range j.outcomes[start:] {
+			past = append(past, ro.clone())
+		}
 	}
-	if j.closed {
+	if j.closed.Load() {
 		return past, j.round, nil
 	}
 	sub = &Subscription{C: make(chan Event, subBuffer), job: j}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -21,6 +22,11 @@ type Options struct {
 	Workers int
 	// ScoreChunk is the bids-per-task granularity of the pool (default 128).
 	ScoreChunk int
+	// IntakeShards overrides the per-job bid-intake stripe count (rounded up
+	// to a power of two; default: GOMAXPROCS rounded up, capped at 32).
+	// Bidders serialize only when they hash to the same stripe, so more
+	// stripes buy less contention at the cost of a longer drain at close.
+	IntakeShards int
 	// RequireRegistration rejects bids from nodes that have not been
 	// registered (the deployment posture of the TCP harness, where nodes
 	// register over the wire before bidding). When false, first contact
@@ -31,6 +37,14 @@ type Options struct {
 	// fsync. Smaller tightens the crash-loss window; larger trades
 	// durability lag for fewer flushes. Only meaningful with Open.
 	SyncInterval time.Duration
+	// SnapshotBytes triggers WAL compaction (snapshot + segment rotation)
+	// once the active segment exceeds this many bytes (default 8 MiB;
+	// negative disables the size trigger). Only meaningful with Open.
+	SnapshotBytes int64
+	// SnapshotInterval additionally compacts the WAL on a fixed period
+	// (0 disables the timer; the size trigger still applies). Only
+	// meaningful with Open.
+	SnapshotInterval time.Duration
 }
 
 // Exchange hosts many concurrent FL auction jobs over one shared node
@@ -51,8 +65,19 @@ type Exchange struct {
 	seq    atomic.Int64
 
 	// wal is the write-ahead outcome log; nil on an in-memory exchange
-	// (New). Open attaches it after replay. See persist.go.
-	wal *persister
+	// (New). Open attaches it after replay, along with the compaction
+	// machinery: dir/walLock identify and guard the data dir, walSeq is the
+	// active segment (guarded by compactMu, which also serializes Compact),
+	// and compactCh/compactDone drive the background compaction goroutine.
+	// See persist.go.
+	wal         *persister
+	dir         string
+	walLock     *os.File
+	walSeq      int64 // active (highest) segment
+	walFloor    int64 // lowest live segment (deletion floor)
+	compactMu   sync.Mutex
+	compactCh   chan struct{}
+	compactDone chan struct{}
 }
 
 // New starts an exchange (its scoring workers launch immediately).
@@ -228,35 +253,49 @@ func (ex *Exchange) SubmitBid(jobID string, bid auction.Bid) (round int, err err
 		ex.metrics.bidsRejected.Add(1)
 		return 0, fmt.Errorf("%w: node %d", ErrBlacklisted, bid.NodeID)
 	}
-	round, err = j.submit(bid)
+	// Acceptance side effects run inside the intake shard's critical
+	// section, atomically with the buffer insert — the invariant the WAL
+	// snapshot's pending-bid accounting relies on. Registered nodes pass
+	// their counter directly (no allocation on the hot path); an unknown
+	// node's first bid registers-and-counts via the once-per-node-lifetime
+	// closure. Only an accepted bid auto-registers (open posture): rejected
+	// requests must not grow the registry, and the log write happens once
+	// per node lifetime, not per bid, so the hot path stays append-free.
+	var accepted *atomic.Int64
+	var onAccept func()
+	if registered {
+		accepted = &info.bids
+	} else {
+		onAccept = func() {
+			info, created := ex.reg.Register(bid.NodeID, "")
+			if created {
+				ex.logNode(bid.NodeID, "")
+			}
+			info.bids.Add(1)
+		}
+	}
+	round, err = j.submit(bid, accepted, onAccept)
 	if err != nil {
 		ex.metrics.bidsRejected.Add(1)
 		return 0, err
 	}
-	// Only an accepted bid auto-registers its node (open posture): rejected
-	// requests must not grow the registry. The log write happens once per
-	// node lifetime, not per bid, so the hot path stays append-free.
-	if !registered {
-		var created bool
-		info, created = ex.reg.Register(bid.NodeID, "")
-		if created {
-			ex.logNode(bid.NodeID, "")
-		}
-	}
-	info.bids.Add(1)
 	ex.metrics.bidsAccepted.Add(1)
 	return round, nil
 }
 
 // CloseRound closes the job's current round synchronously and returns its
 // outcome. This is the manual drive used by the transport engine adapter;
-// on timer-mode jobs it simply closes the window early.
+// on timer-mode jobs it simply closes the window early. The returned
+// outcome owns all of its memory (the copy is made before the close lock
+// releases, so it can never observe a later round recycling the job's
+// pooled buffers); in-process embedders that want the zero-copy pooled
+// form use Job.CloseRound instead.
 func (ex *Exchange) CloseRound(jobID string) (RoundOutcome, error) {
 	j, ok := ex.Job(jobID)
 	if !ok {
 		return RoundOutcome{}, fmt.Errorf("%w: %q", ErrUnknownJob, jobID)
 	}
-	return j.closeRound()
+	return j.closeRoundOwned()
 }
 
 // WaitOutcome blocks until the job's round completes.
@@ -284,9 +323,10 @@ func (ex *Exchange) Sync() error {
 }
 
 // Close shuts the exchange down: every job is closed, in-flight round
-// closes are drained, the scoring pool is stopped, and the outcome log (if
-// any) is flushed and closed. Shutdown does not write job-closed records —
-// a restart via Open resumes every unfinished job. Idempotent.
+// closes are drained, background compaction stops, the scoring pool is
+// stopped, and the outcome log (if any) is flushed and closed. Shutdown
+// does not write job-closed records — a restart via Open resumes every
+// unfinished job. Idempotent.
 func (ex *Exchange) Close() {
 	ex.mu.Lock()
 	if ex.closed {
@@ -301,6 +341,12 @@ func (ex *Exchange) Close() {
 	ex.mu.Unlock()
 
 	ex.cancel()
+	// Wait out the compaction goroutine (an in-flight Compact finishes or
+	// aborts on the closed flag; the writer it may be waiting on is still
+	// running here).
+	if ex.compactDone != nil {
+		<-ex.compactDone
+	}
 	for _, j := range jobs {
 		j.close(false)
 		if j.loopDone != nil {
@@ -319,5 +365,8 @@ func (ex *Exchange) Close() {
 	// every record.
 	if ex.wal != nil {
 		ex.wal.close() //nolint:errcheck // sticky error remains readable via Sync-before-Close
+	}
+	if ex.walLock != nil {
+		ex.walLock.Close() //nolint:errcheck // advisory lock dies with the fd either way
 	}
 }

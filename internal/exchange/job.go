@@ -1,12 +1,14 @@
 package exchange
 
 import (
+	"cmp"
 	"context"
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fmore/internal/auction"
@@ -100,6 +102,23 @@ type RoundOutcome struct {
 	Err error
 }
 
+// clone returns a RoundOutcome that owns all of its memory. The read-side
+// accessors hand these out so callers never alias the job's pooled history
+// buffers (see the ownership rules on closeRound).
+func (ro RoundOutcome) clone() RoundOutcome {
+	ro.Outcome = ro.Outcome.Clone()
+	return ro
+}
+
+// outcomeHold pairs a retained history entry with the pooled buffer backing
+// its Outcome. buf is nil when the entry owns its memory (failed rounds,
+// WAL-replayed rounds); gen is the buffer generation the entry was built
+// under, checked before the buffer is recycled on eviction.
+type outcomeHold struct {
+	buf *auction.OutcomeBuffer
+	gen uint64
+}
+
 // Job is one hosted FL task: an auctioneer plus a round state machine. All
 // exported methods are safe for concurrent use.
 type Job struct {
@@ -110,32 +129,51 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	// mu guards the collecting state: the bid buffer, dedup set, round
-	// counter, outcome history, the round-completion broadcast channel, and
-	// the event-stream subscriber set.
+	// closed is the job's lifecycle flag. It is written inside j.mu critical
+	// sections (and by single-threaded WAL replay) but read lock-free on the
+	// bid-intake fast path, so bidders never touch j.mu.
+	closed atomic.Bool
+
+	// intake is the striped bid-ingestion front: P shards, each with its own
+	// lock, buffer, dedup set and round label. Bid submission touches only
+	// its shard; the round close drains all shards once. See intake.go.
+	intake *intake
+
+	// mu guards the round/history state: the round counter, outcome history
+	// (and its pooled-buffer holds), the scoring flag, the round-completion
+	// broadcast channel, and the event-stream subscriber set.
 	mu       sync.Mutex
-	closed   bool
 	scoring  bool
-	bids     []auction.Bid
-	seen     map[int]struct{}
 	round    int // current collecting round, 1-based
 	baseRnd  int // outcomes[0] holds round baseRnd+1
 	outcomes []RoundOutcome
-	doneCh   chan struct{} // closed (and replaced) on every state change
+	holds    []outcomeHold
+	doneCh   chan struct{} // lazily armed; closed (and cleared) on every state change
 	subs     map[*Subscription]struct{}
 
-	// closeMu serializes round closes; the buffers below are reused across
-	// rounds so the steady-state scoring path allocates nothing. The
-	// auctioneer carries the job's pooled auction.Selector, so winner
-	// determination itself (partial top-K heap, tiebreak and score scratch)
-	// also reuses its buffers round after round.
-	closeMu  sync.Mutex
-	spare    []auction.Bid
-	scores   []float64
-	batch    batchState
-	auct     *auction.Auctioneer
-	src      *countingSource
-	loopDone chan struct{} // non-nil iff a bid-window goroutine runs
+	// closeMu serializes round closes; everything below it is reused across
+	// rounds so the steady-state close path allocates nothing: gather
+	// collects the drained shard buffers, scores is the pooled score vector,
+	// freeBufs recycles outcome buffers evicted from history, and walScratch
+	// is the reusable WAL round record (safe because the log appender
+	// encodes synchronously before returning). The auctioneer carries the
+	// job's pooled auction.Selector, so winner determination itself reuses
+	// its buffers round after round.
+	closeMu    sync.Mutex
+	gather     []auction.Bid
+	sorted     []auction.Bid
+	sortKeys   []int64
+	scores     []float64
+	batch      batchState
+	freeBufs   []*auction.OutcomeBuffer
+	auct       *auction.Auctioneer
+	src        *countingSource
+	loopDone   chan struct{} // non-nil iff a bid-window goroutine runs
+	walScratch struct {
+		rec     walRound
+		winners []walWinner
+		bidders []int
+	}
 
 	// strategyOnce guards the lazy equilibrium solve; concurrent strategy
 	// requests share one solve and its cached result. strategyCfg is the
@@ -200,9 +238,10 @@ func (j *Job) Round() int {
 
 // PendingBids returns the size of the current round's bid buffer.
 func (j *Job) PendingBids() int {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return len(j.bids)
+	if n := j.intake.pending.Load(); n > 0 {
+		return int(n)
+	}
+	return 0
 }
 
 // State describes the job for monitoring: "collecting", "scoring" or
@@ -211,7 +250,7 @@ func (j *Job) State() string {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	switch {
-	case j.closed:
+	case j.closed.Load():
 		return "closed"
 	case j.scoring:
 		return "scoring"
@@ -222,73 +261,154 @@ func (j *Job) State() string {
 
 // submit appends one sealed bid to the current round. The job takes
 // ownership of the bid (the caller must not mutate Qualities afterwards).
-func (j *Job) submit(b auction.Bid) (round int, err error) {
+// The fast path touches only the node's intake shard — never j.mu — so
+// concurrent bidders serialize only on stripe collisions. accepted and
+// onAccept are the acceptance side effects, run inside the shard critical
+// section (see intake.submit).
+func (j *Job) submit(b auction.Bid, accepted *atomic.Int64, onAccept func()) (round int, err error) {
 	if err := b.Validate(j.spec.Auction.Rule.Dims()); err != nil {
 		return 0, err
 	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.closed {
-		return 0, ErrJobClosed
-	}
-	if _, dup := j.seen[b.NodeID]; dup {
-		return 0, ErrDuplicateBid
-	}
-	j.seen[b.NodeID] = struct{}{}
-	j.bids = append(j.bids, b)
-	return j.round, nil
+	return j.intake.submit(b, &j.closed, accepted, onAccept)
 }
 
-// closeRound swaps out the round's bid buffer, scores it on the shared
-// pool, runs winner determination, and publishes the outcome. It returns
-// ErrBelowQuorum (round keeps collecting) when the buffer is under quorum.
+// canonicalize orders a round's bid set ascending by NodeID. Node IDs that
+// fit in 31 bits — every realistic population — sort as packed
+// (NodeID, position) int64 keys: no per-compare closure, 8-byte element
+// moves instead of 40, then one permutation pass into a reused scratch
+// buffer. Out-of-range IDs fall back to sorting the records in place; both
+// paths produce the identical (total, dedup-guaranteed) order. Callers
+// hold closeMu; the returned slice is valid until the next close.
+func (j *Job) canonicalize(bids []auction.Bid) []auction.Bid {
+	if cap(j.sortKeys) < len(bids) {
+		j.sortKeys = make([]int64, 0, cap(bids))
+	}
+	keys := j.sortKeys[:0]
+	for i := range bids {
+		if uint64(bids[i].NodeID) >= 1<<31 { // negative IDs wrap past the bound too
+			slices.SortFunc(bids, func(a, b auction.Bid) int { return cmp.Compare(a.NodeID, b.NodeID) })
+			return bids
+		}
+		keys = append(keys, int64(bids[i].NodeID)<<32|int64(i))
+	}
+	j.sortKeys = keys
+	slices.Sort(keys)
+	if cap(j.sorted) < len(bids) {
+		j.sorted = make([]auction.Bid, 0, cap(bids))
+	}
+	out := j.sorted[:len(bids)]
+	for i, k := range keys {
+		out[i] = bids[uint32(k)]
+	}
+	j.sorted = out
+	return out
+}
+
+// takeBuf pops a pooled outcome buffer (or makes the pool's next one).
+// Callers hold closeMu, the only context that touches freeBufs.
+func (j *Job) takeBuf() *auction.OutcomeBuffer {
+	if n := len(j.freeBufs); n > 0 {
+		buf := j.freeBufs[n-1]
+		j.freeBufs = j.freeBufs[:n-1]
+		return buf
+	}
+	return new(auction.OutcomeBuffer)
+}
+
+// releaseBuf recycles a buffer back to the pool, invalidating any outcome
+// built in it. Callers hold closeMu.
+func (j *Job) releaseBuf(buf *auction.OutcomeBuffer) {
+	buf.Recycle()
+	j.freeBufs = append(j.freeBufs, buf)
+}
+
+// CloseRound closes the job's current collecting round now and returns the
+// outcome in the job's pooled form: zero-copy for in-process embedders that
+// consume the result before the round leaves the KeepOutcomes window (see
+// closeRound's ownership note; Outcome.Clone to retain longer). Callers
+// that hold the result across rounds — or hand it to another goroutine —
+// should use Exchange.CloseRound, which returns an owned copy.
+func (j *Job) CloseRound() (RoundOutcome, error) {
+	return j.closeRound()
+}
+
+// closeRoundOwned is closeRound returning an owned copy. The clone runs
+// while closeMu is still held: buffer recycling happens only inside
+// closeRound (eviction) and takeBuf, both under closeMu, so a copy made
+// here can never race a later round reusing the buffer.
+func (j *Job) closeRoundOwned() (RoundOutcome, error) {
+	j.closeMu.Lock()
+	defer j.closeMu.Unlock()
+	ro, err := j.closeRoundLocked()
+	return ro.clone(), err
+}
+
+// closeRound runs one round close in the pooled form.
 func (j *Job) closeRound() (RoundOutcome, error) {
 	j.closeMu.Lock()
 	defer j.closeMu.Unlock()
+	return j.closeRoundLocked()
+}
+
+// closeRoundLocked drains the intake shards, scores the round on the shared
+// pool, runs winner determination, and publishes the outcome. It returns
+// ErrBelowQuorum (round keeps collecting) when the intake is under quorum.
+// Callers hold closeMu.
+//
+// Ownership: the returned RoundOutcome (and the history entry behind it)
+// references the job's pooled outcome memory. It is immutable until the
+// round leaves the retained history window — KeepOutcomes closes later —
+// at which point the buffer is recycled for a future round. Callers that
+// outlive the window (or hand the data to another goroutine) must copy out
+// with Outcome.Clone; the exported read accessors and the event stream
+// already do.
+func (j *Job) closeRoundLocked() (RoundOutcome, error) {
 
 	start := time.Now()
-	j.mu.Lock()
-	if j.closed {
-		j.mu.Unlock()
+	if j.closed.Load() {
 		return RoundOutcome{}, ErrJobClosed
 	}
-	if got := len(j.bids); got < j.spec.MinBids {
-		j.mu.Unlock()
+	if got := int(j.intake.pending.Load()); got < j.spec.MinBids {
 		j.ex.metrics.idleTicks.Add(1)
 		return RoundOutcome{}, fmt.Errorf("%w: %d/%d", ErrBelowQuorum, got, j.spec.MinBids)
 	}
-	bids := j.bids
-	j.bids = j.spare[:0]
-	clear(j.seen)
+	bids := j.intake.drain(j.gather[:0])
+	j.gather = bids
+
+	j.mu.Lock()
 	round := j.round
-	// Advance the collecting round at swap time: bids accepted while this
-	// round is scoring belong to — and are reported as — the next round.
+	// Advance the collecting round at drain time: bids accepted after their
+	// shard was drained belong to — and were labeled as — the next round.
 	j.round++
 	j.scoring = true
 	j.mu.Unlock()
 
 	// Canonical order: the outcome must not depend on concurrent arrival
 	// order, only on the bid set — that is what makes seeded runs
-	// deterministic under concurrency.
-	sort.Slice(bids, func(a, b int) bool { return bids[a].NodeID < bids[b].NodeID })
+	// deterministic under concurrency. Node IDs are unique within a round
+	// (dedup), so the unstable sort is total.
+	bids = j.canonicalize(bids)
 
 	var bidders []int
 	if j.ex.wal != nil {
-		bidders = make([]int, len(bids))
+		bidders = j.walScratch.bidders[:0]
 		for i := range bids {
-			bidders[i] = bids[i].NodeID
+			bidders = append(bidders, bids[i].NodeID)
 		}
+		j.walScratch.bidders = bidders
 	}
 
 	if cap(j.scores) < len(bids) {
 		j.scores = make([]float64, len(bids))
 	}
 	scores := j.scores[:len(bids)]
+	buf := j.takeBuf()
 	var outcome auction.Outcome
 	err := j.ex.pool.score(j.spec.Auction.Rule, bids, scores, &j.batch)
 	if err == nil {
-		// RunScored clones winning bids, so the buffer is safe to reuse.
-		outcome, err = j.auct.RunScored(bids, scores)
+		// RunScoredInto copies the result into buf, so the bid buffer is
+		// free to reuse and the outcome lives in pooled job-owned memory.
+		outcome, err = j.auct.RunScoredInto(bids, scores, buf)
 	}
 
 	ro := RoundOutcome{
@@ -298,42 +418,59 @@ func (j *Job) closeRound() (RoundOutcome, error) {
 		Outcome: outcome,
 		Latency: time.Since(start),
 	}
+	hold := outcomeHold{buf: buf, gen: buf.Generation()}
 	if err != nil {
 		// The round's bids are consumed either way: a poisoned bid set must
 		// not wedge the job forever. The failed round is recorded so the
 		// history stays contiguous.
 		ro.Outcome = auction.Outcome{}
 		ro.Err = fmt.Errorf("exchange: job %s round %d: %w", j.id, round, err)
+		j.releaseBuf(buf)
+		hold = outcomeHold{}
 	}
 	// Persist before publishing; the append is a channel hand-off to the log
-	// writer, never a disk wait. j.src.n is stable here: only RunScored draws
-	// from it, and closeMu is held.
-	j.ex.logRound(ro, bidders, j.src.n)
+	// writer (the record bytes are encoded before it returns, so the scratch
+	// record and the pooled outcome it aliases are free to reuse). j.src.n
+	// is stable here: only RunScoredInto draws from it, and closeMu is held.
+	j.ex.logRound(&j.walScratch.rec, &j.walScratch.winners, ro, bidders, j.src.n)
 
 	j.mu.Lock()
 	j.scoring = false
-	j.spare = bids[:0]
 	j.outcomes = append(j.outcomes, ro)
+	j.holds = append(j.holds, hold)
 	if excess := len(j.outcomes) - j.spec.KeepOutcomes; excess > 0 {
+		// Recycle the pooled buffers leaving the window before shifting it.
+		for i := 0; i < excess; i++ {
+			if h := j.holds[i]; h.buf != nil && h.buf.Generation() == h.gen {
+				j.releaseBuf(h.buf)
+			}
+		}
 		j.outcomes = append(j.outcomes[:0], j.outcomes[excess:]...)
+		j.holds = append(j.holds[:0], j.holds[excess:]...)
 		j.baseRnd += excess
 	}
-	// !j.closed guards the jobsClosed count: a concurrent Close/RemoveJob
+	// !closed guards the jobsClosed count: a concurrent Close/RemoveJob
 	// may have already closed (and counted) the job while we were scoring.
-	maxed := !j.closed && j.spec.MaxRounds > 0 && j.round > j.spec.MaxRounds
+	maxed := !j.closed.Load() && j.spec.MaxRounds > 0 && j.round > j.spec.MaxRounds
 	if maxed {
-		j.closed = true
+		j.closed.Store(true)
 	}
 	j.broadcastLocked()
 	// Push the transition to event-stream subscribers inside the same
 	// critical section that appended the outcome, so a Subscribe can never
 	// observe the history without either seeing this round in it or
-	// receiving this event.
-	j.publishLocked(Event{Type: EventRoundClosed, Job: j.id, Round: ro.Round, Outcome: &ro})
+	// receiving this event. Events escape to subscriber goroutines that
+	// render them after this section ends, so the outcome they carry is an
+	// owned copy, never the pooled form (skipped when nobody is watching —
+	// the steady-state close stays allocation-free).
+	if len(j.subs) > 0 {
+		evRo := ro.clone()
+		j.publishLocked(Event{Type: EventRoundClosed, Job: j.id, Round: ro.Round, Outcome: &evRo})
+	}
 	switch {
 	case maxed:
 		j.publishLocked(Event{Type: EventJobClosed, Job: j.id})
-	case !j.closed:
+	case !j.closed.Load():
 		j.publishLocked(Event{Type: EventRoundOpen, Job: j.id, Round: j.round})
 	}
 	j.mu.Unlock()
@@ -351,10 +488,23 @@ func (j *Job) closeRound() (RoundOutcome, error) {
 	return ro, ro.Err
 }
 
-// broadcastLocked wakes every outcome waiter; callers hold j.mu.
+// broadcastLocked wakes every outcome waiter; callers hold j.mu. The
+// channel is armed lazily by waitChLocked, so rounds with no waiters don't
+// allocate a fresh channel per close.
 func (j *Job) broadcastLocked() {
-	close(j.doneCh)
-	j.doneCh = make(chan struct{})
+	if j.doneCh != nil {
+		close(j.doneCh)
+		j.doneCh = nil
+	}
+}
+
+// waitChLocked returns the channel the next broadcast will close, arming it
+// if needed; callers hold j.mu.
+func (j *Job) waitChLocked() chan struct{} {
+	if j.doneCh == nil {
+		j.doneCh = make(chan struct{})
+	}
+	return j.doneCh
 }
 
 // loop drives timer-mode jobs: one context deadline per bid window.
@@ -404,11 +554,11 @@ func (j *Job) Close() {
 // is not — stopping the process must not close every job forever.
 func (j *Job) close(record bool) {
 	j.mu.Lock()
-	if j.closed {
+	if j.closed.Load() {
 		j.mu.Unlock()
 		return
 	}
-	j.closed = true
+	j.closed.Store(true)
 	j.broadcastLocked()
 	j.publishLocked(Event{Type: EventJobClosed, Job: j.id})
 	j.mu.Unlock()
@@ -420,16 +570,18 @@ func (j *Job) close(record bool) {
 }
 
 // Outcome returns the completed round without blocking. For a failed round
-// the stored error is returned alongside the record.
+// the stored error is returned alongside the record. The result owns its
+// memory (see closeRound's ownership note).
 func (j *Job) Outcome(round int) (RoundOutcome, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	ro, err, _ := j.outcomeLocked(round)
-	return ro, err
+	return ro.clone(), err
 }
 
 // outcomeLocked resolves a round; pending reports "not completed yet" (the
-// only state WaitOutcome keeps waiting on).
+// only state WaitOutcome keeps waiting on). The returned record aliases the
+// pooled history; exported callers clone before releasing j.mu.
 func (j *Job) outcomeLocked(round int) (ro RoundOutcome, err error, pending bool) {
 	idx := round - 1 - j.baseRnd
 	switch {
@@ -440,7 +592,7 @@ func (j *Job) outcomeLocked(round int) (ro RoundOutcome, err error, pending bool
 	case idx < len(j.outcomes):
 		ro = j.outcomes[idx]
 		return ro, ro.Err, false
-	case j.closed:
+	case j.closed.Load():
 		return RoundOutcome{}, ErrJobClosed, false
 	}
 	return RoundOutcome{}, fmt.Errorf("%w: round %d", ErrRoundPending, round), true
@@ -450,7 +602,7 @@ func (j *Job) outcomeLocked(round int) (ro RoundOutcome, err error, pending bool
 // greater than after, oldest first, and reports whether more retained
 // rounds remain past the returned page. It backs the v1 cursor-paginated
 // outcome listing; failed rounds are included (their Err set) so pages stay
-// contiguous.
+// contiguous. The page owns its memory.
 func (j *Job) OutcomesAfter(after, limit int) (page []RoundOutcome, more bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -463,19 +615,24 @@ func (j *Job) OutcomesAfter(after, limit int) (page []RoundOutcome, more bool) {
 	}
 	rest := j.outcomes[start:]
 	if limit > 0 && len(rest) > limit {
-		return append(page, rest[:limit]...), true
+		rest, more = rest[:limit], true
 	}
-	return append(page, rest...), false
+	page = make([]RoundOutcome, len(rest))
+	for i, ro := range rest {
+		page[i] = ro.clone()
+	}
+	return page, more
 }
 
-// Latest returns the most recent completed round, if any.
+// Latest returns the most recent completed round, if any. The result owns
+// its memory.
 func (j *Job) Latest() (RoundOutcome, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if len(j.outcomes) == 0 {
 		return RoundOutcome{}, false
 	}
-	return j.outcomes[len(j.outcomes)-1], true
+	return j.outcomes[len(j.outcomes)-1].clone(), true
 }
 
 // WaitLatest blocks until at least one round has completed and returns the
@@ -487,15 +644,15 @@ func (j *Job) WaitLatest(ctx context.Context) (RoundOutcome, error) {
 	for {
 		j.mu.Lock()
 		if n := len(j.outcomes); n > 0 {
-			ro := j.outcomes[n-1]
+			ro := j.outcomes[n-1].clone()
 			j.mu.Unlock()
 			return ro, ro.Err
 		}
-		if j.closed {
+		if j.closed.Load() {
 			j.mu.Unlock()
 			return RoundOutcome{}, ErrJobClosed
 		}
-		ch := j.doneCh
+		ch := j.waitChLocked()
 		j.mu.Unlock()
 		select {
 		case <-ctx.Done():
@@ -512,10 +669,11 @@ func (j *Job) WaitOutcome(ctx context.Context, round int) (RoundOutcome, error) 
 		j.mu.Lock()
 		ro, err, pending := j.outcomeLocked(round)
 		if !pending {
+			ro = ro.clone()
 			j.mu.Unlock()
 			return ro, err
 		}
-		ch := j.doneCh
+		ch := j.waitChLocked()
 		j.mu.Unlock()
 		select {
 		case <-ctx.Done():
@@ -541,18 +699,23 @@ func (j *Job) Strategy() (*auction.Strategy, error) {
 
 // restoreRound reinstates one persisted round during log replay. Replay is
 // single-threaded and happens before the exchange is reachable, so no locks
-// are taken. A gap in the replayed numbering (a record lost to a torn tail
-// mid-history cannot happen, but defend anyway) resets the retained window
-// so outcomeLocked's contiguous indexing stays valid.
+// are taken (finishReplay aligns the intake shards afterwards). A gap in
+// the replayed numbering (a record lost to a torn tail mid-history cannot
+// happen, but defend anyway) resets the retained window so outcomeLocked's
+// contiguous indexing stays valid. Replayed outcomes own their memory, so
+// their holds carry no pooled buffer.
 func (j *Job) restoreRound(ro RoundOutcome) {
 	if want := j.baseRnd + len(j.outcomes) + 1; ro.Round != want {
 		j.outcomes = j.outcomes[:0]
+		j.holds = j.holds[:0]
 		j.baseRnd = ro.Round - 1
 	}
 	j.outcomes = append(j.outcomes, ro)
+	j.holds = append(j.holds, outcomeHold{})
 	j.round = ro.Round + 1
 	if excess := len(j.outcomes) - j.spec.KeepOutcomes; excess > 0 {
 		j.outcomes = append(j.outcomes[:0], j.outcomes[excess:]...)
+		j.holds = append(j.holds[:0], j.holds[excess:]...)
 		j.baseRnd += excess
 	}
 }
@@ -583,9 +746,8 @@ func newJob(ex *Exchange, id string, spec JobSpec) (*Job, error) {
 		ex:          ex,
 		ctx:         ctx,
 		cancel:      cancel,
-		seen:        make(map[int]struct{}),
+		intake:      newIntake(ex.opts.IntakeShards),
 		round:       1,
-		doneCh:      make(chan struct{}),
 		subs:        make(map[*Subscription]struct{}),
 		auct:        auct,
 		src:         src,

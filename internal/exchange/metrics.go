@@ -3,7 +3,6 @@ package exchange
 import (
 	"math"
 	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -13,9 +12,10 @@ import (
 // so 1024 samples cover minutes of heavy traffic.
 const latWindow = 1024
 
-// Metrics aggregates exchange-wide throughput counters. Counter updates are
-// lock-free; only the latency ring takes a mutex, and only once per
-// completed round (never on the bid path).
+// Metrics aggregates exchange-wide throughput counters. Every update is
+// lock-free — including the latency ring, whose slots are atomic bit
+// patterns — so a slow /metrics scrape can never stall bid submission or a
+// round close, and the round-close path never takes a metrics lock.
 type Metrics struct {
 	start time.Time
 
@@ -26,10 +26,16 @@ type Metrics struct {
 	idleTicks    atomic.Int64
 	bidsAccepted atomic.Int64
 	bidsRejected atomic.Int64
+	snapshots    atomic.Int64
+	snapshotErrs atomic.Int64
 
-	latMu    sync.Mutex
-	latRing  [latWindow]float64 // seconds
-	latCount int64
+	// latRing holds the last latWindow round latencies as float64 bit
+	// patterns. Writers claim a slot by incrementing latCount; a percentile
+	// scrape loads the slots without any lock, so a sample racing the copy
+	// is read as either the old or the new round's latency — both valid
+	// members of the sliding window.
+	latRing  [latWindow]atomic.Uint64
+	latCount atomic.Int64
 }
 
 func newMetrics() *Metrics {
@@ -39,11 +45,8 @@ func newMetrics() *Metrics {
 // observeRound records one completed round and its close-to-outcome latency.
 func (m *Metrics) observeRound(latency time.Duration) {
 	m.roundsTotal.Add(1)
-	sec := latency.Seconds()
-	m.latMu.Lock()
-	m.latRing[m.latCount%latWindow] = sec
-	m.latCount++
-	m.latMu.Unlock()
+	i := m.latCount.Add(1) - 1
+	m.latRing[i%latWindow].Store(math.Float64bits(latency.Seconds()))
 }
 
 // Snapshot is a point-in-time view of the exchange's health, the payload of
@@ -63,6 +66,11 @@ type Snapshot struct {
 	BidsAccepted int64   `json:"bids_accepted"`
 	BidsRejected int64   `json:"bids_rejected"`
 	BidsPerSec   float64 `json:"bids_per_sec"`
+	// WalSnapshots counts completed WAL compactions (snapshot + rotation);
+	// WalSnapshotErrors counts attempts that failed and will be retried.
+	// Both stay 0 on an in-memory exchange.
+	WalSnapshots      int64 `json:"wal_snapshots"`
+	WalSnapshotErrors int64 `json:"wal_snapshot_errors"`
 	// Round-close latency percentiles over the last latWindow rounds.
 	RoundLatencyP50Ms float64 `json:"round_latency_p50_ms"`
 	RoundLatencyP99Ms float64 `json:"round_latency_p99_ms"`
@@ -76,14 +84,16 @@ func (m *Metrics) snapshot(nodes int) Snapshot {
 		elapsed = 1e-9
 	}
 	s := Snapshot{
-		UptimeSec:    elapsed,
-		JobsCreated:  m.jobsCreated.Load(),
-		NodesKnown:   nodes,
-		RoundsTotal:  m.roundsTotal.Load(),
-		RoundsFailed: m.roundsFailed.Load(),
-		IdleTicks:    m.idleTicks.Load(),
-		BidsAccepted: m.bidsAccepted.Load(),
-		BidsRejected: m.bidsRejected.Load(),
+		UptimeSec:         elapsed,
+		JobsCreated:       m.jobsCreated.Load(),
+		NodesKnown:        nodes,
+		RoundsTotal:       m.roundsTotal.Load(),
+		RoundsFailed:      m.roundsFailed.Load(),
+		IdleTicks:         m.idleTicks.Load(),
+		BidsAccepted:      m.bidsAccepted.Load(),
+		BidsRejected:      m.bidsRejected.Load(),
+		WalSnapshots:      m.snapshots.Load(),
+		WalSnapshotErrors: m.snapshotErrs.Load(),
 	}
 	s.JobsActive = s.JobsCreated - m.jobsClosed.Load()
 	s.RoundsPerSec = float64(s.RoundsTotal) / elapsed
@@ -92,16 +102,28 @@ func (m *Metrics) snapshot(nodes int) Snapshot {
 	return s
 }
 
-// latencyPercentiles returns (p50, p99) in milliseconds over the ring.
+// latencyPercentiles returns (p50, p99) in milliseconds over the ring. The
+// copy takes no lock at all: each slot is an atomic load, so the scrape
+// can be arbitrarily slow without ever blocking observeRound. A slot whose
+// writer claimed it (latCount incremented) but has not stored yet reads as
+// the zero bit pattern; real latencies are strictly positive, so zero
+// slots are unambiguously unwritten and skipped rather than polluting the
+// percentiles with phantom 0ms samples during the first window fill.
 func (m *Metrics) latencyPercentiles() (p50, p99 float64) {
-	m.latMu.Lock()
-	n := m.latCount
-	if n > latWindow {
-		n = latWindow
+	claimed := m.latCount.Load()
+	if claimed > latWindow {
+		claimed = latWindow
 	}
-	buf := make([]float64, n)
-	copy(buf, m.latRing[:n])
-	m.latMu.Unlock()
+	if claimed == 0 {
+		return 0, 0
+	}
+	buf := make([]float64, 0, claimed)
+	for i := int64(0); i < claimed; i++ {
+		if bits := m.latRing[i].Load(); bits != 0 {
+			buf = append(buf, math.Float64frombits(bits))
+		}
+	}
+	n := int64(len(buf))
 	if n == 0 {
 		return 0, 0
 	}

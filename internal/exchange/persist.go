@@ -11,7 +11,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -19,8 +24,21 @@ import (
 	"fmore/internal/transport"
 )
 
-// walFileName is the write-ahead outcome log inside an exchange data dir.
-const walFileName = "exchange.wal"
+// The write-ahead log is a sequence of numbered segments plus at most one
+// snapshot. Segment 1 keeps the historical single-file name (exchange.wal),
+// so data dirs written before rotation existed open unchanged; rotated
+// segments are exchange-NNNNNN.wal. The snapshot (exchange.snap) captures
+// the full durable state as of a rotation cut: replay is snapshot + every
+// segment with seq >= the snapshot's cut, and segments below the cut are
+// garbage (deleted after the snapshot is durable, or at the next Open).
+const (
+	walFileName  = "exchange.wal"
+	walSegPrefix = "exchange-"
+	walSegSuffix = ".wal"
+	snapFileName = "exchange.snap"
+	snapTmpName  = "exchange.snap.tmp"
+	lockFileName = "exchange.lock"
+)
 
 // maxWalRecord bounds one record's payload. It exists to keep a corrupted
 // length prefix from triggering an enormous allocation during replay; real
@@ -41,6 +59,12 @@ const walBuffer = 1024
 // one fsync of acknowledged-but-unflushed records, the standard contract
 // of an asynchronous WAL; Sync bypasses the wait entirely.
 const defaultSyncDelay = 2 * time.Millisecond
+
+// defaultSnapshotBytes is the size trigger for snapshot + rotation: once
+// the active segment grows past it, the exchange compacts in the
+// background. Large enough that compaction is rare, small enough that
+// replay and disk usage stay bounded for long-lived jobs.
+const defaultSnapshotBytes = 8 << 20
 
 // Record kinds of the write-ahead log.
 const (
@@ -117,13 +141,60 @@ type walNode struct {
 	Meta string `json:"meta,omitempty"`
 }
 
-// persister owns the log file and its dedicated writer goroutine. Appends
-// are a channel send (never a disk wait); the writer drains whatever is
-// queued, writes it, and fsyncs once per batch, so a burst of round closes
-// costs one fsync, off every hot path.
+// walSnapshot is the exchange's full durable state as of a rotation cut.
+// Replaying it and then the segments with seq >= CutSeq reproduces exactly
+// the state a record-by-record replay of the deleted segments plus the tail
+// would have produced: job specs, the KeepOutcomes-bounded outcome history
+// (so retained outcome responses stay byte-identical), round numbering,
+// cumulative rng draw counts (so post-recovery rounds continue bit-for-bit)
+// and the registry with per-node bid counters, meta and bans.
+type walSnapshot struct {
+	// CutSeq is the first segment the snapshot does NOT cover.
+	CutSeq int64         `json:"cut_seq"`
+	Jobs   []walSnapJob  `json:"jobs,omitempty"`
+	Nodes  []walSnapNode `json:"nodes,omitempty"`
+}
+
+// walSnapJob is one job's snapshotted state. History reuses the walRound
+// form (Bidders and Draws zero — counters and the cumulative draw count are
+// snapshotted once, not per retained round).
+type walSnapJob struct {
+	Spec      walJob     `json:"spec"`
+	Closed    bool       `json:"closed,omitempty"`
+	Round     int        `json:"round"`
+	BaseRound int        `json:"base_round"`
+	Draws     int64      `json:"draws"`
+	AuctRound int        `json:"auct_round"`
+	History   []walRound `json:"history,omitempty"`
+}
+
+// walSnapNode is one registry entry with its counters.
+type walSnapNode struct {
+	ID     int    `json:"id"`
+	Meta   string `json:"meta,omitempty"`
+	Bids   int64  `json:"bids,omitempty"`
+	Banned bool   `json:"banned,omitempty"`
+}
+
+// persister owns the active log segment and its dedicated writer goroutine.
+// Appends are a channel send (never a disk wait); the writer drains
+// whatever is queued, writes it, and fsyncs once per batch, so a burst of
+// round closes costs one fsync, off every hot path. Rotation requests flow
+// through the same channel, so the record/segment assignment is exactly the
+// enqueue order — the invariant the snapshot cut relies on.
 type persister struct {
 	f         *os.File
 	syncDelay time.Duration
+
+	// Writer-goroutine state: the active segment's seq and byte size, plus
+	// the snapshot size trigger. notified latches the trigger per segment
+	// (atomic: a failed compaction re-arms it from outside the writer so
+	// the next commit retries instead of silently never compacting again).
+	seq       int64
+	size      int64
+	threshold int64
+	notified  atomic.Bool
+	onFull    func() // must not block; called once per over-threshold segment
 
 	// bufs recycles frame buffers between the appenders (which encode into
 	// one) and the writer goroutine (which returns it after the disk write).
@@ -131,18 +202,35 @@ type persister struct {
 	// allocation; pooling it keeps the steady state allocation-free.
 	bufs sync.Pool
 
-	mu     sync.Mutex // guards ch against send-after-close, and err
+	// err is the first sticky failure (encode, write, fsync or close). It
+	// is deliberately NOT guarded by mu: appenders hold mu while blocked
+	// sending into a full channel, so the writer goroutine must be able to
+	// record an error without ever waiting on mu — taking it there would
+	// deadlock the writer against a blocked appender exactly when the disk
+	// misbehaves under load.
+	err atomic.Pointer[error]
+
+	mu     sync.Mutex // guards ch against send-after-close
 	closed bool
-	err    error
 
 	ch   chan persistMsg
 	done chan struct{}
 }
 
-// persistMsg is either a framed record to append, a flush barrier, or both.
+// persistMsg is a framed record to append, a flush barrier, a segment
+// rotation, or a combination.
 type persistMsg struct {
-	rec   *frameBuf
-	flush chan struct{}
+	rec    *frameBuf
+	flush  chan struct{}
+	rotate *rotateMsg
+}
+
+// rotateMsg switches the writer onto a fresh segment. done closes once the
+// old segment is durable and the switch happened.
+type rotateMsg struct {
+	f    *os.File
+	seq  int64
+	done chan struct{}
 }
 
 // frameBuf is one pooled frame: an 8-byte length+CRC header followed by the
@@ -160,13 +248,17 @@ func newFrameBuf() *frameBuf {
 	return fb
 }
 
-func newPersister(f *os.File, syncDelay time.Duration) *persister {
+func newPersister(f *os.File, seq, size int64, syncDelay time.Duration, threshold int64, onFull func()) *persister {
 	if syncDelay <= 0 {
 		syncDelay = defaultSyncDelay
 	}
 	p := &persister{
 		f:         f,
 		syncDelay: syncDelay,
+		seq:       seq,
+		size:      size,
+		threshold: threshold,
+		onFull:    onFull,
 		ch:        make(chan persistMsg, walBuffer),
 		done:      make(chan struct{}),
 	}
@@ -177,21 +269,20 @@ func newPersister(f *os.File, syncDelay time.Duration) *persister {
 
 // append frames rec into a pooled buffer and queues it for the writer,
 // which returns the buffer to the pool once the bytes are on their way to
-// disk. Errors (encode or disk) are sticky and surfaced through Err/Sync;
-// the exchange keeps serving from memory either way, mirroring how a
-// database treats a failing WAL device.
+// disk. The record (and every slice it references) is fully encoded before
+// append returns, so callers may reuse record scratch immediately. Errors
+// (encode or disk) are sticky and surfaced through Err/Sync; the exchange
+// keeps serving from memory either way, mirroring how a database treats a
+// failing WAL device.
 func (p *persister) append(rec walRecord) {
 	fb := p.bufs.Get().(*frameBuf)
-	err := frameRecord(fb, rec)
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err != nil {
+	if err := frameRecord(fb, rec); err != nil {
 		p.bufs.Put(fb)
-		if p.err == nil {
-			p.err = err
-		}
+		p.fail(err)
 		return
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.closed {
 		p.bufs.Put(fb)
 		return
@@ -207,9 +298,8 @@ func (p *persister) sync() error {
 	flushed := make(chan struct{})
 	p.mu.Lock()
 	if p.closed {
-		err := p.err
 		p.mu.Unlock()
-		return err
+		return p.Err()
 	}
 	p.ch <- persistMsg{flush: flushed}
 	p.mu.Unlock()
@@ -217,19 +307,40 @@ func (p *persister) sync() error {
 	return p.Err()
 }
 
-// Err returns the first append, write or fsync error, if any.
-func (p *persister) Err() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.err
+// rearmSizeTrigger lets a failed compaction re-enable the size trigger so
+// the next over-threshold commit signals again; without it one transient
+// failure would disable automatic compaction for the segment's lifetime.
+func (p *persister) rearmSizeTrigger() {
+	p.notified.Store(false)
 }
 
-func (p *persister) fail(err error) {
+// rotate queues a switch onto segment (f, seq) and returns the completion
+// signal; ok is false (and the signal closed) when the persister already
+// shut down, in which case the caller still owns f.
+func (p *persister) rotate(f *os.File, seq int64) (done chan struct{}, ok bool) {
+	done = make(chan struct{})
 	p.mu.Lock()
-	if p.err == nil {
-		p.err = err
+	defer p.mu.Unlock()
+	if p.closed {
+		close(done)
+		return done, false
 	}
-	p.mu.Unlock()
+	p.ch <- persistMsg{rotate: &rotateMsg{f: f, seq: seq, done: done}}
+	return done, true
+}
+
+// Err returns the first append, write or fsync error, if any.
+func (p *persister) Err() error {
+	if e := p.err.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
+
+// fail records the first sticky error, lock-free (see the err field's
+// comment for why the writer goroutine must never block here).
+func (p *persister) fail(err error) {
+	p.err.CompareAndSwap(nil, &err)
 }
 
 // close drains the queue, fsyncs and closes the file. Idempotent.
@@ -255,29 +366,22 @@ func (p *persister) close() error {
 // flush waiters. It never exits before the channel closes — on a disk error
 // it keeps draining (and discarding) so appenders can never wedge on a full
 // channel.
+//
+// The loop deliberately never takes p.mu: appenders hold it while sending
+// (including blocking on a full channel), so a writer that needed the mutex
+// — even once, to record an error — could wedge against a blocked appender
+// exactly when the queue is at its fullest. Write/fsync failures live in
+// the local failed flag and are published through the lock-free fail().
 func (p *persister) run() {
 	defer close(p.done)
 	var flushes []chan struct{}
 	dirty := false
-	write := func(msg persistMsg) {
-		if msg.rec != nil {
-			if p.Err() == nil {
-				if _, err := p.f.Write(msg.rec.buf.Bytes()); err != nil {
-					p.fail(err)
-				} else {
-					dirty = true
-				}
-			}
-			p.bufs.Put(msg.rec)
-		}
-		if msg.flush != nil {
-			flushes = append(flushes, msg.flush)
-		}
-	}
-	commit := func() {
+	failed := false
+	settle := func() {
 		if dirty {
 			if err := p.f.Sync(); err != nil {
 				p.fail(err)
+				failed = true
 			}
 			dirty = false
 		}
@@ -285,6 +389,52 @@ func (p *persister) run() {
 			close(c)
 		}
 		flushes = flushes[:0]
+	}
+	write := func(msg persistMsg) {
+		if msg.rec != nil {
+			// The p.Err() check (lock-free since the sticky error went
+			// atomic) freezes the log at the FIRST failure, appender-side
+			// encode errors included: writing records past a dropped one
+			// would leave a gap that replay silently mis-recovers from,
+			// which is worse than a log that simply ends early.
+			if !failed && p.Err() == nil {
+				if n, err := p.f.Write(msg.rec.buf.Bytes()); err != nil {
+					p.fail(err)
+					failed = true
+				} else {
+					dirty = true
+					p.size += int64(n)
+				}
+			}
+			p.bufs.Put(msg.rec)
+		}
+		if msg.flush != nil {
+			flushes = append(flushes, msg.flush)
+		}
+		if msg.rotate != nil {
+			// Rotation barrier: the retiring segment must be fully durable
+			// before any record lands in its successor — the crash window
+			// between rotation and the snapshot replays old segments plus
+			// the new tail, which only works if no old record was lost.
+			settle()
+			if err := p.f.Close(); err != nil {
+				p.fail(err)
+				failed = true
+			}
+			p.f = msg.rotate.f
+			p.seq = msg.rotate.seq
+			p.size = 0
+			p.notified.Store(false)
+			close(msg.rotate.done)
+		}
+	}
+	commit := func() {
+		settle()
+		if p.threshold > 0 && p.size >= p.threshold && p.notified.CompareAndSwap(false, true) {
+			if p.onFull != nil {
+				p.onFull()
+			}
+		}
 	}
 	for msg := range p.ch {
 		write(msg)
@@ -338,6 +488,16 @@ func frameRecord(fb *frameBuf, rec walRecord) error {
 	return nil
 }
 
+// frameBytes frames an already-marshaled payload (the snapshot file shares
+// the record framing, so torn or bit-flipped snapshots are detectable).
+func frameBytes(payload []byte) []byte {
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+	return frame
+}
+
 // scanWAL reads records until EOF or the first torn/corrupt frame and
 // returns them with the byte offset of the last valid frame end. Everything
 // past that offset is untrustworthy (a crash mid-append), so callers
@@ -373,71 +533,595 @@ func scanWAL(f *os.File) (recs []walRecord, valid int64, err error) {
 	}
 }
 
+// --- segment and snapshot files ---------------------------------------------
+
+// segName returns the file name of a log segment. Segment 1 keeps the
+// pre-rotation single-file name for backward compatibility.
+func segName(seq int64) string {
+	if seq == 1 {
+		return walFileName
+	}
+	return fmt.Sprintf("%s%06d%s", walSegPrefix, seq, walSegSuffix)
+}
+
+// parseSegName inverts segName; ok is false for non-segment files.
+func parseSegName(name string) (seq int64, ok bool) {
+	if name == walFileName {
+		return 1, true
+	}
+	body, found := strings.CutPrefix(name, walSegPrefix)
+	if !found {
+		return 0, false
+	}
+	body, found = strings.CutSuffix(body, walSegSuffix)
+	if !found {
+		return 0, false
+	}
+	seq, err := strconv.ParseInt(body, 10, 64)
+	if err != nil || seq < 2 {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listSegments returns the data dir's segment sequence numbers, ascending.
+func listSegments(dir string) ([]int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []int64
+	for _, e := range entries {
+		if seq, ok := parseSegName(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	slices.Sort(seqs)
+	return seqs, nil
+}
+
+// fsyncDir flushes a directory's entry table — the step that makes file
+// creations, renames and deletions durable, not just the file contents.
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// lockDir takes the data dir's exclusive advisory lock for the exchange's
+// lifetime (released when the fd closes): two processes appending to one
+// log would interleave frames and read as corruption — exactly the history
+// loss the log exists to prevent. Fail fast instead.
+func lockDir(dir string) (*os.File, error) {
+	path := filepath.Join(dir, lockFileName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("exchange: opening lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close() //nolint:errcheck // already failing
+		return nil, fmt.Errorf("exchange: data dir %s is locked by another process: %w", dir, err)
+	}
+	return f, nil
+}
+
+// writeSnapshot makes snap durable: marshal, frame, write to a temp file,
+// fsync, rename over the live snapshot, fsync the dir. The rename is the
+// commit point — a crash anywhere before it leaves the previous snapshot
+// (or none) in force, with every segment it needs still on disk.
+func writeSnapshot(dir string, snap *walSnapshot) error {
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("exchange: encoding snapshot: %w", err)
+	}
+	tmp := filepath.Join(dir, snapTmpName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("exchange: creating snapshot: %w", err)
+	}
+	_, werr := f.Write(frameBytes(payload))
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp) //nolint:errcheck // best-effort cleanup of a failed write
+		return fmt.Errorf("exchange: writing snapshot: %w", werr)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapFileName)); err != nil {
+		return fmt.Errorf("exchange: committing snapshot: %w", err)
+	}
+	return fsyncDir(dir)
+}
+
+// readSnapshot loads the data dir's snapshot; (nil, nil) when none exists.
+// A present-but-corrupt snapshot is an error: segments it covered may
+// already be deleted, so ignoring it silently would serve truncated
+// history.
+func readSnapshot(dir string) (*walSnapshot, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, snapFileName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 8 {
+		return nil, errors.New("exchange: snapshot file is truncated")
+	}
+	n := binary.LittleEndian.Uint32(raw[0:4])
+	sum := binary.LittleEndian.Uint32(raw[4:8])
+	if int64(n) != int64(len(raw)-8) {
+		return nil, errors.New("exchange: snapshot length mismatch")
+	}
+	payload := raw[8:]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, errors.New("exchange: snapshot failed its checksum")
+	}
+	var snap walSnapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return nil, fmt.Errorf("exchange: decoding snapshot: %w", err)
+	}
+	if snap.CutSeq < 1 {
+		return nil, fmt.Errorf("exchange: snapshot has invalid cut %d", snap.CutSeq)
+	}
+	return &snap, nil
+}
+
+// Test hooks of the compaction crash matrix: persist_test simulates a
+// kill -9 at each point by copying the data dir while the exchange runs.
+var (
+	testHookAfterRotate   func() // rotation durable, snapshot not yet written
+	testHookAfterSnapshot func() // snapshot durable, old segments not yet deleted
+)
+
+// Compact writes a snapshot of the exchange's durable state, rotates the
+// log onto a fresh segment, and deletes the segments the snapshot covers.
+// The whole mutation history up to the cut collapses into one state
+// capture, so replay cost and disk usage stay bounded by live state
+// (KeepOutcomes history, registry size) instead of growing with every round
+// ever closed. Durable exchanges trigger it automatically (size threshold
+// and optional interval — see Options); calling it manually is also safe at
+// any time. On an in-memory exchange it is a no-op.
+//
+// Crash safety, in write order: (1) the new segment is created and made
+// durable, (2) the writer rotates onto it after fsyncing the old segment,
+// (3) the snapshot commits via rename, (4) old segments are deleted. A kill
+// at any point leaves either the old snapshot (or none) with every segment
+// it needs, or the new snapshot with its tail — Open handles both, deleting
+// whatever garbage the crash left.
+func (ex *Exchange) Compact() error {
+	if ex.wal == nil {
+		return nil
+	}
+	ex.compactMu.Lock()
+	defer ex.compactMu.Unlock()
+
+	// Any failure re-arms the size trigger: the next over-threshold commit
+	// (or the interval) retries, instead of one transient error disabling
+	// automatic compaction for the rest of the segment's life.
+	newSeq := ex.walSeq + 1
+	segPath := filepath.Join(ex.dir, segName(newSeq))
+	f, err := os.OpenFile(segPath, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		ex.metrics.snapshotErrs.Add(1)
+		ex.wal.rearmSizeTrigger()
+		return fmt.Errorf("exchange: creating segment: %w", err)
+	}
+	abort := func(err error) error {
+		f.Close()          //nolint:errcheck // already failing
+		os.Remove(segPath) //nolint:errcheck // best-effort cleanup
+		ex.metrics.snapshotErrs.Add(1)
+		ex.wal.rearmSizeTrigger()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return abort(fmt.Errorf("exchange: creating segment: %w", err))
+	}
+	if err := fsyncDir(ex.dir); err != nil {
+		return abort(fmt.Errorf("exchange: creating segment: %w", err))
+	}
+
+	// Stop the world: ex.mu freezes the job set, each job's closeMu parks
+	// its round closes (and therefore all round/job record appends; node
+	// records may still race, but replaying one is idempotent). The cut is
+	// the rotation message's position in the writer queue: every record
+	// enqueued before it lands in the old segments the snapshot covers,
+	// everything after lands in the tail the snapshot does not.
+	ex.mu.Lock()
+	if ex.closed {
+		ex.mu.Unlock()
+		return abort(ErrExchangeClosed)
+	}
+	jobs := make([]*Job, 0, len(ex.jobs))
+	for _, j := range ex.jobs {
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].id < jobs[b].id })
+	for _, j := range jobs {
+		j.closeMu.Lock()
+	}
+	unlock := func() {
+		for _, j := range jobs {
+			j.closeMu.Unlock()
+		}
+		ex.mu.Unlock()
+	}
+
+	done, ok := ex.wal.rotate(f, newSeq)
+	if !ok {
+		unlock()
+		return abort(ErrExchangeClosed)
+	}
+	snap, serr := ex.captureSnapshot(jobs, newSeq)
+	unlock()
+
+	<-done // old segments durable, writer switched
+	ex.walSeq = newSeq
+	if serr != nil {
+		// Rotation without a snapshot is harmless: replay still reads the
+		// old snapshot (or none) plus every segment.
+		ex.metrics.snapshotErrs.Add(1)
+		ex.wal.rearmSizeTrigger()
+		return serr
+	}
+	if hook := testHookAfterRotate; hook != nil {
+		hook()
+	}
+
+	if err := writeSnapshot(ex.dir, snap); err != nil {
+		ex.metrics.snapshotErrs.Add(1)
+		ex.wal.rearmSizeTrigger()
+		return err
+	}
+	if hook := testHookAfterSnapshot; hook != nil {
+		hook()
+	}
+	// Old segments are garbage now; a crash mid-delete just leaves some for
+	// the next Open to clear. walFloor (the lowest live segment) keeps the
+	// loop from re-unlinking every seq since the dawn of the log on each
+	// compaction.
+	for seq := ex.walFloor; seq < newSeq; seq++ {
+		os.Remove(filepath.Join(ex.dir, segName(seq))) //nolint:errcheck // covered by the snapshot either way
+	}
+	ex.walFloor = newSeq
+	ex.metrics.snapshots.Add(1)
+	return nil
+}
+
+// captureSnapshot assembles the snapshot under the compaction locks
+// (ex.mu + every job's closeMu held by the caller; j.mu taken per job
+// here). All outcome data is deep-copied — the snapshot is encoded after
+// the locks drop, by which time the pooled history buffers may have been
+// recycled by new rounds.
+func (ex *Exchange) captureSnapshot(jobs []*Job, cutSeq int64) (*walSnapshot, error) {
+	snap := &walSnapshot{CutSeq: cutSeq}
+	for _, j := range jobs {
+		wj, err := walJobFromSpec(j.spec)
+		if err != nil {
+			return nil, fmt.Errorf("exchange: snapshotting job %q: %w", j.id, err)
+		}
+		j.mu.Lock()
+		sj := walSnapJob{
+			Spec:      wj,
+			Closed:    j.closed.Load(),
+			Round:     j.round,
+			BaseRound: j.baseRnd,
+			Draws:     j.src.n,
+			AuctRound: j.auct.Round(),
+		}
+		if len(j.outcomes) > 0 {
+			sj.History = make([]walRound, len(j.outcomes))
+			for i, ro := range j.outcomes {
+				ro.Outcome = ro.Outcome.Clone()
+				fillWalRound(&sj.History[i], ro, nil, 0)
+			}
+		}
+		j.mu.Unlock()
+		snap.Jobs = append(snap.Jobs, sj)
+	}
+	// Pending (buffered, unclosed) bids already incremented their node's
+	// live counter, but their round record will land in the tail — which
+	// replay re-counts. Capture counters net of pending so snapshot + tail
+	// reproduces exactly what a record-by-record replay would. The whole
+	// intake is frozen across both the pending scan AND the counter reads,
+	// and every acceptance (registered counter and open-posture first-bid
+	// registration alike) runs inside a shard critical section, so no bid
+	// can slip between the two reads. The clamp below is pure defense.
+	pending := make(map[int]int64)
+	for _, j := range jobs {
+		j.intake.lockAll()
+	}
+	for _, j := range jobs {
+		j.intake.pendingByNodeLocked(pending)
+	}
+	ex.reg.Range(func(info *NodeInfo) bool {
+		bids := info.Bids() - pending[info.ID]
+		if bids < 0 {
+			bids = 0
+		}
+		snap.Nodes = append(snap.Nodes, walSnapNode{
+			ID:     info.ID,
+			Meta:   info.Meta(),
+			Bids:   bids,
+			Banned: info.Blacklisted(),
+		})
+		return true
+	})
+	for _, j := range jobs {
+		j.intake.unlockAll()
+	}
+	sort.Slice(snap.Nodes, func(a, b int) bool { return snap.Nodes[a].ID < snap.Nodes[b].ID })
+	return snap, nil
+}
+
+// applySnapshot replays a snapshot into the (still private) exchange,
+// exactly as if the deleted segments' records had been applied one by one.
+func (ex *Exchange) applySnapshot(snap *walSnapshot) error {
+	for _, n := range snap.Nodes {
+		ex.reg.restore(n.ID, n.Meta, n.Bids, n.Banned)
+	}
+	for i := range snap.Jobs {
+		sj := &snap.Jobs[i]
+		spec, err := sj.Spec.spec()
+		if err != nil {
+			return fmt.Errorf("snapshot job %q: %w", sj.Spec.ID, err)
+		}
+		if _, dup := ex.jobs[spec.ID]; dup {
+			return fmt.Errorf("snapshot job %q duplicated", spec.ID)
+		}
+		j, err := newJob(ex, spec.ID, spec)
+		if err != nil {
+			return fmt.Errorf("snapshot job %q: %w", spec.ID, err)
+		}
+		for _, wr := range sj.History {
+			j.restoreRound(wr.outcome(j.id))
+		}
+		if len(sj.History) == 0 {
+			j.round = sj.Round
+			j.baseRnd = sj.BaseRound
+		}
+		j.src.fastForwardTo(sj.Draws)
+		j.auct.Resume(sj.AuctRound)
+		if sj.Closed {
+			j.closed.Store(true)
+			ex.metrics.jobsClosed.Add(1)
+		}
+		ex.jobs[spec.ID] = j
+		ex.metrics.jobsCreated.Add(1)
+	}
+	return nil
+}
+
 // Open starts an exchange backed by a write-ahead outcome log in dir
-// (created if absent). Every prior record is replayed first: jobs come back
-// with their specs, retained outcome history, contiguous round numbering
-// and reconstructed rng position; the registry and blacklist are restored;
-// a torn tail from a crash mid-append is truncated. Timer-mode jobs resume
-// their bid windows once replay completes.
+// (created if absent). Recovery replays the snapshot (if one exists) and
+// then every live segment in order: jobs come back with their specs,
+// retained outcome history, contiguous round numbering and reconstructed
+// rng position; the registry and blacklist are restored; a torn tail from a
+// crash mid-append is truncated; segments and temp files orphaned by a
+// crash mid-compaction are deleted. Timer-mode jobs resume their bid
+// windows once replay completes.
 func Open(dir string, opts Options) (*Exchange, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("exchange: creating data dir: %w", err)
 	}
-	path := filepath.Join(dir, walFileName)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	lock, err := lockDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("exchange: opening wal: %w", err)
+		return nil, err
 	}
-	// Exclusive advisory lock for the exchange's lifetime (released when
-	// the fd closes): two processes appending to one log would interleave
-	// frames and read as corruption — exactly the history loss the log
-	// exists to prevent. Fail fast instead.
-	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		f.Close() //nolint:errcheck // already failing
-		return nil, fmt.Errorf("exchange: wal %s is locked by another process: %w", path, err)
+	fail := func(err error) (*Exchange, error) {
+		lock.Close() //nolint:errcheck // already failing
+		return nil, err
 	}
-	recs, valid, err := scanWAL(f)
-	if err == nil {
-		var size int64
-		if st, serr := f.Stat(); serr != nil {
-			err = serr
-		} else {
-			size = st.Size()
-		}
-		if err == nil && size > valid {
-			err = f.Truncate(valid)
-		}
-	}
-	if err == nil {
-		_, err = f.Seek(valid, io.SeekStart)
-	}
+	// A leftover temp file is a snapshot that never committed.
+	os.Remove(filepath.Join(dir, snapTmpName)) //nolint:errcheck // best-effort cleanup
+
+	snap, err := readSnapshot(dir)
 	if err != nil {
-		f.Close() //nolint:errcheck // already failing
-		return nil, fmt.Errorf("exchange: preparing wal: %w", err)
+		return fail(err)
+	}
+	startSeq := int64(1)
+	if snap != nil {
+		startSeq = snap.CutSeq
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return fail(fmt.Errorf("exchange: listing wal segments: %w", err))
+	}
+	live := segs[:0]
+	for _, seq := range segs {
+		if seq < startSeq {
+			// Covered by the snapshot: garbage from a crash between the
+			// snapshot commit and the old-segment deletion.
+			if err := os.Remove(filepath.Join(dir, segName(seq))); err != nil {
+				return fail(fmt.Errorf("exchange: removing stale segment: %w", err))
+			}
+			continue
+		}
+		live = append(live, seq)
+	}
+	if len(live) == 0 {
+		// Fresh dir (or the snapshot's tail segment was never written to and
+		// lost): start an empty tail at the cut.
+		path := filepath.Join(dir, segName(startSeq))
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			return fail(fmt.Errorf("exchange: creating wal: %w", err))
+		}
+		f.Close() //nolint:errcheck // reopened below
+		live = append(live, startSeq)
+	}
+	for i, seq := range live {
+		if want := startSeq + int64(i); seq != want {
+			return fail(fmt.Errorf("exchange: wal segment %d missing (found %d)", want, seq))
+		}
 	}
 
 	ex := New(opts)
-	for i, rec := range recs {
-		if aerr := ex.applyRecord(rec); aerr != nil {
-			ex.Close()
-			f.Close() //nolint:errcheck // already failing
-			return nil, fmt.Errorf("exchange: replaying wal record %d: %w", i, aerr)
+	ex.dir = dir
+	ex.walLock = lock
+	closeFail := func(err error) (*Exchange, error) {
+		ex.Close()
+		lock.Close() //nolint:errcheck // already failing
+		return nil, err
+	}
+	if snap != nil {
+		if err := ex.applySnapshot(snap); err != nil {
+			return closeFail(fmt.Errorf("exchange: replaying snapshot: %w", err))
 		}
+	}
+
+	// Scan every live segment first, then decide where the effective tail
+	// is. A torn tail is normally only legal in the last segment — but the
+	// rotation protocol creates (and fsyncs) the successor segment BEFORE
+	// the writer's barrier fsyncs the retiring one, so a power loss in that
+	// window leaves a torn segment followed by one still-empty successor.
+	// That state is recoverable, not corrupt: the rotation never happened,
+	// so the torn segment is the effective tail (truncate it, delete the
+	// orphaned empty successors). A torn non-last segment followed by any
+	// WRITTEN segment is impossible by the barrier ordering and stays a
+	// hard error rather than a guess.
+	type segScan struct {
+		seq   int64
+		recs  []walRecord
+		valid int64
+		size  int64
+	}
+	scans := make([]segScan, 0, len(live))
+	for _, seq := range live {
+		f, err := os.Open(filepath.Join(dir, segName(seq)))
+		if err != nil {
+			return closeFail(fmt.Errorf("exchange: opening wal segment %d: %w", seq, err))
+		}
+		recs, valid, err := scanWAL(f)
+		var size int64
+		if err == nil {
+			var st os.FileInfo
+			if st, err = f.Stat(); err == nil {
+				size = st.Size()
+			}
+		}
+		f.Close() //nolint:errcheck // read-only scan
+		if err != nil {
+			return closeFail(fmt.Errorf("exchange: reading wal segment %d: %w", seq, err))
+		}
+		scans = append(scans, segScan{seq: seq, recs: recs, valid: valid, size: size})
+	}
+	tailIdx := len(scans) - 1
+	for i, s := range scans[:len(scans)-1] {
+		if s.size == s.valid {
+			continue // clean non-last segment
+		}
+		for _, later := range scans[i+1:] {
+			if later.size != 0 || len(later.recs) != 0 {
+				return closeFail(fmt.Errorf("exchange: wal segment %d is corrupt before its end", s.seq))
+			}
+		}
+		tailIdx = i // crash mid-rotation: torn segment + empty successors
+		break
+	}
+	for _, orphan := range scans[tailIdx+1:] {
+		if err := os.Remove(filepath.Join(dir, segName(orphan.seq))); err != nil {
+			return closeFail(fmt.Errorf("exchange: removing orphaned segment %d: %w", orphan.seq, err))
+		}
+	}
+	scans = scans[:tailIdx+1]
+	live = live[:tailIdx+1]
+	for _, s := range scans {
+		for ri, rec := range s.recs {
+			if aerr := ex.applyRecord(rec); aerr != nil {
+				return closeFail(fmt.Errorf("exchange: replaying wal segment %d record %d: %w", s.seq, ri, aerr))
+			}
+		}
+	}
+
+	// Reopen the effective tail for appending: truncate the torn bytes (if
+	// any), park the write offset at the end of the last valid frame, and
+	// flock the segment for the exchange's lifetime — pre-rotation binaries
+	// lock exchange.wal itself rather than exchange.lock, and without this
+	// a version-skewed pair of processes (rolling upgrade, rollback) could
+	// append to the same segment concurrently, interleaving frames that
+	// read as corruption on the next replay.
+	tailScan := scans[len(scans)-1]
+	tailValid := tailScan.valid
+	tail, serr := os.OpenFile(filepath.Join(dir, segName(tailScan.seq)), os.O_RDWR, 0o644)
+	if serr == nil {
+		if tailScan.size > tailValid {
+			serr = tail.Truncate(tailValid)
+		}
+		if serr == nil {
+			_, serr = tail.Seek(tailValid, io.SeekStart)
+		}
+		if serr == nil {
+			serr = syscall.Flock(int(tail.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+		}
+		if serr != nil {
+			tail.Close() //nolint:errcheck // already failing
+		}
+	}
+	if serr != nil {
+		return closeFail(fmt.Errorf("exchange: preparing wal segment %d: %w", tailScan.seq, serr))
 	}
 	ex.finishReplay()
 
-	ex.wal = newPersister(f, opts.SyncInterval)
+	threshold := opts.SnapshotBytes
+	if threshold == 0 {
+		threshold = defaultSnapshotBytes
+	}
+	ex.walSeq = live[len(live)-1]
+	ex.walFloor = live[0]
+	ex.compactCh = make(chan struct{}, 1)
+	ex.compactDone = make(chan struct{})
+	ex.wal = newPersister(tail, ex.walSeq, tailValid, opts.SyncInterval, threshold, func() {
+		select {
+		case ex.compactCh <- struct{}{}:
+		default:
+		}
+	})
+	go ex.compactLoop()
 	// Start the bid windows only now: a loop closing rounds mid-replay would
 	// interleave fresh draws with the reconstruction of old ones.
 	ex.mu.Lock()
 	for _, j := range ex.jobs {
-		if j.spec.BidWindow > 0 && !j.closed {
+		if j.spec.BidWindow > 0 && !j.closed.Load() {
 			j.loopDone = make(chan struct{})
 			go j.loop()
 		}
 	}
 	ex.mu.Unlock()
 	return ex, nil
+}
+
+// compactLoop runs background compaction for a durable exchange: the
+// writer's size trigger and (when configured) the periodic interval both
+// land here. Failures are counted in the metrics snapshot and retried on
+// the next trigger; they never poison the log itself.
+func (ex *Exchange) compactLoop() {
+	defer close(ex.compactDone)
+	var tick <-chan time.Time
+	if ex.opts.SnapshotInterval > 0 {
+		t := time.NewTicker(ex.opts.SnapshotInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-ex.ctx.Done():
+			return
+		case <-ex.compactCh:
+		case <-tick:
+		}
+		ex.Compact() //nolint:errcheck // counted in metrics; next trigger retries
+	}
 }
 
 // applyRecord replays one log record into the (still private) exchange.
@@ -482,8 +1166,8 @@ func (ex *Exchange) applyRecord(rec walRecord) error {
 		if !ok {
 			return fmt.Errorf("close for unknown job %q", rec.ID)
 		}
-		if !j.closed {
-			j.closed = true
+		if !j.closed.Load() {
+			j.closed.Store(true)
 			ex.metrics.jobsClosed.Add(1)
 		}
 	case recJobRemoved:
@@ -491,7 +1175,7 @@ func (ex *Exchange) applyRecord(rec walRecord) error {
 		if !ok {
 			return fmt.Errorf("removal of unknown job %q", rec.ID)
 		}
-		if !j.closed {
+		if !j.closed.Load() {
 			ex.metrics.jobsClosed.Add(1)
 		}
 		delete(ex.jobs, rec.ID)
@@ -514,13 +1198,15 @@ func (ex *Exchange) applyRecord(rec walRecord) error {
 
 // finishReplay settles derived state the log does not spell out: a job
 // whose last persisted round hit MaxRounds crashed between its round record
-// and its close record, so the close is reconstructed here.
+// and its close record, so the close is reconstructed here; and every job's
+// intake shards are aligned to its replayed collecting round.
 func (ex *Exchange) finishReplay() {
 	for _, j := range ex.jobs {
-		if !j.closed && j.spec.MaxRounds > 0 && j.round > j.spec.MaxRounds {
-			j.closed = true
+		if !j.closed.Load() && j.spec.MaxRounds > 0 && j.round > j.spec.MaxRounds {
+			j.closed.Store(true)
 			ex.metrics.jobsClosed.Add(1)
 		}
+		j.intake.setRound(j.round)
 	}
 }
 
@@ -547,6 +1233,29 @@ func (w *walJob) spec() (JobSpec, error) {
 	}
 	spec.setDefaults()
 	return spec, nil
+}
+
+// walJobFromSpec serializes a JobSpec for a job record or a snapshot. An
+// unserializable rule is refused (CreateJob rejects such jobs up front on a
+// durable exchange, so this never fires for hosted jobs).
+func walJobFromSpec(spec JobSpec) (walJob, error) {
+	ruleSpec, err := transport.SpecForRule(spec.Auction.Rule)
+	if err != nil {
+		return walJob{}, err
+	}
+	return walJob{
+		ID:           spec.ID,
+		Rule:         ruleSpec,
+		K:            spec.Auction.K,
+		Payment:      int(spec.Auction.Payment),
+		Psi:          spec.Auction.Psi,
+		Seed:         spec.Seed,
+		BidWindowNS:  int64(spec.BidWindow),
+		MaxRounds:    spec.MaxRounds,
+		MinBids:      spec.MinBids,
+		KeepOutcomes: spec.KeepOutcomes,
+		Equilibrium:  spec.Equilibrium,
+	}, nil
 }
 
 // outcome reconstructs the RoundOutcome of a round record. Failed rounds
@@ -585,6 +1294,43 @@ func (w *walRound) outcome(jobID string) RoundOutcome {
 	return ro
 }
 
+// fillWalRound populates one round record from a completed round. winners
+// is an optional reusable buffer for the winner slice (the hot logRound
+// path passes the job's scratch; the snapshot path passes nil and lets it
+// allocate).
+func fillWalRound(rec *walRound, ro RoundOutcome, bidders []int, draws int64) []walWinner {
+	prev := rec.Winners
+	*rec = walRound{
+		Job:       ro.JobID,
+		Round:     ro.Round,
+		NumBids:   ro.NumBids,
+		Bidders:   bidders,
+		Draws:     draws,
+		LatencyNS: int64(ro.Latency),
+	}
+	if ro.Err != nil {
+		rec.Err = ro.Err.Error()
+		return prev
+	}
+	rec.Scores = ro.Outcome.Scores
+	rec.Profit = ro.Outcome.AggregatorProfit
+	if ro.Outcome.Winners != nil {
+		ws := prev[:0]
+		for _, win := range ro.Outcome.Winners {
+			ws = append(ws, walWinner{
+				NodeID:     win.Bid.NodeID,
+				Qualities:  win.Bid.Qualities,
+				BidPayment: win.Bid.Payment,
+				Score:      win.Score,
+				Payment:    win.Payment,
+			})
+		}
+		rec.Winners = ws
+		return ws
+	}
+	return prev
+}
+
 // --- record hooks -----------------------------------------------------------
 //
 // Every mutation the exchange must survive goes through one of these. They
@@ -595,58 +1341,25 @@ func (ex *Exchange) logJobCreated(spec JobSpec) error {
 	if ex.wal == nil {
 		return nil
 	}
-	ruleSpec, err := transport.SpecForRule(spec.Auction.Rule)
+	wj, err := walJobFromSpec(spec)
 	if err != nil {
 		// An unserializable rule cannot be recovered; refuse the job up
 		// front rather than silently dropping it from the log.
 		return fmt.Errorf("exchange: job %q is not persistable: %w", spec.ID, err)
 	}
-	ex.wal.append(walRecord{Kind: recJobCreated, Job: &walJob{
-		ID:           spec.ID,
-		Rule:         ruleSpec,
-		K:            spec.Auction.K,
-		Payment:      int(spec.Auction.Payment),
-		Psi:          spec.Auction.Psi,
-		Seed:         spec.Seed,
-		BidWindowNS:  int64(spec.BidWindow),
-		MaxRounds:    spec.MaxRounds,
-		MinBids:      spec.MinBids,
-		KeepOutcomes: spec.KeepOutcomes,
-		Equilibrium:  spec.Equilibrium,
-	}})
+	ex.wal.append(walRecord{Kind: recJobCreated, Job: &wj})
 	return nil
 }
 
-func (ex *Exchange) logRound(ro RoundOutcome, bidders []int, draws int64) {
+// logRound appends one round record built in the caller's scratch (rec and
+// winners are reused across rounds — safe because append encodes the frame
+// before returning; see persister.append).
+func (ex *Exchange) logRound(rec *walRound, winners *[]walWinner, ro RoundOutcome, bidders []int, draws int64) {
 	if ex.wal == nil {
 		return
 	}
-	rec := &walRound{
-		Job:       ro.JobID,
-		Round:     ro.Round,
-		NumBids:   ro.NumBids,
-		Bidders:   bidders,
-		Draws:     draws,
-		LatencyNS: int64(ro.Latency),
-	}
-	if ro.Err != nil {
-		rec.Err = ro.Err.Error()
-	} else {
-		rec.Scores = ro.Outcome.Scores
-		rec.Profit = ro.Outcome.AggregatorProfit
-		if ro.Outcome.Winners != nil {
-			rec.Winners = make([]walWinner, len(ro.Outcome.Winners))
-			for i, win := range ro.Outcome.Winners {
-				rec.Winners[i] = walWinner{
-					NodeID:     win.Bid.NodeID,
-					Qualities:  win.Bid.Qualities,
-					BidPayment: win.Bid.Payment,
-					Score:      win.Score,
-					Payment:    win.Payment,
-				}
-			}
-		}
-	}
+	rec.Winners = *winners
+	*winners = fillWalRound(rec, ro, bidders, draws)
 	ex.wal.append(walRecord{Kind: recRound, Round: rec})
 }
 

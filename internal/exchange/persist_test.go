@@ -606,6 +606,409 @@ func TestRecoveryAfterRemoveAndRecreateSameID(t *testing.T) {
 	}
 }
 
+// cloneDataDir simulates a kill -9 against the full data dir: every file
+// (segments, snapshot, lock file) is copied byte-for-byte into a fresh dir
+// while the source exchange is still running.
+func cloneDataDir(t *testing.T, srcDir string) string {
+	t.Helper()
+	dir := t.TempDir()
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(srcDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// compactWorkload drives a deterministic mixed workload (second-price and
+// ψ jobs included) for the compaction tests and returns the job IDs.
+func compactWorkload(t *testing.T, ex *Exchange, jobs, bidders, rounds int, create bool) []string {
+	t.Helper()
+	ids := make([]string, jobs)
+	for j := 0; j < jobs; j++ {
+		ids[j] = fmt.Sprintf("snap-job-%d", j)
+		if !create {
+			continue
+		}
+		spec := JobSpec{
+			ID:           ids[j],
+			Auction:      auction.Config{Rule: testRule(t, j), K: 2 + j%3},
+			Seed:         int64(77 + j),
+			KeepOutcomes: 4, // small window: eviction + snapshot interplay covered
+		}
+		if j%2 == 1 {
+			spec.Auction.Payment = auction.SecondPrice
+		}
+		if j == jobs-1 {
+			spec.Auction.Psi = 0.7
+		}
+		if _, err := ex.CreateJob(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 1; round <= rounds; round++ {
+		for j := 0; j < jobs; j++ {
+			job, ok := ex.Job(ids[j])
+			if !ok {
+				t.Fatalf("job %s missing", ids[j])
+			}
+			base := job.Round()
+			for _, b := range testBids(j, base, bidders) {
+				if _, err := ex.SubmitBid(ids[j], b); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := ex.CloseRound(ids[j]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return ids
+}
+
+// outcomesPageBytes fetches the raw GET /v1/jobs/{id}/outcomes page — the
+// externally visible bytes the recovery guarantee is stated in.
+func outcomesPageBytes(t *testing.T, ex *Exchange, jobID string) []byte {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler(ex))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + jobID + "/outcomes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //nolint:errcheck // test teardown
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("outcomes page for %s: status %d", jobID, resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestCompactionSnapshotReplayIdentical is the acceptance test of WAL
+// compaction: run a mixed workload, compact (snapshot + rotation + old
+// segment deletion), run more rounds on the tail, kill, reopen — the
+// reopened exchange must serve byte-identical outcome pages and continue
+// rounds bit-for-bit with the uncrashed process (rng fast-forward across
+// the snapshot included).
+func TestCompactionSnapshotReplayIdentical(t *testing.T) {
+	const (
+		jobs, bidders = 4, 16
+		preRounds     = 6 // > KeepOutcomes: eviction happened before the snapshot
+		tailRounds    = 2 // rounds after compaction, replayed from the tail segment
+		postRounds    = 2 // rounds run on both sides after the crash fork
+	)
+	dir := t.TempDir()
+	ex, err := Open(dir, Options{SnapshotBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	ex.RegisterNode(3, "edge-03")
+	ids := compactWorkload(t, ex, jobs, bidders, preRounds, true)
+	if !ex.BlacklistNode(bidders - 1) {
+		t.Fatal("blacklist failed")
+	}
+
+	if err := ex.Compact(); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, walFileName)); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("segment 1 survived compaction (err=%v)", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapFileName)); err != nil {
+		t.Errorf("snapshot missing after compaction: %v", err)
+	}
+
+	compactWorkload(t, ex, jobs, bidders-1, tailRounds, false) // banned node sits out
+	if err := ex.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	crashReg := registrySnapshot(ex, bidders)
+	pages := make(map[string][]byte, jobs)
+	for _, id := range ids {
+		pages[id] = outcomesPageBytes(t, ex, id)
+	}
+	crashDir := cloneDataDir(t, dir) // <-- kill -9
+
+	// The uncrashed exchange keeps going.
+	compactWorkload(t, ex, jobs, bidders-1, postRounds, false)
+	reference := make(map[string][]RoundOutcome, jobs)
+	for _, id := range ids {
+		job, _ := ex.Job(id)
+		ros, _ := job.OutcomesAfter(0, 0)
+		reference[id] = ros
+	}
+
+	ex2, err := Open(crashDir, Options{SnapshotBytes: -1})
+	if err != nil {
+		t.Fatalf("reopen after compaction: %v", err)
+	}
+	defer ex2.Close()
+	for _, id := range ids {
+		if got := outcomesPageBytes(t, ex2, id); string(got) != string(pages[id]) {
+			t.Errorf("job %s: outcomes page diverged after snapshot replay:\n got: %s\nwant: %s", id, got, pages[id])
+		}
+	}
+	if got := registrySnapshot(ex2, bidders); !reflect.DeepEqual(got, crashReg) {
+		t.Errorf("registry after snapshot replay = %+v,\nwant %+v", got, crashReg)
+	}
+	compactWorkload(t, ex2, jobs, bidders-1, postRounds, false)
+	for _, id := range ids {
+		job, _ := ex2.Job(id)
+		got, _ := job.OutcomesAfter(0, 0)
+		want := reference[id]
+		if len(got) != len(want) {
+			t.Errorf("job %s: %d retained rounds after recovery, want %d", id, len(got), len(want))
+			continue
+		}
+		for i := range got {
+			// Latency is wall-clock on the rounds each side ran live;
+			// everything deterministic must match bit-for-bit.
+			if got[i].Round != want[i].Round || got[i].NumBids != want[i].NumBids ||
+				!reflect.DeepEqual(got[i].Outcome, want[i].Outcome) ||
+				!reflect.DeepEqual(got[i].Err, want[i].Err) {
+				t.Errorf("job %s round %d: post-recovery outcome diverges from the uncrashed run", id, want[i].Round)
+			}
+		}
+	}
+}
+
+// TestCompactionCrashMatrix kills the process at every dangerous point of
+// the compaction protocol — after rotation (snapshot not yet written),
+// mid-snapshot-write (torn temp file), after the snapshot commit (old
+// segments not yet deleted), and mid-deletion — and requires every reopened
+// copy to serve the identical outcome pages.
+func TestCompactionCrashMatrix(t *testing.T) {
+	const jobs, bidders, rounds = 3, 12, 5
+	dir := t.TempDir()
+	ex, err := Open(dir, Options{SnapshotBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	ids := compactWorkload(t, ex, jobs, bidders, rounds, true)
+	if err := ex.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	crashDirs := map[string]string{}
+	testHookAfterRotate = func() {
+		d := cloneDataDir(t, dir)
+		// Also model a crash mid-snapshot-write: rotation done, temp file
+		// torn on disk.
+		torn := cloneDataDir(t, dir)
+		if err := os.WriteFile(filepath.Join(torn, snapTmpName), []byte{0x10, 0, 0}, 0o644); err != nil {
+			t.Error(err)
+		}
+		crashDirs["after-rotate"] = d
+		crashDirs["torn-snapshot-tmp"] = torn
+	}
+	testHookAfterSnapshot = func() {
+		crashDirs["after-snapshot"] = cloneDataDir(t, dir)
+	}
+	defer func() {
+		testHookAfterRotate = nil
+		testHookAfterSnapshot = nil
+	}()
+
+	pages := make(map[string][]byte, jobs)
+	for _, id := range ids {
+		pages[id] = outcomesPageBytes(t, ex, id)
+	}
+	if err := ex.Compact(); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if len(crashDirs) != 3 {
+		t.Fatalf("crash hooks fired %d times, want 3", len(crashDirs))
+	}
+	// Mid-deletion: the after-snapshot state minus one (but not all) old
+	// segments. With a single old segment the closest state is "deletion
+	// done", which the post-compaction dir itself covers below.
+	crashDirs["after-deletion"] = cloneDataDir(t, dir)
+
+	for name, crashDir := range crashDirs {
+		t.Run(name, func(t *testing.T) {
+			ex2, err := Open(crashDir, Options{SnapshotBytes: -1})
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer ex2.Close()
+			for _, id := range ids {
+				if got := outcomesPageBytes(t, ex2, id); string(got) != string(pages[id]) {
+					t.Errorf("job %s: outcomes diverged after %s crash", id, name)
+				}
+			}
+			// The copy must keep working: one more round per job.
+			compactWorkload(t, ex2, jobs, bidders, 1, false)
+		})
+	}
+}
+
+// TestRecoveryTornTailMidRotation models a power loss in the rotation
+// window: the successor segment was created (empty, durable) before the
+// writer's barrier fsynced the retiring one, so the retiring segment has a
+// torn tail while no longer being the last file. Open must treat the torn
+// segment as the effective tail — truncate it, delete the orphaned empty
+// successor — and keep serving. A torn non-last segment followed by a
+// WRITTEN successor is impossible by the barrier ordering and must stay a
+// hard error.
+func TestRecoveryTornTailMidRotation(t *testing.T) {
+	build := func(t *testing.T) string {
+		t.Helper()
+		dir := t.TempDir()
+		ex, err := Open(dir, Options{SnapshotBytes: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		compactWorkload(t, ex, 1, 8, 2, true)
+		ex.Close()
+		// Torn tail on segment 1 + the empty successor the crash left.
+		appendBytes(t, filepath.Join(dir, walFileName), []byte{0x30, 0, 0, 0, 1, 2})
+		if err := os.WriteFile(filepath.Join(dir, segName(2)), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	t.Run("empty successor recovers", func(t *testing.T) {
+		dir := build(t)
+		ex, err := Open(dir, Options{SnapshotBytes: -1})
+		if err != nil {
+			t.Fatalf("reopen over mid-rotation crash: %v", err)
+		}
+		defer ex.Close()
+		job, ok := ex.Job("snap-job-0")
+		if !ok {
+			t.Fatal("job lost")
+		}
+		if _, err := job.Outcome(2); err != nil {
+			t.Errorf("round 2: %v, want retained", err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, segName(2))); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("orphaned empty successor not deleted (err=%v)", err)
+		}
+		compactWorkload(t, ex, 1, 8, 1, false) // keeps closing rounds
+	})
+
+	t.Run("written successor stays fatal", func(t *testing.T) {
+		dir := build(t)
+		// A successor with real bytes contradicts the barrier ordering.
+		if err := os.WriteFile(filepath.Join(dir, segName(2)), []byte{1, 2, 3}, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if ex, err := Open(dir, Options{SnapshotBytes: -1}); err == nil {
+			ex.Close()
+			t.Fatal("Open accepted a torn mid-chain segment with a written successor")
+		}
+	})
+}
+
+// TestCompactionPendingBidCounters: a bid buffered (but not yet closed) at
+// the snapshot cut must not be double-counted — its round record lands in
+// the tail, which replay re-counts, so the snapshot captures per-node
+// counters net of pending. The recovered registry must match the uncrashed
+// process exactly.
+func TestCompactionPendingBidCounters(t *testing.T) {
+	const bidders = 6
+	dir := t.TempDir()
+	ex, err := Open(dir, Options{SnapshotBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	ids := compactWorkload(t, ex, 1, bidders, 2, true) // two closed rounds
+	// Round 3 collects but does NOT close before the snapshot.
+	for _, b := range testBids(0, 3, bidders) {
+		if _, err := ex.SubmitBid(ids[0], b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ex.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// The pending round closes after the cut: its record is in the tail.
+	if _, err := ex.CloseRound(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	want := registrySnapshot(ex, bidders)
+	for id := 0; id < bidders; id++ {
+		if want[id].bids != 3 {
+			t.Fatalf("live node %d counter = %d, want 3", id, want[id].bids)
+		}
+	}
+	ex2, err := Open(cloneDataDir(t, dir), Options{SnapshotBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex2.Close()
+	if got := registrySnapshot(ex2, bidders); !reflect.DeepEqual(got, want) {
+		t.Errorf("recovered counters %+v,\nwant %+v (pending bid double-counted across the cut?)", got, want)
+	}
+}
+
+// TestSizeTriggeredCompaction: with a tiny SnapshotBytes threshold the
+// exchange must compact on its own — snapshot written, log rotated, old
+// segments deleted — while rounds keep flowing, and a reopen of the
+// compacted dir must serve the same retained outcomes.
+func TestSizeTriggeredCompaction(t *testing.T) {
+	const jobs, bidders = 2, 8
+	dir := t.TempDir()
+	ex, err := Open(dir, Options{SnapshotBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	ids := compactWorkload(t, ex, jobs, bidders, 3, true)
+	deadline := time.Now().Add(10 * time.Second)
+	for ex.Metrics().WalSnapshots == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("size trigger never compacted the log")
+		}
+		compactWorkload(t, ex, jobs, bidders, 1, false)
+	}
+	if n := ex.Metrics().WalSnapshotErrors; n != 0 {
+		t.Fatalf("%d compaction errors", n)
+	}
+	// Quiesce, then compare across a clean reopen.
+	var before map[string][]RoundOutcome
+	waitIdle := func(target *Exchange) map[string][]RoundOutcome {
+		out := make(map[string][]RoundOutcome, jobs)
+		for _, id := range ids {
+			job, _ := target.Job(id)
+			ros, _ := job.OutcomesAfter(0, 0)
+			out[id] = ros
+		}
+		return out
+	}
+	before = waitIdle(ex)
+	ex.Close()
+	ex2, err := Open(dir, Options{SnapshotBytes: -1})
+	if err != nil {
+		t.Fatalf("reopen of auto-compacted dir: %v", err)
+	}
+	defer ex2.Close()
+	if got := waitIdle(ex2); !reflect.DeepEqual(got, before) {
+		t.Error("retained outcomes diverged across the auto-compacted reopen")
+	}
+}
+
 // TestOpenRefusesSecondProcess: the wal carries an exclusive advisory lock;
 // a second Open on a live data dir must fail fast instead of interleaving
 // appends with the first.

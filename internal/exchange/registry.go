@@ -114,6 +114,16 @@ func (r *Registry) Blacklist(id int) bool {
 // Len returns the registered-node count without taking any lock.
 func (r *Registry) Len() int { return int(r.size.Load()) }
 
+// restore reinstates a node exactly as a WAL snapshot captured it: meta,
+// accepted-bid counter and ban flag. Replay-only — it runs single-threaded
+// before the exchange is reachable, and tail records replayed afterwards
+// (re-registrations, bans, per-round bid counts) layer on top of it.
+func (r *Registry) restore(id int, meta string, bids int64, banned bool) {
+	info, _ := r.Register(id, meta)
+	info.bids.Store(bids)
+	info.blacklisted.Store(banned)
+}
+
 // Range calls fn for every registered node until fn returns false. It holds
 // one shard's read lock at a time, so concurrent registration in other
 // shards proceeds unhindered.

@@ -155,17 +155,21 @@ func (o Outcome) Won(nodeID int) (payment float64, won bool) {
 
 // Metrics is the exchange's health snapshot (GET /v1/metrics).
 type Metrics struct {
-	UptimeSec         float64 `json:"uptime_sec"`
-	JobsActive        int64   `json:"jobs_active"`
-	JobsCreated       int64   `json:"jobs_created"`
-	NodesKnown        int     `json:"nodes_known"`
-	RoundsTotal       int64   `json:"rounds_total"`
-	RoundsPerSec      float64 `json:"rounds_per_sec"`
-	RoundsFailed      int64   `json:"rounds_failed"`
-	IdleTicks         int64   `json:"idle_ticks"`
-	BidsAccepted      int64   `json:"bids_accepted"`
-	BidsRejected      int64   `json:"bids_rejected"`
-	BidsPerSec        float64 `json:"bids_per_sec"`
+	UptimeSec    float64 `json:"uptime_sec"`
+	JobsActive   int64   `json:"jobs_active"`
+	JobsCreated  int64   `json:"jobs_created"`
+	NodesKnown   int     `json:"nodes_known"`
+	RoundsTotal  int64   `json:"rounds_total"`
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+	RoundsFailed int64   `json:"rounds_failed"`
+	IdleTicks    int64   `json:"idle_ticks"`
+	BidsAccepted int64   `json:"bids_accepted"`
+	BidsRejected int64   `json:"bids_rejected"`
+	BidsPerSec   float64 `json:"bids_per_sec"`
+	// WalSnapshots / WalSnapshotErrors count WAL compactions (snapshot +
+	// log rotation) on a durable exchange; both 0 when running in-memory.
+	WalSnapshots      int64   `json:"wal_snapshots"`
+	WalSnapshotErrors int64   `json:"wal_snapshot_errors"`
 	RoundLatencyP50Ms float64 `json:"round_latency_p50_ms"`
 	RoundLatencyP99Ms float64 `json:"round_latency_p99_ms"`
 }
