@@ -8,6 +8,7 @@
 package fmore_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -15,7 +16,9 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"fmore/internal/analytics"
 	"fmore/internal/auction"
 	"fmore/internal/dist"
 	"fmore/internal/exchange"
@@ -194,7 +197,7 @@ func BenchmarkHeadlineNumbers(b *testing.B) {
 // durable set, the exchange runs on a write-ahead outcome log in a temp
 // dir — the overhead measured is the record encode plus a channel send,
 // since fsyncs happen on a dedicated writer goroutine off the close path.
-func benchmarkExchangeRunAuction(b *testing.B, jobs int, durable bool) {
+func benchmarkExchangeRunAuction(b *testing.B, jobs int, durable, tapped bool) {
 	const bidders = 64
 	var (
 		ex  *exchange.Exchange
@@ -212,6 +215,14 @@ func benchmarkExchangeRunAuction(b *testing.B, jobs int, durable bool) {
 		ex = exchange.New(exchange.Options{})
 	}
 	defer ex.Close()
+	if tapped {
+		// The tapped variant attaches the analytics aggregator to the
+		// firehose, so every bid and close also flows through the event tap
+		// and the rollup sink. The allocs/op must not move against the
+		// untapped row: the tap is plain atomic stores on the hot path.
+		agg := analytics.New(analytics.Options{})
+		defer ex.Firehose().Attach(agg)()
+	}
 
 	rule, err := auction.NewAdditive(0.6, 0.4)
 	if err != nil {
@@ -240,6 +251,28 @@ func benchmarkExchangeRunAuction(b *testing.B, jobs int, durable bool) {
 		}
 	}
 
+	// One untimed warm-up round settles first-contact state (job interning
+	// in the firehose, per-job/per-node series in the aggregator, pooled
+	// buffers), so the timed loop measures the steady-state close.
+	for j := 0; j < jobs; j++ {
+		for _, bid := range bids[j] {
+			if _, err := ex.SubmitBid(jobHandles[j].ID(), bid); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := jobHandles[j].CloseRound(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if tapped {
+		drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := ex.Firehose().Drain(drainCtx); err != nil {
+			b.Fatal(err)
+		}
+		cancel()
+	}
+
+	b.ReportAllocs()
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
 		var wg sync.WaitGroup
@@ -270,19 +303,35 @@ func benchmarkExchangeRunAuction(b *testing.B, jobs int, durable bool) {
 	b.ReportMetric(snap.RoundLatencyP99Ms, "p99-close-ms")
 }
 
-func BenchmarkExchange_RunAuction_1Jobs(b *testing.B)  { benchmarkExchangeRunAuction(b, 1, false) }
-func BenchmarkExchange_RunAuction_8Jobs(b *testing.B)  { benchmarkExchangeRunAuction(b, 8, false) }
-func BenchmarkExchange_RunAuction_64Jobs(b *testing.B) { benchmarkExchangeRunAuction(b, 64, false) }
+func BenchmarkExchange_RunAuction_1Jobs(b *testing.B) {
+	benchmarkExchangeRunAuction(b, 1, false, false)
+}
+
+func BenchmarkExchange_RunAuction_8Jobs(b *testing.B) {
+	benchmarkExchangeRunAuction(b, 8, false, false)
+}
+
+func BenchmarkExchange_RunAuction_64Jobs(b *testing.B) {
+	benchmarkExchangeRunAuction(b, 64, false, false)
+}
+
+// The tapped variant runs the 8-job workload with the observability stack
+// live — firehose recording plus the analytics aggregator consuming it —
+// and is compared against the untapped row to hold the tap's round-close
+// overhead at zero allocations. Trajectory: BENCH.md.
+func BenchmarkExchange_RunAuction_8Jobs_Tapped(b *testing.B) {
+	benchmarkExchangeRunAuction(b, 8, false, true)
+}
 
 // The durable variants run the same workload on a WAL-backed exchange;
 // comparing against the in-memory numbers isolates the persistence cost on
 // the round-close path.
 func BenchmarkExchange_RunAuction_8Jobs_Durable(b *testing.B) {
-	benchmarkExchangeRunAuction(b, 8, true)
+	benchmarkExchangeRunAuction(b, 8, true, false)
 }
 
 func BenchmarkExchange_RunAuction_64Jobs_Durable(b *testing.B) {
-	benchmarkExchangeRunAuction(b, 64, true)
+	benchmarkExchangeRunAuction(b, 64, true, false)
 }
 
 // BenchmarkExchange_WALCompaction measures one snapshot + rotation on a

@@ -33,6 +33,17 @@
 //	curl -s 'localhost:8780/v1/jobs/demo/outcome?wait=1'
 //	curl -s localhost:8780/v1/metrics
 //
+// Observability: GET /v1/metrics/prometheus serves the full metric
+// catalog in Prometheus text exposition format (see the catalog in
+// internal/exchange's package docs), and the analytics endpoints serve
+// windowed + lifetime rollups fed by the exchange's event firehose:
+//
+//	curl -s localhost:8780/v1/metrics/prometheus
+//	curl -s localhost:8780/v1/jobs/demo/stats
+//	curl -s localhost:8780/v1/nodes/1/stats
+//
+// -analytics-window sets the rollup horizon (default 10m).
+//
 // Instead of polling, subscribe to the server-push round stream (SSE;
 // round_open, round_closed with the outcome inline, job_closed; reconnect
 // with Last-Event-ID to replay missed rounds losslessly):
@@ -75,6 +86,7 @@ import (
 	"syscall"
 	"time"
 
+	"fmore/internal/analytics"
 	"fmore/internal/exchange"
 )
 
@@ -91,6 +103,8 @@ func main() {
 		"additionally snapshot + rotate the WAL on this period (0 = size trigger only)")
 	pprofAddr := flag.String("pprof-addr", "",
 		"serve net/http/pprof on this address (empty = disabled); keep it loopback-only in production")
+	analyticsWindow := flag.Duration("analytics-window", 0,
+		"sliding window for the /stats rollup endpoints (0 = default 10m)")
 	flag.Parse()
 
 	opts := exchange.Options{
@@ -135,8 +149,14 @@ func main() {
 	// the drain timeout.
 	srvCtx, srvCancel := context.WithCancel(context.Background())
 	defer srvCancel()
+	// The analytics aggregator rides the firehose (drop-on-slow, so it can
+	// never hold up round closes) and adds the /stats endpoints in front of
+	// the exchange handler.
+	agg := analytics.New(analytics.Options{Window: *analyticsWindow})
+	detach := ex.Firehose().Attach(agg)
+	defer detach()
 	server := &http.Server{
-		Handler:           exchange.NewHandler(ex),
+		Handler:           analytics.NewHandler(ex, agg, exchange.NewHandler(ex)),
 		ReadHeaderTimeout: 10 * time.Second,
 		BaseContext:       func(net.Listener) context.Context { return srvCtx },
 	}

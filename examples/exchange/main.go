@@ -19,6 +19,7 @@ import (
 	"os"
 	"sync"
 
+	"fmore/internal/analytics"
 	"fmore/internal/exchange"
 	"fmore/internal/transport"
 	"fmore/pkg/client"
@@ -31,20 +32,33 @@ const (
 	watcherNode = 99
 )
 
-// serve exposes an exchange over HTTP on loopback and returns its base URL
-// plus a teardown.
+// serve exposes an exchange over HTTP on loopback — with an analytics
+// aggregator riding its firehose so the /stats endpoints answer — and
+// returns its base URL plus a teardown.
 func serve(ex *exchange.Exchange) (string, func(), error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: exchange.NewHandler(ex)}
+	agg := analytics.New(analytics.Options{})
+	detach := ex.Firehose().Attach(agg)
+	srv := &http.Server{Handler: analytics.NewHandler(ex, agg, exchange.NewHandler(ex))}
 	go srv.Serve(ln) //nolint:errcheck // closed on teardown
 	stop := func() {
 		srv.Close() //nolint:errcheck // example teardown
+		detach()
 		ex.Close()
 	}
 	return "http://" + ln.Addr().String(), stop, nil
+}
+
+// nodeIDs lists the fleet's node IDs (0..n-1).
+func nodeIDs(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
 }
 
 func main() {
@@ -189,6 +203,30 @@ func main() {
 	}
 	fmt.Printf("\nexchange served %d jobs, %d rounds, %d bids (p99 round latency %.2fms)\n",
 		snap.JobsCreated, snap.RoundsTotal, snap.BidsAccepted, snap.RoundLatencyP99Ms)
+
+	// The analytics rollups ride the firehose asynchronously; drain it so
+	// the table below reflects every event from the rounds above.
+	if err := ex.Firehose().Drain(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nper-node rollups from GET /v1/nodes/{id}/stats:")
+	fmt.Println("  node      bids  wins  win-rate  paid")
+	for _, node := range append(nodeIDs(bidders), watcherNode) {
+		st, err := c.NodeStats(ctx, node)
+		if err != nil {
+			log.Fatalf("node %d stats: %v", node, err)
+		}
+		life := st.Lifetime
+		fmt.Printf("  edge-%02d  %5d %5d  %7.0f%%  %.3f\n",
+			node, life.Bids, life.Wins, 100*life.WinRate, life.TotalPayment)
+	}
+	jst, err := c.JobStats(ctx, "lstm-news")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lstm-news rollup: %d rounds, %d bids, paid %.3f, profit %.3f (avg close %.2fms)\n",
+		jst.Lifetime.Rounds, jst.Lifetime.Bids, jst.Lifetime.TotalPayment,
+		jst.Lifetime.AggregatorProfit, jst.Lifetime.AvgRoundLatencyMS)
 
 	// Restart: close the exchange and replay its log. The jobs come back
 	// with their full retained history — served through the same /v1 API.

@@ -31,9 +31,9 @@
 //     its scratch round after round. Outcomes are bit-for-bit what the
 //     standalone auctioneer would produce, independent of arrival order.
 //   - Registry is a sharded node directory (striped locks, atomic per-node
-//     counters); Metrics is entirely lock-free, including the latency ring
-//     (atomic slots), so a slow /metrics scrape can never stall a bid or a
-//     round close.
+//     counters); the metrics and the event firehose are entirely lock-free
+//     on the producer side, so a slow scrape or a wedged event consumer can
+//     never stall a bid or a round close (see Observability below).
 //
 // # Ownership: the pooled outcome lifecycle
 //
@@ -103,6 +103,60 @@
 // re-collects after restart), and process-local throughput counters
 // (rounds/sec, bids/sec) restart from zero — only outcomes, specs and the
 // registry are durable.
+//
+// # Observability: metrics and the event firehose
+//
+// The exchange observes itself on three levels, all following the same
+// never-block rule as the SSE broker — producers pay a bounded handful of
+// atomic operations and nothing a consumer does can push back:
+//
+//   - Counters and gauges (Metrics/Snapshot). Counters are plain atomics
+//     bumped inline; gauges are derived at scrape time from authoritative
+//     state — jobs_active counts the live job map (so it cannot go stale
+//     across restarts or removals the way counter arithmetic can),
+//     wal_segment_count/wal_bytes mirror the segment scan and the log
+//     writer's running size. The round-latency ring (P50/P99) and the
+//     fixed-bucket latency histogram are atomic slots written once per
+//     close.
+//   - The firehose (Exchange.Firehose) is a lock-free tap of the bid and
+//     round-close streams: a fixed ring of seqlock slots (Options.
+//     FirehoseRing, default 4096) that attached Sinks consume through
+//     per-sink pump goroutines. Producers never wait — a sink that cannot
+//     keep up loses the oldest events and the loss is counted
+//     (firehose_dropped), never smeared into close latency. Until the
+//     first Attach the tap costs producers one atomic load.
+//   - Rollups (internal/analytics) ride the firehose as a Sink and serve
+//     windowed + lifetime per-job and per-node aggregates over
+//     GET /v1/jobs/{id}/stats and /v1/nodes/{id}/stats; its NewHandler
+//     wraps this package's handler.
+//
+// GET /v1/metrics serves the JSON snapshot; GET /v1/metrics/prometheus
+// serves the same state in Prometheus text exposition format (0.0.4,
+// hand-rolled — no client library). The catalog, all prefixed
+// fmore_exchange_ and unlabeled except the histogram's le:
+//
+//	uptime_seconds              gauge      seconds since New/Open
+//	jobs_active                 gauge      hosted jobs still accepting rounds (live map scan)
+//	jobs_created_total          counter    jobs ever created (replay included)
+//	nodes_known                 gauge      registry size
+//	rounds_total                counter    completed round closes (failed included)
+//	rounds_failed_total         counter    closes whose scoring/selection errored
+//	idle_ticks_total            counter    timer windows skipped for an empty bid set
+//	bids_accepted_total         counter    bids admitted into a round
+//	bids_rejected_total         counter    bids refused (duplicate, policy, closed, …)
+//	wal_snapshots_total         counter    completed WAL compactions
+//	wal_snapshot_errors_total   counter    failed compaction attempts
+//	wal_segment_count           gauge      live log segments on disk (0 in-memory)
+//	wal_bytes                   gauge      bytes across live log segments (0 in-memory)
+//	firehose_events_total       counter    events published to the firehose ring
+//	firehose_dropped_total      counter    events slow sinks missed (all sinks, ever)
+//	round_latency_p50_seconds   gauge      nearest-rank p50 close latency (sliding ring)
+//	round_latency_p99_seconds   gauge      nearest-rank p99 close latency (sliding ring)
+//	round_latency_seconds       histogram  cumulative close latency, le= 250µs..2.5s buckets
+//
+// The histogram is bucketed at write time (one atomic add per close) and
+// cumulated at scrape; its _count equals rounds_total, so the two read
+// consistently under concurrent closes.
 //
 // # The /v1 API
 //

@@ -45,6 +45,12 @@ type Options struct {
 	// (0 disables the timer; the size trigger still applies). Only
 	// meaningful with Open.
 	SnapshotInterval time.Duration
+	// FirehoseRing sizes the event tap's ring (rounded up to a power of
+	// two; default 4096 slots). The ring is the slack between the bid and
+	// round-close producers and the slowest attached sink: a sink that
+	// falls more than a ring behind loses the overrun and the loss is
+	// counted. Memory is only committed on the first Firehose().Attach.
+	FirehoseRing int
 }
 
 // Exchange hosts many concurrent FL auction jobs over one shared node
@@ -55,6 +61,15 @@ type Exchange struct {
 	reg     *Registry
 	pool    *scorePool
 	metrics *Metrics
+	fh      *Firehose
+
+	// WAL gauges, mirrored atomically out of the compaction machinery so a
+	// metrics scrape never touches compactMu (or the writer goroutine):
+	// walSegs is the live (replay-relevant) segment count and
+	// walSealedBytes the bytes in sealed live segments — the active
+	// segment's size lives in the persister. Both stay 0 in-memory.
+	walSegs        atomic.Int64
+	walSealedBytes atomic.Int64
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -88,6 +103,7 @@ func New(opts Options) *Exchange {
 		reg:     NewRegistry(),
 		pool:    newScorePool(opts.Workers, opts.ScoreChunk),
 		metrics: newMetrics(),
+		fh:      newFirehose(opts.FirehoseRing),
 		ctx:     ctx,
 		cancel:  cancel,
 		jobs:    make(map[string]*Job),
@@ -280,8 +296,14 @@ func (ex *Exchange) SubmitBid(jobID string, bid auction.Bid) (round int, err err
 		return 0, err
 	}
 	ex.metrics.bidsAccepted.Add(1)
+	ex.fh.bidAccepted(j, round, bid.NodeID, bid.Payment)
 	return round, nil
 }
+
+// Firehose exposes the exchange's lock-free event tap. Attaching a sink
+// starts recording; until then the tap costs producers a single atomic
+// load.
+func (ex *Exchange) Firehose() *Firehose { return ex.fh }
 
 // CloseRound closes the job's current round synchronously and returns its
 // outcome. This is the manual drive used by the transport engine adapter;
@@ -307,9 +329,33 @@ func (ex *Exchange) WaitOutcome(ctx context.Context, jobID string, round int) (R
 	return j.WaitOutcome(ctx, round)
 }
 
-// Metrics returns a point-in-time health snapshot.
+// Metrics returns a point-in-time health snapshot. jobs_active is derived
+// from the live job map at scrape time — not a created-minus-closed
+// counter delta, which would go stale across a restart (replay recounts
+// creations but closed-and-removed jobs leave no counted trace).
 func (ex *Exchange) Metrics() Snapshot {
-	return ex.metrics.snapshot(ex.reg.Len())
+	ex.mu.RLock()
+	active := 0
+	for _, j := range ex.jobs {
+		if !j.closed.Load() {
+			active++
+		}
+	}
+	ex.mu.RUnlock()
+	s := ex.metrics.snapshot(ex.reg.Len(), active)
+	s.WalSegmentCount = ex.walSegs.Load()
+	s.WalBytes = ex.walSealedBytes.Load()
+	if ex.wal != nil {
+		s.WalBytes += ex.wal.size.Load()
+	}
+	s.FirehoseEvents, s.FirehoseDropped = fhStats(ex.fh)
+	return s
+}
+
+// fhStats adapts the firehose counters to the snapshot's signed fields.
+func fhStats(f *Firehose) (published, dropped int64) {
+	p, d := f.Stats()
+	return int64(p), int64(d)
 }
 
 // Sync blocks until every record appended to the outcome log so far is
@@ -361,6 +407,9 @@ func (ex *Exchange) Close() {
 		j.closeMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
 	}
 	ex.pool.close()
+	// Signal-only: a sink wedged inside ConsumeTap must not wedge shutdown
+	// (callers that want delivery guarantees Drain the firehose first).
+	ex.fh.stopAll()
 	// After the barrier no append can be in flight, so the final flush sees
 	// every record.
 	if ex.wal != nil {

@@ -71,12 +71,16 @@ type errorEnvelope struct {
 //	GET    /v1/jobs/{id}/strategy    solved equilibrium bid curve (?samples=N)
 //	POST   /v1/nodes                 register a node
 //	POST   /v1/nodes/{id}/blacklist  ban a node
-//	GET    /v1/metrics               throughput and latency snapshot
+//	GET    /v1/metrics               throughput and latency snapshot (JSON)
+//	GET    /v1/metrics/prometheus    the same counters in Prometheus text format
 //
 // Every pre-v1 unversioned path still answers as a deprecated alias of its
 // /v1 twin (Deprecation and Link: successor-version headers set) for one
-// release; /v1/jobs/{id}/events and /v1/jobs/{id}/outcomes are v1-only. All
-// errors use the {code, message, retry_after_ms?} envelope.
+// release; /v1/jobs/{id}/events, /v1/jobs/{id}/outcomes and
+// /v1/metrics/prometheus are v1-only. All errors use the
+// {code, message, retry_after_ms?} envelope. The per-job and per-node
+// rollup endpoints (GET /v1/jobs/{id}/stats, GET /v1/nodes/{id}/stats) are
+// served by the internal/analytics wrapper handler, which embeds this one.
 func NewHandler(ex *Exchange) http.Handler {
 	h := &handler{ex: ex, idem: newIdemCache(idemCacheCap)}
 	mux := http.NewServeMux()
@@ -106,6 +110,7 @@ func NewHandler(ex *Exchange) http.Handler {
 	// v1-only additions.
 	mux.HandleFunc("GET /v1/jobs/{id}/outcomes", h.listOutcomes)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", h.events)
+	mux.HandleFunc("GET /v1/metrics/prometheus", h.metricsPrometheus)
 	// Fallback for everything the typed routes miss. The method-less "/"
 	// pattern outranks the mux's built-in 405 handling, so wrong-method
 	// requests land here too: re-probe the mux per method to tell "no such
@@ -836,6 +841,13 @@ func (h *handler) blacklistNode(w http.ResponseWriter, r *http.Request) {
 
 func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, h.ex.Metrics())
+}
+
+// metricsPrometheus serves the same health counters in the Prometheus text
+// exposition format (see prometheus.go and the catalog in doc.go).
+func (h *handler) metricsPrometheus(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = writePrometheus(w, h.ex)
 }
 
 func jobView(j *Job) jobResponse {

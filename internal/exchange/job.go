@@ -134,6 +134,11 @@ type Job struct {
 	// bid-intake fast path, so bidders never touch j.mu.
 	closed atomic.Bool
 
+	// tapIdx caches the job's interned firehose index plus one (0 =
+	// unassigned); ring slots are atomic words and cannot carry the ID
+	// string itself. See Firehose.intern.
+	tapIdx atomic.Uint32
+
 	// intake is the striped bid-ingestion front: P shards, each with its own
 	// lock, buffer, dedup set and round label. Bid submission touches only
 	// its shard; the round close drains all shards once. See intake.go.
@@ -449,8 +454,8 @@ func (j *Job) closeRoundLocked() (RoundOutcome, error) {
 		j.holds = append(j.holds[:0], j.holds[excess:]...)
 		j.baseRnd += excess
 	}
-	// !closed guards the jobsClosed count: a concurrent Close/RemoveJob
-	// may have already closed (and counted) the job while we were scoring.
+	// !closed: a concurrent Close/RemoveJob may have already finished the
+	// job while we were scoring, and its close must not be redone here.
 	maxed := !j.closed.Load() && j.spec.MaxRounds > 0 && j.round > j.spec.MaxRounds
 	if maxed {
 		j.closed.Store(true)
@@ -475,10 +480,12 @@ func (j *Job) closeRoundLocked() (RoundOutcome, error) {
 	}
 	j.mu.Unlock()
 
+	// Tap the completed round while closeMu still pins the pooled outcome
+	// memory; only scalars are copied into the ring.
+	j.ex.fh.roundClosed(j, &ro)
 	if maxed {
 		j.cancel()
 		j.ex.logJobClosed(j.id)
-		j.ex.metrics.jobsClosed.Add(1)
 	}
 	if ro.Err == nil {
 		j.ex.metrics.observeRound(ro.Latency)
@@ -566,7 +573,6 @@ func (j *Job) close(record bool) {
 	if record {
 		j.ex.logJobClosed(j.id)
 	}
-	j.ex.metrics.jobsClosed.Add(1)
 }
 
 // Outcome returns the completed round without blocking. For a failed round

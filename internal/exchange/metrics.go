@@ -12,6 +12,16 @@ import (
 // so 1024 samples cover minutes of heavy traffic.
 const latWindow = 1024
 
+// latencyBuckets are the cumulative histogram's upper bounds in seconds
+// (a final implicit +Inf bucket catches the rest). They span 250µs to
+// 2.5s: the round close is a sub-millisecond operation at bench scale, and
+// anything past seconds is pathological. Exposed verbatim as the
+// Prometheus `le` labels, so changing them changes scrape output.
+var latencyBuckets = [...]float64{
+	0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
 // Metrics aggregates exchange-wide throughput counters. Every update is
 // lock-free — including the latency ring, whose slots are atomic bit
 // patterns — so a slow /metrics scrape can never stall bid submission or a
@@ -20,7 +30,6 @@ type Metrics struct {
 	start time.Time
 
 	jobsCreated  atomic.Int64
-	jobsClosed   atomic.Int64
 	roundsTotal  atomic.Int64
 	roundsFailed atomic.Int64
 	idleTicks    atomic.Int64
@@ -36,6 +45,16 @@ type Metrics struct {
 	// members of the sliding window.
 	latRing  [latWindow]atomic.Uint64
 	latCount atomic.Int64
+
+	// latHist/latSumNs are the round-latency histogram behind the
+	// Prometheus exposition, bucketed at write time alongside the
+	// percentile ring (one extra atomic add per round — a scrape never
+	// rescans history). latHist[i] counts rounds whose first fitting
+	// bucket is latencyBuckets[i] (non-cumulative; the exposition
+	// accumulates), rounds beyond the last bound count only in the
+	// histogram total, which is roundsTotal itself.
+	latHist  [len(latencyBuckets)]atomic.Int64
+	latSumNs atomic.Int64
 }
 
 func newMetrics() *Metrics {
@@ -46,7 +65,15 @@ func newMetrics() *Metrics {
 func (m *Metrics) observeRound(latency time.Duration) {
 	m.roundsTotal.Add(1)
 	i := m.latCount.Add(1) - 1
-	m.latRing[i%latWindow].Store(math.Float64bits(latency.Seconds()))
+	secs := latency.Seconds()
+	m.latRing[i%latWindow].Store(math.Float64bits(secs))
+	m.latSumNs.Add(latency.Nanoseconds())
+	for b := range latencyBuckets {
+		if secs <= latencyBuckets[b] {
+			m.latHist[b].Add(1)
+			break
+		}
+	}
 }
 
 // Snapshot is a point-in-time view of the exchange's health, the payload of
@@ -71,20 +98,33 @@ type Snapshot struct {
 	// Both stay 0 on an in-memory exchange.
 	WalSnapshots      int64 `json:"wal_snapshots"`
 	WalSnapshotErrors int64 `json:"wal_snapshot_errors"`
+	// WalSegmentCount and WalBytes gauge compaction pressure live: the
+	// number of log segments replay would read and their total bytes
+	// (sealed segments plus the active tail). Both 0 in-memory.
+	WalSegmentCount int64 `json:"wal_segment_count"`
+	WalBytes        int64 `json:"wal_bytes"`
+	// FirehoseEvents counts events published into the event tap since a
+	// sink first attached; FirehoseDropped counts events sinks lost to
+	// ring overrun (all sinks, past and present).
+	FirehoseEvents  int64 `json:"firehose_events"`
+	FirehoseDropped int64 `json:"firehose_dropped"`
 	// Round-close latency percentiles over the last latWindow rounds.
 	RoundLatencyP50Ms float64 `json:"round_latency_p50_ms"`
 	RoundLatencyP99Ms float64 `json:"round_latency_p99_ms"`
 }
 
-// snapshot assembles the exported view. nodes is supplied by the caller
-// (the registry owns that count).
-func (m *Metrics) snapshot(nodes int) Snapshot {
+// snapshot assembles the exported view. nodes and activeJobs are supplied
+// by the caller (the registry and the live job map own those counts;
+// deriving jobs_active at scrape time is what keeps it truthful across a
+// restart, where counter deltas go stale).
+func (m *Metrics) snapshot(nodes, activeJobs int) Snapshot {
 	elapsed := time.Since(m.start).Seconds()
 	if elapsed <= 0 {
 		elapsed = 1e-9
 	}
 	s := Snapshot{
 		UptimeSec:         elapsed,
+		JobsActive:        int64(activeJobs),
 		JobsCreated:       m.jobsCreated.Load(),
 		NodesKnown:        nodes,
 		RoundsTotal:       m.roundsTotal.Load(),
@@ -95,11 +135,25 @@ func (m *Metrics) snapshot(nodes int) Snapshot {
 		WalSnapshots:      m.snapshots.Load(),
 		WalSnapshotErrors: m.snapshotErrs.Load(),
 	}
-	s.JobsActive = s.JobsCreated - m.jobsClosed.Load()
 	s.RoundsPerSec = float64(s.RoundsTotal) / elapsed
 	s.BidsPerSec = float64(s.BidsAccepted) / elapsed
 	s.RoundLatencyP50Ms, s.RoundLatencyP99Ms = m.latencyPercentiles()
 	return s
+}
+
+// latencyHistogram reads the write-time histogram in the cumulative form
+// the Prometheus exposition wants: cum[i] counts rounds <= the i-th
+// bucket bound, count is the total observations (the +Inf bucket) and
+// sumSec the latency sum in seconds. Buckets are loaded before the total,
+// and observeRound increments the total first — so count can only be >=
+// the loaded cumulative tail and the scraped histogram stays monotone.
+func (m *Metrics) latencyHistogram() (cum [len(latencyBuckets)]int64, count int64, sumSec float64) {
+	run := int64(0)
+	for i := range m.latHist {
+		run += m.latHist[i].Load()
+		cum[i] = run
+	}
+	return cum, m.roundsTotal.Load(), float64(m.latSumNs.Load()) / 1e9
 }
 
 // latencyPercentiles returns (p50, p99) in milliseconds over the ring. The

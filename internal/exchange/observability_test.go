@@ -1,0 +1,165 @@
+package exchange
+
+import (
+	"testing"
+
+	"fmore/internal/auction"
+)
+
+// runRound submits a quorum of bids and closes one round.
+func runRound(t *testing.T, ex *Exchange, jobID string, round int) {
+	t.Helper()
+	for _, b := range testBids(0, round, 6) {
+		if _, err := ex.SubmitBid(jobID, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ex.CloseRound(jobID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJobsActiveDerivedAcrossReopen pins the gauge semantics of
+// jobs_active: it is derived from the live job map at scrape time, so a
+// finished (MaxRounds) job leaves the count, a removed job leaves the
+// count, and — the regression this test exists for — the count survives a
+// WAL replay instead of going stale (the old counter-pair arithmetic
+// double-counted closed jobs replayed as both created and closed).
+func TestJobsActiveDerivedAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	ex, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mk := func(id string, maxRounds int) {
+		t.Helper()
+		if _, err := ex.CreateJob(JobSpec{
+			ID:        id,
+			Auction:   auction.Config{Rule: testRule(t, 0), K: 2},
+			MaxRounds: maxRounds,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("stays-open", 0)
+	mk("finishes", 1)
+	mk("removed", 0)
+
+	runRound(t, ex, "stays-open", 1)
+	runRound(t, ex, "finishes", 1) // MaxRounds=1: this close finishes the job
+	runRound(t, ex, "removed", 1)
+	if err := ex.RemoveJob("removed"); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := ex.Metrics().JobsActive; got != 1 {
+		t.Fatalf("JobsActive = %d before restart, want 1", got)
+	}
+	ex.Close()
+
+	ex2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex2.Close()
+	snap := ex2.Metrics()
+	if snap.JobsActive != 1 {
+		t.Fatalf("JobsActive = %d after replay, want 1", snap.JobsActive)
+	}
+	// The finished job is still addressable (retained history) but not
+	// active; the removed one is gone entirely.
+	if _, ok := ex2.Job("finishes"); !ok {
+		t.Fatal("finished job lost across replay")
+	}
+	if _, ok := ex2.Job("removed"); ok {
+		t.Fatal("removed job resurrected by replay")
+	}
+
+	// The gauge is live: closing the last open job drops it to zero.
+	runRound(t, ex2, "stays-open", 2)
+	if err := ex2.RemoveJob("stays-open"); err != nil {
+		t.Fatal(err)
+	}
+	if got := ex2.Metrics().JobsActive; got != 0 {
+		t.Fatalf("JobsActive = %d after removing the last job, want 0", got)
+	}
+}
+
+// TestWalGauges pins wal_segment_count and wal_bytes: zero in-memory,
+// live-updating on a durable exchange, shrinking across compaction, and
+// reseeded from the segment scan on reopen.
+func TestWalGauges(t *testing.T) {
+	mem := New(Options{})
+	if snap := mem.Metrics(); snap.WalSegmentCount != 0 || snap.WalBytes != 0 {
+		t.Fatalf("in-memory WAL gauges = (%d, %d), want (0, 0)",
+			snap.WalSegmentCount, snap.WalBytes)
+	}
+	mem.Close()
+
+	dir := t.TempDir()
+	ex, err := Open(dir, Options{SnapshotBytes: -1}) // manual compaction only
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.CreateJob(JobSpec{ID: "walg", Auction: auction.Config{Rule: testRule(t, 0), K: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	// The log writer is asynchronous; Sync drains it so the byte gauge
+	// reflects the records above.
+	if err := ex.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	snap := ex.Metrics()
+	if snap.WalSegmentCount != 1 {
+		t.Fatalf("WalSegmentCount = %d on a fresh dir, want 1", snap.WalSegmentCount)
+	}
+	if snap.WalBytes <= 0 {
+		t.Fatalf("WalBytes = %d after a logged job create, want > 0", snap.WalBytes)
+	}
+
+	// The byte gauge tracks the log as rounds append.
+	before := snap.WalBytes
+	for r := 1; r <= 16; r++ {
+		runRound(t, ex, "walg", r)
+	}
+	if err := ex.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	grown := ex.Metrics().WalBytes
+	if grown <= before {
+		t.Fatalf("WalBytes %d -> %d across 16 rounds, want growth", before, grown)
+	}
+
+	// Compaction moves history into the snapshot file and restarts the log:
+	// back to one (nearly empty) segment, far fewer log bytes.
+	if err := ex.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	compacted := ex.Metrics()
+	if compacted.WalSegmentCount != 1 {
+		t.Fatalf("WalSegmentCount = %d after compaction, want 1", compacted.WalSegmentCount)
+	}
+	if compacted.WalBytes >= grown {
+		t.Fatalf("WalBytes = %d after compaction, want < %d", compacted.WalBytes, grown)
+	}
+	ex.Close()
+
+	// Reopen seeds the gauges from the on-disk segment scan.
+	ex2, err := Open(dir, Options{SnapshotBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex2.Close()
+	reopened := ex2.Metrics()
+	if reopened.WalSegmentCount != 1 {
+		t.Fatalf("WalSegmentCount = %d after reopen, want 1", reopened.WalSegmentCount)
+	}
+	if reopened.WalBytes != compacted.WalBytes {
+		t.Fatalf("WalBytes = %d after reopen, want %d (the compacted size)",
+			reopened.WalBytes, compacted.WalBytes)
+	}
+}

@@ -190,8 +190,10 @@ type persister struct {
 	// the snapshot size trigger. notified latches the trigger per segment
 	// (atomic: a failed compaction re-arms it from outside the writer so
 	// the next commit retries instead of silently never compacting again).
+	// size is atomic only so the wal_bytes gauge can read it from a
+	// metrics scrape; the writer goroutine remains its sole writer.
 	seq       int64
-	size      int64
+	size      atomic.Int64
 	threshold int64
 	notified  atomic.Bool
 	onFull    func() // must not block; called once per over-threshold segment
@@ -226,11 +228,14 @@ type persistMsg struct {
 }
 
 // rotateMsg switches the writer onto a fresh segment. done closes once the
-// old segment is durable and the switch happened.
+// old segment is durable and the switch happened; retired (written by the
+// writer before the close, read by the rotator after it) reports the
+// sealed segment's final byte size for the wal_bytes gauge.
 type rotateMsg struct {
-	f    *os.File
-	seq  int64
-	done chan struct{}
+	f       *os.File
+	seq     int64
+	retired int64
+	done    chan struct{}
 }
 
 // frameBuf is one pooled frame: an 8-byte length+CRC header followed by the
@@ -256,12 +261,12 @@ func newPersister(f *os.File, seq, size int64, syncDelay time.Duration, threshol
 		f:         f,
 		syncDelay: syncDelay,
 		seq:       seq,
-		size:      size,
 		threshold: threshold,
 		onFull:    onFull,
 		ch:        make(chan persistMsg, walBuffer),
 		done:      make(chan struct{}),
 	}
+	p.size.Store(size)
 	p.bufs.New = func() any { return newFrameBuf() }
 	go p.run()
 	return p
@@ -314,19 +319,21 @@ func (p *persister) rearmSizeTrigger() {
 	p.notified.Store(false)
 }
 
-// rotate queues a switch onto segment (f, seq) and returns the completion
-// signal; ok is false (and the signal closed) when the persister already
-// shut down, in which case the caller still owns f.
-func (p *persister) rotate(f *os.File, seq int64) (done chan struct{}, ok bool) {
-	done = make(chan struct{})
+// rotate queues a switch onto segment (f, seq) and returns the rotation
+// message, whose done channel closes once the retiring segment is durable
+// and the switch happened (retired then holds its final size); ok is
+// false (and done closed) when the persister already shut down, in which
+// case the caller still owns f.
+func (p *persister) rotate(f *os.File, seq int64) (msg *rotateMsg, ok bool) {
+	msg = &rotateMsg{f: f, seq: seq, done: make(chan struct{})}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
-		close(done)
-		return done, false
+		close(msg.done)
+		return msg, false
 	}
-	p.ch <- persistMsg{rotate: &rotateMsg{f: f, seq: seq, done: done}}
-	return done, true
+	p.ch <- persistMsg{rotate: msg}
+	return msg, true
 }
 
 // Err returns the first append, write or fsync error, if any.
@@ -403,7 +410,7 @@ func (p *persister) run() {
 					failed = true
 				} else {
 					dirty = true
-					p.size += int64(n)
+					p.size.Add(int64(n))
 				}
 			}
 			p.bufs.Put(msg.rec)
@@ -423,14 +430,15 @@ func (p *persister) run() {
 			}
 			p.f = msg.rotate.f
 			p.seq = msg.rotate.seq
-			p.size = 0
+			msg.rotate.retired = p.size.Load()
+			p.size.Store(0)
 			p.notified.Store(false)
 			close(msg.rotate.done)
 		}
 	}
 	commit := func() {
 		settle()
-		if p.threshold > 0 && p.size >= p.threshold && p.notified.CompareAndSwap(false, true) {
+		if p.threshold > 0 && p.size.Load() >= p.threshold && p.notified.CompareAndSwap(false, true) {
 			if p.onFull != nil {
 				p.onFull()
 			}
@@ -757,7 +765,7 @@ func (ex *Exchange) Compact() error {
 		ex.mu.Unlock()
 	}
 
-	done, ok := ex.wal.rotate(f, newSeq)
+	rot, ok := ex.wal.rotate(f, newSeq)
 	if !ok {
 		unlock()
 		return abort(ErrExchangeClosed)
@@ -765,8 +773,12 @@ func (ex *Exchange) Compact() error {
 	snap, serr := ex.captureSnapshot(jobs, newSeq)
 	unlock()
 
-	<-done // old segments durable, writer switched
+	<-rot.done // old segments durable, writer switched
 	ex.walSeq = newSeq
+	// Gauge the rotation: one more live segment, and the retiring tail's
+	// bytes move from the persister's active-size into the sealed total.
+	ex.walSegs.Add(1)
+	ex.walSealedBytes.Add(rot.retired)
 	if serr != nil {
 		// Rotation without a snapshot is harmless: replay still reads the
 		// old snapshot (or none) plus every segment.
@@ -794,6 +806,11 @@ func (ex *Exchange) Compact() error {
 		os.Remove(filepath.Join(ex.dir, segName(seq))) //nolint:errcheck // covered by the snapshot either way
 	}
 	ex.walFloor = newSeq
+	// Only the fresh active segment remains replay-relevant (lingering
+	// files a failed Remove left behind are garbage the snapshot covers,
+	// exactly like a crash mid-delete — the next Open clears them).
+	ex.walSegs.Store(1)
+	ex.walSealedBytes.Store(0)
 	ex.metrics.snapshots.Add(1)
 	return nil
 }
@@ -894,7 +911,6 @@ func (ex *Exchange) applySnapshot(snap *walSnapshot) error {
 		j.auct.Resume(sj.AuctRound)
 		if sj.Closed {
 			j.closed.Store(true)
-			ex.metrics.jobsClosed.Add(1)
 		}
 		ex.jobs[spec.ID] = j
 		ex.metrics.jobsCreated.Add(1)
@@ -1079,6 +1095,15 @@ func Open(dir string, opts Options) (*Exchange, error) {
 	}
 	ex.walSeq = live[len(live)-1]
 	ex.walFloor = live[0]
+	// Seed the WAL gauges from the scan: every live segment counts, the
+	// sealed ones (all but the tail) by their full size — the tail's
+	// valid prefix is the persister's starting size below.
+	ex.walSegs.Store(int64(len(live)))
+	sealed := int64(0)
+	for _, s := range scans[:len(scans)-1] {
+		sealed += s.size
+	}
+	ex.walSealedBytes.Store(sealed)
 	ex.compactCh = make(chan struct{}, 1)
 	ex.compactDone = make(chan struct{})
 	ex.wal = newPersister(tail, ex.walSeq, tailValid, opts.SyncInterval, threshold, func() {
@@ -1166,17 +1191,10 @@ func (ex *Exchange) applyRecord(rec walRecord) error {
 		if !ok {
 			return fmt.Errorf("close for unknown job %q", rec.ID)
 		}
-		if !j.closed.Load() {
-			j.closed.Store(true)
-			ex.metrics.jobsClosed.Add(1)
-		}
+		j.closed.Store(true)
 	case recJobRemoved:
-		j, ok := ex.jobs[rec.ID]
-		if !ok {
+		if _, ok := ex.jobs[rec.ID]; !ok {
 			return fmt.Errorf("removal of unknown job %q", rec.ID)
-		}
-		if !j.closed.Load() {
-			ex.metrics.jobsClosed.Add(1)
 		}
 		delete(ex.jobs, rec.ID)
 	case recNode:
@@ -1204,7 +1222,6 @@ func (ex *Exchange) finishReplay() {
 	for _, j := range ex.jobs {
 		if !j.closed.Load() && j.spec.MaxRounds > 0 && j.round > j.spec.MaxRounds {
 			j.closed.Store(true)
-			ex.metrics.jobsClosed.Add(1)
 		}
 		j.intake.setRound(j.round)
 	}

@@ -1,0 +1,70 @@
+package exchange
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// Prometheus text exposition (format 0.0.4), hand-rolled so the exchange
+// stays dependency-free. Every metric is prefixed fmore_exchange_ and
+// derives from the same atomics the JSON snapshot reads, so a scrape is as
+// non-blocking as GET /v1/metrics: no lock in the exchange core is taken
+// beyond the job-map read lock that jobs_active needs. See doc.go for the
+// full metric catalog.
+
+// writePrometheus renders the exchange's metrics in the exposition format.
+func writePrometheus(w io.Writer, ex *Exchange) error {
+	s := ex.Metrics()
+	b := bufio.NewWriter(w)
+
+	gauge := func(name, help string, v float64) {
+		b.WriteString("# HELP fmore_exchange_" + name + " " + help + "\n")
+		b.WriteString("# TYPE fmore_exchange_" + name + " gauge\n")
+		b.WriteString("fmore_exchange_" + name + " " + formatFloat(v) + "\n")
+	}
+	counter := func(name, help string, v int64) {
+		b.WriteString("# HELP fmore_exchange_" + name + " " + help + "\n")
+		b.WriteString("# TYPE fmore_exchange_" + name + " counter\n")
+		b.WriteString("fmore_exchange_" + name + " " + strconv.FormatInt(v, 10) + "\n")
+	}
+
+	gauge("uptime_seconds", "Seconds since the exchange started.", s.UptimeSec)
+	gauge("jobs_active", "Hosted jobs currently accepting or scoring bids (derived from the live job map).", float64(s.JobsActive))
+	counter("jobs_created_total", "Jobs created over this process lifetime (includes WAL-replayed creations).", s.JobsCreated)
+	gauge("nodes_known", "Nodes in the shared registry.", float64(s.NodesKnown))
+	counter("rounds_total", "Completed auction rounds.", s.RoundsTotal)
+	counter("rounds_failed_total", "Rounds whose scoring or winner determination errored.", s.RoundsFailed)
+	counter("idle_ticks_total", "Bid windows that expired below the round quorum.", s.IdleTicks)
+	counter("bids_accepted_total", "Sealed bids admitted into a round.", s.BidsAccepted)
+	counter("bids_rejected_total", "Bids refused (validation, policy, duplicate, closed job).", s.BidsRejected)
+	counter("wal_snapshots_total", "Completed WAL compactions (snapshot + segment rotation).", s.WalSnapshots)
+	counter("wal_snapshot_errors_total", "WAL compaction attempts that failed and will be retried.", s.WalSnapshotErrors)
+	gauge("wal_segment_count", "Live WAL segments a restart would replay.", float64(s.WalSegmentCount))
+	gauge("wal_bytes", "Total bytes across live WAL segments (sealed plus active tail).", float64(s.WalBytes))
+	counter("firehose_events_total", "Events published into the firehose tap since a sink first attached.", s.FirehoseEvents)
+	counter("firehose_dropped_total", "Firehose events lost to ring overrun across all sinks.", s.FirehoseDropped)
+	gauge("round_latency_p50_seconds", "Median close-to-outcome latency over the sliding percentile window.", s.RoundLatencyP50Ms/1e3)
+	gauge("round_latency_p99_seconds", "99th-percentile close-to-outcome latency over the sliding percentile window.", s.RoundLatencyP99Ms/1e3)
+
+	// The cumulative round-latency histogram, bucketed at write time by
+	// observeRound — a scrape only loads the bucket counters.
+	cum, count, sumSec := ex.metrics.latencyHistogram()
+	b.WriteString("# HELP fmore_exchange_round_latency_seconds Close-to-outcome latency of completed rounds.\n")
+	b.WriteString("# TYPE fmore_exchange_round_latency_seconds histogram\n")
+	for i, bound := range latencyBuckets {
+		b.WriteString(`fmore_exchange_round_latency_seconds_bucket{le="` + formatFloat(bound) + `"} ` +
+			strconv.FormatInt(cum[i], 10) + "\n")
+	}
+	b.WriteString(`fmore_exchange_round_latency_seconds_bucket{le="+Inf"} ` + strconv.FormatInt(count, 10) + "\n")
+	b.WriteString("fmore_exchange_round_latency_seconds_sum " + formatFloat(sumSec) + "\n")
+	b.WriteString("fmore_exchange_round_latency_seconds_count " + strconv.FormatInt(count, 10) + "\n")
+	return b.Flush()
+}
+
+// formatFloat renders a float the way the exposition format expects:
+// shortest exact decimal, no exponent surprises for the magnitudes the
+// exchange produces.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

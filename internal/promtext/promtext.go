@@ -1,0 +1,298 @@
+// Package promtext is a small validating parser for the Prometheus text
+// exposition format (0.0.4) — just enough to smoke-test a scrape: metric
+// name, label and type syntax, TYPE/sample consistency, and histogram
+// bucket monotonicity. It exists so the exchange's hand-rolled exposition
+// can be verified in CI without importing a Prometheus client library.
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// Sample is one scraped series sample.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one metric family: its TYPE, HELP and samples in exposition
+// order. Histogram families collect their _bucket/_sum/_count samples.
+type Family struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []Sample
+}
+
+// Metrics is a parsed exposition page.
+type Metrics struct {
+	// Families indexes by family name; Order preserves declaration order.
+	Families map[string]*Family
+	Order    []string
+}
+
+// Value returns the single unlabeled sample of the named family.
+func (m *Metrics) Value(name string) (float64, error) {
+	f, ok := m.Families[name]
+	if !ok {
+		return 0, fmt.Errorf("promtext: no family %q", name)
+	}
+	for _, s := range f.Samples {
+		if s.Name == name && len(s.Labels) == 0 {
+			return s.Value, nil
+		}
+	}
+	return 0, fmt.Errorf("promtext: family %q has no unlabeled sample", name)
+}
+
+// sampleFamily maps a sample name back to its declared family. Histogram
+// and summary suffixes fold into their base family — but only when that
+// base is actually declared as one, so a plain gauge whose name happens to
+// end in _count (e.g. wal_segment_count) keeps its own family.
+func (m *Metrics) sampleFamily(name string) string {
+	if f, ok := m.Families[name]; ok && f.Type != "" {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suf)
+		if !ok {
+			continue
+		}
+		if f, ok := m.Families[base]; ok && (f.Type == "histogram" || f.Type == "summary") {
+			return base
+		}
+	}
+	return name
+}
+
+// Parse reads one exposition page, validating syntax as it goes:
+// well-formed HELP/TYPE comments, legal metric and label names, float
+// values, every sample preceded by its family's TYPE, and histogram
+// buckets cumulative with a trailing +Inf equal to _count.
+func Parse(r io.Reader) (*Metrics, error) {
+	m := &Metrics{Families: make(map[string]*Family)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := m.parseComment(line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := m.parseSample(line); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, name := range m.Order {
+		if f := m.Families[name]; f.Type == "histogram" {
+			if err := validateHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
+}
+
+func (m *Metrics) family(name string) *Family {
+	f, ok := m.Families[name]
+	if !ok {
+		f = &Family{Name: name}
+		m.Families[name] = f
+		m.Order = append(m.Order, name)
+	}
+	return f
+}
+
+func (m *Metrics) parseComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	switch fields[1] {
+	case "HELP":
+		if !nameRe.MatchString(fields[2]) {
+			return fmt.Errorf("bad metric name %q in HELP", fields[2])
+		}
+		f := m.family(fields[2])
+		if len(fields) == 4 {
+			f.Help = fields[3]
+		}
+	case "TYPE":
+		if !nameRe.MatchString(fields[2]) {
+			return fmt.Errorf("bad metric name %q in TYPE", fields[2])
+		}
+		if len(fields) != 4 {
+			return fmt.Errorf("TYPE without a type: %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown TYPE %q", fields[3])
+		}
+		f := m.family(fields[2])
+		if len(f.Samples) > 0 {
+			return fmt.Errorf("TYPE for %q after its samples", fields[2])
+		}
+		f.Type = fields[3]
+	default:
+		// Other comments are legal and ignored.
+	}
+	return nil
+}
+
+func (m *Metrics) parseSample(line string) error {
+	name := line
+	labels := map[string]string{}
+	rest := ""
+	if i := strings.IndexAny(line, "{ "); i >= 0 {
+		name = line[:i]
+		rest = line[i:]
+	}
+	if !nameRe.MatchString(name) {
+		return fmt.Errorf("bad metric name %q", name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return fmt.Errorf("unterminated label set in %q", line)
+		}
+		body := rest[1:end]
+		rest = rest[end+1:]
+		for _, pair := range splitLabels(body) {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok {
+				return fmt.Errorf("malformed label %q", pair)
+			}
+			if !labelRe.MatchString(k) {
+				return fmt.Errorf("bad label name %q", k)
+			}
+			unq, err := strconv.Unquote(v)
+			if err != nil {
+				return fmt.Errorf("label %s value %s is not a quoted string", k, v)
+			}
+			if _, dup := labels[k]; dup {
+				return fmt.Errorf("duplicate label %q", k)
+			}
+			labels[k] = unq
+		}
+	}
+	valStr := strings.TrimSpace(rest)
+	if i := strings.IndexByte(valStr, ' '); i >= 0 {
+		valStr = valStr[:i] // a timestamp may follow; tolerate it
+	}
+	val, err := parseValue(valStr)
+	if err != nil {
+		return fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	fam := m.family(m.sampleFamily(name))
+	if fam.Type == "" {
+		return fmt.Errorf("sample %q before any TYPE for %q", name, fam.Name)
+	}
+	if fam.Type == "histogram" && strings.HasSuffix(name, "_bucket") {
+		if _, ok := labels["le"]; !ok {
+			return fmt.Errorf("histogram bucket %q without le label", line)
+		}
+	}
+	fam.Samples = append(fam.Samples, Sample{Name: name, Labels: labels, Value: val})
+	return nil
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(body string) []string {
+	if body == "" {
+		return nil
+	}
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '"':
+			if i == 0 || body[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, body[start:])
+	return out
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// validateHistogram checks cumulative bucket monotonicity, le ordering,
+// a final +Inf bucket and its agreement with _count.
+func validateHistogram(f *Family) error {
+	var lastLe, lastCum float64
+	lastLe = math.Inf(-1)
+	sawInf := false
+	var count float64
+	hasCount := false
+	for _, s := range f.Samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			le, err := parseValue(s.Labels["le"])
+			if err != nil {
+				return fmt.Errorf("histogram %s: bad le %q", f.Name, s.Labels["le"])
+			}
+			if le <= lastLe {
+				return fmt.Errorf("histogram %s: le %v out of order", f.Name, s.Labels["le"])
+			}
+			if s.Value < lastCum {
+				return fmt.Errorf("histogram %s: bucket le=%s count %v < previous %v (not cumulative)",
+					f.Name, s.Labels["le"], s.Value, lastCum)
+			}
+			lastLe, lastCum = le, s.Value
+			if s.Labels["le"] == "+Inf" {
+				sawInf = true
+			}
+		case strings.HasSuffix(s.Name, "_count"):
+			count = s.Value
+			hasCount = true
+		}
+	}
+	if !sawInf {
+		return fmt.Errorf("histogram %s: no +Inf bucket", f.Name)
+	}
+	if !hasCount {
+		return fmt.Errorf("histogram %s: no _count", f.Name)
+	}
+	if count != lastCum {
+		return fmt.Errorf("histogram %s: _count %v != +Inf bucket %v", f.Name, count, lastCum)
+	}
+	return nil
+}

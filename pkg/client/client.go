@@ -258,6 +258,31 @@ func (c *Client) Metrics(ctx context.Context) (Metrics, error) {
 	return m, err
 }
 
+// PrometheusMetrics fetches the exchange's Prometheus text exposition page
+// (GET /v1/metrics/prometheus) verbatim.
+func (c *Client) PrometheusMetrics(ctx context.Context) (string, error) {
+	var text string
+	err := c.do(ctx, request{method: http.MethodGet, path: "/v1/metrics/prometheus", rawOut: &text, retry: true})
+	return text, err
+}
+
+// JobStats fetches the job's windowed and lifetime analytics rollups
+// (GET /v1/jobs/{id}/stats). The endpoint is served by exchanges running
+// the analytics wrapper handler; a bare exchange answers 404.
+func (c *Client) JobStats(ctx context.Context, jobID string) (JobStats, error) {
+	var st JobStats
+	err := c.do(ctx, request{method: http.MethodGet, path: "/v1/jobs/" + url.PathEscape(jobID) + "/stats", out: &st, retry: true})
+	return st, err
+}
+
+// NodeStats fetches one node's windowed and lifetime analytics rollups
+// (GET /v1/nodes/{id}/stats). See JobStats for availability.
+func (c *Client) NodeStats(ctx context.Context, nodeID int) (NodeStats, error) {
+	var st NodeStats
+	err := c.do(ctx, request{method: http.MethodGet, path: "/v1/nodes/" + strconv.Itoa(nodeID) + "/stats", out: &st, retry: true})
+	return st, err
+}
+
 // --- transport core ---------------------------------------------------------
 
 // request is one API call description for do.
@@ -268,6 +293,9 @@ type request struct {
 	body    any
 	headers map[string]string
 	out     any
+	// rawOut receives the response body verbatim instead of JSON-decoding
+	// into out (non-JSON endpoints, e.g. the Prometheus exposition).
+	rawOut *string
 	// retry marks the request safe to re-issue after a transient failure
 	// (GETs, and POSTs carrying an idempotency key).
 	retry bool
@@ -317,6 +345,15 @@ func (c *Client) do(ctx context.Context, req request) error {
 			continue
 		}
 		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			if req.rawOut != nil {
+				raw, err := io.ReadAll(resp.Body)
+				resp.Body.Close() //nolint:errcheck // read
+				if err != nil {
+					return fmt.Errorf("client: reading %s %s response: %w", req.method, req.path, err)
+				}
+				*req.rawOut = string(raw)
+				return nil
+			}
 			if req.out == nil {
 				_, _ = io.Copy(io.Discard, resp.Body)
 				resp.Body.Close() //nolint:errcheck // drained

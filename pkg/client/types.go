@@ -168,10 +168,65 @@ type Metrics struct {
 	BidsPerSec   float64 `json:"bids_per_sec"`
 	// WalSnapshots / WalSnapshotErrors count WAL compactions (snapshot +
 	// log rotation) on a durable exchange; both 0 when running in-memory.
-	WalSnapshots      int64   `json:"wal_snapshots"`
-	WalSnapshotErrors int64   `json:"wal_snapshot_errors"`
+	WalSnapshots      int64 `json:"wal_snapshots"`
+	WalSnapshotErrors int64 `json:"wal_snapshot_errors"`
+	// WalSegmentCount / WalBytes gauge the WAL's on-disk footprint (live
+	// segment count and total bytes across segments); both 0 in-memory.
+	WalSegmentCount int64 `json:"wal_segment_count"`
+	WalBytes        int64 `json:"wal_bytes"`
+	// FirehoseEvents / FirehoseDropped count events published to the
+	// exchange's observability firehose and events slow sinks missed.
+	FirehoseEvents    int64   `json:"firehose_events"`
+	FirehoseDropped   int64   `json:"firehose_dropped"`
 	RoundLatencyP50Ms float64 `json:"round_latency_p50_ms"`
 	RoundLatencyP99Ms float64 `json:"round_latency_p99_ms"`
+}
+
+// Rollup is one aggregate view — windowed or lifetime — of a job's or
+// node's auction activity, as served by the stats endpoints. Node rollups
+// leave the round fields zero (rounds are a job-level event).
+type Rollup struct {
+	Rounds            int64   `json:"rounds"`
+	RoundsFailed      int64   `json:"rounds_failed"`
+	Bids              int64   `json:"bids"`
+	Wins              int64   `json:"wins"`
+	WinRate           float64 `json:"win_rate"`
+	TotalPayment      float64 `json:"total_payment"`
+	AggregatorProfit  float64 `json:"aggregator_profit"`
+	AvgRoundLatencyMS float64 `json:"avg_round_latency_ms"`
+	MaxRoundLatencyMS float64 `json:"max_round_latency_ms"`
+}
+
+// PriceHistogram is a fixed-bucket bid-price distribution: Counts[i]
+// counts accepted bids with price <= Bounds[i]; Counts[len(Bounds)]
+// catches everything above the last bound.
+type PriceHistogram struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// JobStats is the payload of GET /v1/jobs/{id}/stats: rollups over the
+// server's sliding window (roughly the last WindowSec seconds) and over
+// the aggregator's lifetime, plus the windowed bid-price histogram.
+type JobStats struct {
+	Job            string         `json:"job"`
+	WindowSec      int64          `json:"window_sec"`
+	Window         Rollup         `json:"window"`
+	Lifetime       Rollup         `json:"lifetime"`
+	PriceHistogram PriceHistogram `json:"price_histogram"`
+}
+
+// NodeStats is the payload of GET /v1/nodes/{id}/stats. LastBidMS and
+// LastWinMS are unix-millisecond timestamps of the node's most recent
+// accepted bid and win (0 = never).
+type NodeStats struct {
+	Node           int            `json:"node"`
+	WindowSec      int64          `json:"window_sec"`
+	Window         Rollup         `json:"window"`
+	Lifetime       Rollup         `json:"lifetime"`
+	PriceHistogram PriceHistogram `json:"price_histogram"`
+	LastBidMS      int64          `json:"last_bid_ms"`
+	LastWinMS      int64          `json:"last_win_ms"`
 }
 
 // StrategyPoint is one sampled point of the equilibrium bid curve.
