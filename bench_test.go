@@ -22,6 +22,7 @@ import (
 	"fmore/internal/auction"
 	"fmore/internal/dist"
 	"fmore/internal/exchange"
+	"fmore/internal/partition"
 	"fmore/internal/sim"
 )
 
@@ -487,6 +488,53 @@ func BenchmarkExchange_SubmitBids_Parallel(b *testing.B) {
 		},
 		func(string) error {
 			_, err := job.CloseRound() // pooled close; result discarded
+			return err
+		},
+		job.ID())
+}
+
+// BenchmarkExchange_SubmitBids_Parallel_Partitioned is the same contended
+// workload against a partition-scoped replica: the job is locally owned, so
+// every submit resolves the hosted job and the partition map is never
+// consulted (the ownership check rides the job-lookup miss path only).
+// Tracked in BENCH.md as the per-replica throughput row — the acceptance
+// bar is parity with the unpartitioned benchmark above.
+func BenchmarkExchange_SubmitBids_Parallel_Partitioned(b *testing.B) {
+	m, err := partition.Parse("p0=http://127.0.0.1:18780,p1=http://127.0.0.1:18781")
+	if err != nil {
+		b.Fatal(err)
+	}
+	assign := &partition.Assignment{Local: "p0", Map: partition.NewHandle(m)}
+	ex := exchange.New(exchange.Options{Partition: assign})
+	defer ex.Close()
+	rule, err := auction.NewAdditive(0.6, 0.4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	id := ""
+	for i := 0; i < 4096 && id == ""; i++ {
+		if cand := fmt.Sprintf("contended-%d", i); m.Owns("p0", cand) {
+			id = cand
+		}
+	}
+	if id == "" {
+		b.Fatal("no locally owned job ID candidate")
+	}
+	job, err := ex.CreateJob(exchange.JobSpec{
+		ID:      id,
+		Auction: auction.Config{Rule: rule, K: 8},
+		Seed:    1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchmarkSubmitBids(b,
+		func(jobID string, bid auction.Bid) error {
+			_, err := ex.SubmitBid(jobID, bid)
+			return err
+		},
+		func(string) error {
+			_, err := job.CloseRound()
 			return err
 		},
 		job.ID())

@@ -22,13 +22,21 @@ import (
 // listenRe scrapes the resolved listen address from the service log.
 var listenRe = regexp.MustCompile(`listening on ([^ ]+) `)
 
-// startExchange builds the binary once per test run and starts it with the
-// given data dir (plus any extra flags), returning the base URL, a stopper
-// that SIGTERMs the process and waits for exit, and the running command
-// (for tests that kill the process hard instead).
+// startExchange starts the exchange binary with the given data dir (plus
+// any extra flags), returning the base URL, a stopper that SIGTERMs the
+// process and waits for exit, and the running command (for tests that kill
+// the process hard instead).
 func startExchange(t *testing.T, bin, dataDir string, extra ...string) (string, func(), *exec.Cmd) {
 	t.Helper()
 	args := append([]string{"-addr", "127.0.0.1:0", "-data-dir", dataDir}, extra...)
+	return startProc(t, bin, args...)
+}
+
+// startProc starts one service binary (exchange or router), scrapes its
+// "listening on" log line for the resolved address, and returns the base
+// URL plus lifecycle handles.
+func startProc(t *testing.T, bin string, args ...string) (string, func(), *exec.Cmd) {
+	t.Helper()
 	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
@@ -74,7 +82,7 @@ func startExchange(t *testing.T, bin, dataDir string, extra ...string) (string, 
 	case addr := <-addrCh:
 		return "http://" + addr, stop, cmd
 	case <-time.After(30 * time.Second):
-		t.Fatal("exchange did not announce its listen address within 30s")
+		t.Fatal("service did not announce its listen address within 30s")
 		return "", nil, nil
 	}
 }
@@ -176,14 +184,15 @@ func TestE2ESmoke(t *testing.T) {
 	if rawAfter := rawOutcome(t, url2, "smoke", 1); rawAfter != rawBefore {
 		t.Fatalf("outcome bytes changed across process restart:\n%s\n%s", rawBefore, rawAfter)
 	}
-	// Legacy alias still answers with a deprecation pointer.
+	// The pre-v1 aliases are gone: unversioned paths 404 with the v1 envelope.
 	resp, err := http.Get(url2 + "/jobs/smoke/outcome?round=1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close() //nolint:errcheck // read
-	if resp.StatusCode != http.StatusOK || resp.Header.Get("Deprecation") != "true" {
-		t.Fatalf("legacy alias: status %d Deprecation %q", resp.StatusCode, resp.Header.Get("Deprecation"))
+	if resp.StatusCode != http.StatusNotFound || resp.Header.Get("Content-Type") != "application/json" {
+		t.Fatalf("removed legacy path: status %d Content-Type %q, want 404 application/json",
+			resp.StatusCode, resp.Header.Get("Content-Type"))
 	}
 }
 

@@ -1,9 +1,28 @@
 // fmore-exchange runs the auction exchange as a standalone HTTP service:
 // a long-lived aggregator front end hosting many concurrent FL jobs behind
-// the versioned /v1 API (pre-v1 unversioned paths still answer as
-// deprecated aliases for one release).
+// the versioned /v1 API (the pre-v1 unversioned aliases have been removed;
+// they answer 404).
 //
 //	go run ./cmd/fmore-exchange -addr :8780 -data-dir ./exchange-data
+//
+// # Partitioned clusters
+//
+// A single process owns every job. To shard jobs across replicas, start one
+// process per partition with -partition naming the slice this replica owns
+// and -partition-map the full cluster map (the same spec on every replica):
+//
+//	go run ./cmd/fmore-exchange -addr :8780 -data-dir ./d \
+//	  -partition p0 -partition-map "p0=http://h1:8780,p1=http://h2:8780"
+//	go run ./cmd/fmore-exchange -addr :8781 -data-dir ./d \
+//	  -partition p1 -partition-map "p0=http://h1:8780,p1=http://h2:8780"
+//
+// Jobs map to partitions by rendezvous hashing of the job ID. Each replica
+// serves the map at GET /v1/cluster/partitions and refuses jobs it does not
+// own with a wrong_partition error (HTTP 421) naming the owning replica, so
+// clients converge in one retry; the pkg/client SDK and the fmore-router
+// reverse proxy both do this transparently. Replicas sharing a -data-dir
+// parent keep disjoint WALs under <dir>/replica-<partition>. See the
+// topology section of internal/exchange's package docs.
 //
 // With -data-dir set, every job spec, round outcome, registration and
 // blacklisting is appended to a write-ahead log (<dir>/exchange.wal) and
@@ -88,6 +107,7 @@ import (
 
 	"fmore/internal/analytics"
 	"fmore/internal/exchange"
+	"fmore/internal/partition"
 )
 
 func main() {
@@ -105,6 +125,10 @@ func main() {
 		"serve net/http/pprof on this address (empty = disabled); keep it loopback-only in production")
 	analyticsWindow := flag.Duration("analytics-window", 0,
 		"sliding window for the /stats rollup endpoints (0 = default 10m)")
+	partitionID := flag.String("partition", "",
+		"partition this replica owns (requires -partition-map; empty = unpartitioned)")
+	partitionMap := flag.String("partition-map", "",
+		`cluster partition map, "p0=http://host:port,p1=..." (same spec on every replica)`)
 	flag.Parse()
 
 	opts := exchange.Options{
@@ -112,6 +136,19 @@ func main() {
 		RequireRegistration: *requireReg,
 		SnapshotBytes:       *snapshotBytes,
 		SnapshotInterval:    *snapshotInterval,
+	}
+	if (*partitionID == "") != (*partitionMap == "") {
+		log.Fatal("-partition and -partition-map must be set together")
+	}
+	if *partitionID != "" {
+		m, err := partition.Parse(*partitionMap)
+		if err != nil {
+			log.Fatalf("parsing -partition-map: %v", err)
+		}
+		opts.Partition = &partition.Assignment{Local: *partitionID, Map: partition.NewHandle(m)}
+		if err := opts.Partition.Validate(); err != nil {
+			log.Fatalf("-partition: %v", err)
+		}
 	}
 	if *pprofAddr != "" {
 		// The profiling surface stays off the service mux (and off by
@@ -166,8 +203,8 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- server.Serve(listener) }()
-	log.Printf("fmore-exchange listening on %s (workers=%d, require-registration=%v, data-dir=%q)",
-		listener.Addr(), *workers, *requireReg, *dataDir)
+	log.Printf("fmore-exchange listening on %s (workers=%d, require-registration=%v, data-dir=%q, partition=%q)",
+		listener.Addr(), *workers, *requireReg, *dataDir, *partitionID)
 
 	select {
 	case err := <-errCh:

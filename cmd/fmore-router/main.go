@@ -1,0 +1,408 @@
+// fmore-router is a thin partition-aware reverse proxy in front of a
+// cluster of fmore-exchange replicas. Clients that cannot (or prefer not
+// to) run SDK-side routing talk to the router as if it were a single
+// exchange; the router consults the cluster partition map and forwards each
+// request to the replica that owns it.
+//
+//	go run ./cmd/fmore-router -addr :8779 \
+//	  -replicas "p0=http://h1:8780,p1=http://h2:8780"
+//
+// -replicas takes the same "partition=url,..." spec that fmore-exchange's
+// -partition-map does; start the router with the map the replicas were
+// started with. The router keeps the map fresh on its own: whenever a
+// replica answers wrong_partition (HTTP 421) — which happens after a map
+// version bump the router has not seen — the router re-fetches
+// GET /v1/cluster/partitions, installs the newer map, and re-forwards the
+// buffered request once to the replica the refusal named. Requests
+// therefore converge in at most one retry, and the retry carries the
+// original Idempotency-Key so a redirected POST cannot double-apply.
+//
+// Routing rules:
+//
+//   - /v1/jobs/{id}/... goes to the replica owning {id} under rendezvous
+//     hashing — including SSE event streams, which are proxied unbuffered.
+//   - POST /v1/jobs sniffs the job "id" from the (buffered) body and routes
+//     to its owner; specs without an explicit id go to the default replica,
+//     whose exchange draws an id it owns.
+//   - POST /v1/nodes and /v1/nodes/{id}/* writes fan out to every replica
+//     (registration and blacklists gate bids on whichever replica hosts the
+//     job), answering with the primary replica's response.
+//   - Everything else (listings, metrics, the cluster map itself) goes to
+//     the default replica: the lexically first partition.
+//
+// The router's own counters are at GET /router/metrics in Prometheus text
+// format: fmore_router_forward_total{partition=...}, fmore_router_fanout_total,
+// fmore_router_retry_total, fmore_router_proxy_error_total and
+// fmore_router_map_version.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/url"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fmore/internal/partition"
+)
+
+// maxBufferedBody bounds how much of a request body the router will buffer
+// for replay; exchange payloads (job specs, bids) are tiny.
+const maxBufferedBody = 8 << 20
+
+var jobPathRe = regexp.MustCompile(`^/v1/jobs/([^/]+)(/.*)?$`)
+
+// router proxies exchange requests to the owning replica, retrying once on
+// wrong_partition with a refreshed map.
+type router struct {
+	routes *partition.Handle
+	hc     *http.Client
+
+	mu       sync.Mutex
+	forwards map[string]*atomic.Int64 // per-partition forward counter
+
+	fanouts    atomic.Int64
+	retries    atomic.Int64
+	proxyErrs  atomic.Int64
+	refreshing atomic.Bool
+}
+
+func newRouter(m *partition.Map) *router {
+	return &router{
+		routes:   partition.NewHandle(m),
+		hc:       &http.Client{},
+		forwards: make(map[string]*atomic.Int64),
+	}
+}
+
+func (rt *router) forwardCounter(part string) *atomic.Int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	c := rt.forwards[part]
+	if c == nil {
+		c = &atomic.Int64{}
+		rt.forwards[part] = c
+	}
+	return c
+}
+
+func (rt *router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/router/metrics" && r.Method == http.MethodGet {
+		rt.metrics(w)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBufferedBody+1))
+	if err != nil {
+		proxyError(w, http.StatusBadGateway, "reading request body: "+err.Error())
+		return
+	}
+	if len(body) > maxBufferedBody {
+		proxyError(w, http.StatusRequestEntityTooLarge, "request body exceeds the router's buffer")
+		return
+	}
+
+	m := rt.routes.Load()
+	if rt.fanout(w, r, m, body) {
+		return
+	}
+	target, ok := rt.target(r, m, body)
+	if !ok {
+		proxyError(w, http.StatusBadGateway, "router has no partition map")
+		return
+	}
+	rt.forwardCounter(target.Partition).Add(1)
+
+	resp, err := rt.send(r, target.URL, body)
+	if err != nil {
+		rt.proxyErrs.Add(1)
+		proxyError(w, http.StatusBadGateway, "forwarding to "+target.Partition+": "+err.Error())
+		return
+	}
+	// A replica that does not own the job answers 421 with the owner's URL:
+	// refresh the map (a version bump is the usual cause) and re-forward the
+	// buffered request once. The replayed request is byte-identical,
+	// Idempotency-Key included, so redirected POSTs stay exactly-once.
+	if resp.StatusCode == http.StatusMisdirectedRequest {
+		ownerURL, ownerPart := misdirectTarget(resp) // consumes the 421 body
+		go rt.refreshMap(r.Context(), target.URL)
+		if ownerURL == "" {
+			rt.proxyErrs.Add(1)
+			proxyError(w, http.StatusBadGateway, "replica "+target.Partition+" refused the request without naming an owner")
+			return
+		}
+		rt.retries.Add(1)
+		if ownerPart != "" {
+			rt.forwardCounter(ownerPart).Add(1)
+		}
+		resp, err = rt.send(r, ownerURL, body)
+		if err != nil {
+			rt.proxyErrs.Add(1)
+			proxyError(w, http.StatusBadGateway, "retrying on "+ownerURL+": "+err.Error())
+			return
+		}
+	}
+	copyResponse(w, resp)
+}
+
+// target resolves the replica a request belongs to.
+func (rt *router) target(r *http.Request, m *partition.Map, body []byte) (partition.Replica, bool) {
+	if m == nil {
+		return partition.Replica{}, false
+	}
+	if sub := jobPathRe.FindStringSubmatch(r.URL.Path); sub != nil {
+		if id, err := url.PathUnescape(sub[1]); err == nil {
+			if owner, ok := m.Owner(id); ok {
+				return owner, true
+			}
+		}
+	}
+	if r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" {
+		var spec struct {
+			ID string `json:"id"`
+		}
+		if json.Unmarshal(body, &spec) == nil && spec.ID != "" {
+			if owner, ok := m.Owner(spec.ID); ok {
+				return owner, true
+			}
+		}
+	}
+	return m.Default()
+}
+
+// fanout handles node-registry writes, which must reach every replica; it
+// reports whether it handled the request. The primary (default) replica's
+// response is the one returned to the client.
+func (rt *router) fanout(w http.ResponseWriter, r *http.Request, m *partition.Map, body []byte) bool {
+	if m == nil || r.Method == http.MethodGet || !strings.HasPrefix(r.URL.Path, "/v1/nodes") {
+		return false
+	}
+	rt.fanouts.Add(1)
+	primary, _ := m.Default()
+	var primaryResp *http.Response
+	for _, rep := range m.Partitions {
+		rt.forwardCounter(rep.Partition).Add(1)
+		resp, err := rt.send(r, rep.URL, body)
+		if err != nil {
+			rt.proxyErrs.Add(1)
+			if rep.Partition == primary.Partition {
+				proxyError(w, http.StatusBadGateway, "forwarding to "+rep.Partition+": "+err.Error())
+				return true
+			}
+			continue
+		}
+		if rep.Partition == primary.Partition {
+			primaryResp = resp
+		} else {
+			resp.Body.Close()
+		}
+	}
+	if primaryResp == nil {
+		proxyError(w, http.StatusBadGateway, "no replica answered the fan-out")
+		return true
+	}
+	copyResponse(w, primaryResp)
+	return true
+}
+
+// send forwards the buffered request to one replica base URL.
+func (rt *router) send(r *http.Request, baseURL string, body []byte) (*http.Response, error) {
+	u := strings.TrimRight(baseURL, "/") + r.URL.RequestURI()
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	for k, vv := range r.Header {
+		if isHopByHop(k) {
+			continue
+		}
+		req.Header[k] = vv
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		prior := r.Header.Get("X-Forwarded-For")
+		if prior != "" {
+			host = prior + ", " + host
+		}
+		req.Header.Set("X-Forwarded-For", host)
+	}
+	return rt.hc.Do(req)
+}
+
+// misdirectTarget extracts the owning replica from a wrong_partition
+// envelope, consuming (and restoring nothing of) the 421 response.
+func misdirectTarget(resp *http.Response) (ownerURL, ownerPartition string) {
+	defer resp.Body.Close()
+	var envelope struct {
+		ReplicaURL string `json:"replica_url"`
+		Partition  string `json:"partition"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&envelope); err != nil {
+		return "", ""
+	}
+	return strings.TrimRight(envelope.ReplicaURL, "/"), envelope.Partition
+}
+
+// refreshMap re-fetches the cluster map from a replica and installs it if
+// newer. Only one refresh runs at a time; concurrent misroutes piggyback.
+func (rt *router) refreshMap(ctx context.Context, fromURL string) {
+	if !rt.refreshing.CompareAndSwap(false, true) {
+		return
+	}
+	defer rt.refreshing.Store(false)
+	ctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(fromURL, "/")+"/v1/cluster/partitions", nil)
+	if err != nil {
+		return
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var cp struct {
+		Version    int64 `json:"version"`
+		Partitions []struct {
+			Partition string `json:"partition"`
+			URL       string `json:"url"`
+		} `json:"partitions"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&cp); err != nil {
+		return
+	}
+	m := &partition.Map{Version: cp.Version}
+	for _, p := range cp.Partitions {
+		m.Partitions = append(m.Partitions, partition.Replica{Partition: p.Partition, URL: p.URL})
+	}
+	if m.Validate() != nil {
+		return
+	}
+	if rt.routes.Advance(m) {
+		log.Printf("partition map advanced to version %d (%s)", m.Version, m.Spec())
+	}
+}
+
+// copyResponse relays status, headers and body. Event streams (SSE) are
+// flushed write-by-write so round events reach the subscriber as they
+// happen rather than when a buffer fills.
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	h := w.Header()
+	for k, vv := range resp.Header {
+		if isHopByHop(k) {
+			continue
+		}
+		h[k] = vv
+	}
+	w.WriteHeader(resp.StatusCode)
+	var dst io.Writer = w
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		if f, ok := w.(http.Flusher); ok {
+			dst = flushWriter{w: w, f: f}
+		}
+	}
+	_, _ = io.Copy(dst, resp.Body)
+}
+
+type flushWriter struct {
+	w io.Writer
+	f http.Flusher
+}
+
+func (fw flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	fw.f.Flush()
+	return n, err
+}
+
+func isHopByHop(header string) bool {
+	switch http.CanonicalHeaderKey(header) {
+	case "Connection", "Keep-Alive", "Proxy-Authenticate", "Proxy-Authorization",
+		"Te", "Trailer", "Transfer-Encoding", "Upgrade":
+		return true
+	}
+	return false
+}
+
+// proxyError answers a router-level failure in the exchange's JSON envelope
+// shape so SDK clients surface it as a regular APIError.
+func proxyError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]any{"code": "router_error", "message": msg})
+}
+
+// metrics serves the router's counters in Prometheus text format 0.0.4.
+func (rt *router) metrics(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b bytes.Buffer
+	b.WriteString("# HELP fmore_router_forward_total Requests forwarded to each replica, by partition.\n")
+	b.WriteString("# TYPE fmore_router_forward_total counter\n")
+	rt.mu.Lock()
+	parts := make([]string, 0, len(rt.forwards))
+	for p := range rt.forwards {
+		parts = append(parts, p)
+	}
+	sort.Strings(parts)
+	for _, p := range parts {
+		fmt.Fprintf(&b, "fmore_router_forward_total{partition=%q} %d\n", p, rt.forwards[p].Load())
+	}
+	rt.mu.Unlock()
+	b.WriteString("# HELP fmore_router_fanout_total Node-registry writes fanned out to every replica.\n")
+	b.WriteString("# TYPE fmore_router_fanout_total counter\n")
+	fmt.Fprintf(&b, "fmore_router_fanout_total %d\n", rt.fanouts.Load())
+	b.WriteString("# HELP fmore_router_retry_total Requests re-forwarded after a wrong_partition refusal.\n")
+	b.WriteString("# TYPE fmore_router_retry_total counter\n")
+	fmt.Fprintf(&b, "fmore_router_retry_total %d\n", rt.retries.Load())
+	b.WriteString("# HELP fmore_router_proxy_error_total Forwards that failed at the transport level.\n")
+	b.WriteString("# TYPE fmore_router_proxy_error_total counter\n")
+	fmt.Fprintf(&b, "fmore_router_proxy_error_total %d\n", rt.proxyErrs.Load())
+	b.WriteString("# HELP fmore_router_map_version Version of the partition map the router routes by.\n")
+	b.WriteString("# TYPE fmore_router_map_version gauge\n")
+	version := int64(0)
+	if m := rt.routes.Load(); m != nil {
+		version = m.Version
+	}
+	fmt.Fprintf(&b, "fmore_router_map_version %d\n", version)
+	_, _ = w.Write(b.Bytes())
+}
+
+func main() {
+	addr := flag.String("addr", ":8779", "HTTP listen address (:0 picks a free port, logged on start)")
+	replicas := flag.String("replicas", "",
+		`cluster partition map, "p0=http://host:port,p1=..." (same spec the replicas were started with)`)
+	flag.Parse()
+
+	m, err := partition.Parse(*replicas)
+	if err != nil {
+		log.Fatalf("parsing -replicas: %v", err)
+	}
+	rt := newRouter(m)
+
+	listener, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	server := &http.Server{
+		Handler:           rt,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("fmore-router listening on %s (replicas=%q)", listener.Addr(), m.Spec())
+	if err := server.Serve(listener); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("serve: %v", err)
+	}
+}

@@ -29,28 +29,26 @@ func postJSONKeyed(t *testing.T, url, key string, body any) (*http.Response, map
 	return resp, decodeBody(t, resp)
 }
 
-// TestV1ErrorEnvelope pins the uniform error shape: every error response —
-// v1 and legacy alike — is {code, message} JSON with the right Content-Type.
+// TestV1ErrorEnvelope pins the uniform error shape: every error response is
+// {code, message} JSON with the right Content-Type.
 func TestV1ErrorEnvelope(t *testing.T) {
 	srv, _ := httpFixture(t)
-	for _, path := range []string{"/v1/jobs/ghost", "/jobs/ghost"} {
-		resp, err := http.Get(srv.URL + path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
-			t.Errorf("%s error Content-Type = %q, want application/json", path, ct)
-		}
-		body := decodeBody(t, resp)
-		if resp.StatusCode != http.StatusNotFound {
-			t.Errorf("%s status = %d, want 404", path, resp.StatusCode)
-		}
-		if body["code"] != "unknown_job" || body["message"] == "" {
-			t.Errorf("%s envelope = %v, want code unknown_job with message", path, body)
-		}
+	resp, err := http.Get(srv.URL + "/v1/jobs/ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("error Content-Type = %q, want application/json", ct)
+	}
+	body := decodeBody(t, resp)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+	if body["code"] != "unknown_job" || body["message"] == "" {
+		t.Errorf("envelope = %v, want code unknown_job with message", body)
 	}
 	// Unrouted paths answer the JSON envelope too, not the mux's text 404.
-	resp, err := http.Get(srv.URL + "/v2/nothing")
+	resp, err = http.Get(srv.URL + "/v2/nothing")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,11 +108,6 @@ func TestCloseRoundStatusRegression(t *testing.T) {
 	if resp.StatusCode != http.StatusConflict || body["code"] != "job_closed" {
 		t.Fatalf("closed-job close: status %d body %v, want 409 job_closed", resp.StatusCode, body)
 	}
-	// Same split on the legacy alias.
-	resp, body = postJSON(t, srv.URL+"/jobs/reg/close", nil)
-	if resp.StatusCode != http.StatusConflict || body["code"] != "job_closed" {
-		t.Fatalf("legacy closed-job close: status %d body %v, want 409 job_closed", resp.StatusCode, body)
-	}
 
 	// Unknown job: 404 unknown_job.
 	resp, body = postJSON(t, srv.URL+"/v1/jobs/ghost/close", nil)
@@ -123,48 +116,64 @@ func TestCloseRoundStatusRegression(t *testing.T) {
 	}
 }
 
-// TestLegacyAliases: every pre-v1 path answers identically to its /v1 twin
-// and carries deprecation headers pointing at it.
-func TestLegacyAliases(t *testing.T) {
+// TestLegacyPathsRemoved: the pre-v1 unversioned aliases were deleted after
+// their deprecation window. Every former alias now answers 404 with the v1
+// JSON envelope (not the mux's text/plain), and carries no deprecation
+// headers — there is nothing left to deprecate.
+func TestLegacyPathsRemoved(t *testing.T) {
 	srv, _ := httpFixture(t)
-	if resp, body := postJSON(t, srv.URL+"/jobs", map[string]any{
+	if resp, body := postJSON(t, srv.URL+"/v1/jobs", map[string]any{
 		"id": "alias", "k": 1, "seed": 9,
 		"rule": map[string]any{"kind": "additive", "alpha": []float64{1, 1}},
 	}); resp.StatusCode != http.StatusCreated {
-		t.Fatalf("legacy create: %d %v", resp.StatusCode, body)
+		t.Fatalf("create: %d %v", resp.StatusCode, body)
 	}
 	driveRound(t, srv.URL, "alias", 2, 1)
 
-	resp, err := http.Get(srv.URL + "/jobs/alias/outcome?round=1")
+	for _, probe := range []struct{ method, path string }{
+		{http.MethodPost, "/jobs"},
+		{http.MethodGet, "/jobs"},
+		{http.MethodGet, "/jobs/alias"},
+		{http.MethodGet, "/jobs/alias/outcome?round=1"},
+		{http.MethodPost, "/jobs/alias/bids"},
+		{http.MethodPost, "/jobs/alias/close"},
+		{http.MethodPost, "/nodes"},
+		{http.MethodGet, "/metrics"},
+	} {
+		req, err := http.NewRequest(probe.method, srv.URL+probe.path, bytes.NewReader([]byte("{}")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s %s status = %d, want 404", probe.method, probe.path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s %s Content-Type = %q, want application/json", probe.method, probe.path, ct)
+		}
+		if resp.Header.Get("Deprecation") != "" {
+			t.Errorf("%s %s still carries a Deprecation header", probe.method, probe.path)
+		}
+		if body := decodeBody(t, resp); body["code"] != "not_found" || body["message"] == "" {
+			t.Errorf("%s %s envelope = %v, want code not_found with message", probe.method, probe.path, body)
+		}
+	}
+
+	// The /v1 twin still serves.
+	resp, err := http.Get(srv.URL + "/v1/jobs/alias/outcome?round=1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp.Header.Get("Deprecation") != "true" {
-		t.Error("legacy path missing Deprecation header")
-	}
-	if link := resp.Header.Get("Link"); link != `</v1/jobs/alias/outcome>; rel="successor-version"` {
-		t.Errorf("legacy Link = %q", link)
-	}
-	legacyBody, err := io.ReadAll(resp.Body)
+	body, err := io.ReadAll(resp.Body)
 	resp.Body.Close() //nolint:errcheck // read
 	if err != nil {
 		t.Fatal(err)
 	}
-
-	resp2, err := http.Get(srv.URL + "/v1/jobs/alias/outcome?round=1")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resp2.Header.Get("Deprecation") != "" {
-		t.Error("v1 path must not be marked deprecated")
-	}
-	v1Body, err := io.ReadAll(resp2.Body)
-	resp2.Body.Close() //nolint:errcheck // read
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(legacyBody, v1Body) {
-		t.Errorf("alias and v1 outcome bodies differ:\n%s\n%s", legacyBody, v1Body)
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("v1 outcome after alias removal: status %d body %q", resp.StatusCode, body)
 	}
 }
 

@@ -188,11 +188,48 @@
 // # Deprecation policy
 //
 // The pre-v1 unversioned paths (POST /jobs, GET /jobs/{id}/outcome, …)
-// answer as thin aliases of their /v1 twins for one release, marked with
-// Deprecation: true and a Link: successor-version header; the legacy
-// GET /jobs keeps its original {"jobs": [ids]} shape. The events and
-// outcomes-listing endpoints are v1-only. New consumers must use /v1 (or
-// pkg/client, which only speaks /v1).
+// served as deprecated aliases for one release and have been removed: they
+// now 404 with the standard JSON envelope, like any unknown route. The only
+// HTTP surface is /v1 (or pkg/client, which only speaks /v1).
+//
+// # Topology: partitioned clusters
+//
+// A single exchange owns every job. Options.Partition scopes the process to
+// one partition of a cluster instead: the internal/partition.Assignment
+// names the partition this replica serves and carries a shared handle to
+// the cluster map (partition → replica base URL, monotonically versioned).
+// Jobs map to partitions by rendezvous (highest-random-weight) hashing of
+// the job ID, so ownership depends only on the set of partition IDs — not
+// on replica count or order — and a map change moves only the jobs whose
+// owner actually changed.
+//
+// Ownership is enforced at the edges, never on the hot path:
+//
+//   - Creation is strict. CreateJob refuses a spec whose explicit ID
+//     hashes to another partition with a WrongPartitionError; auto-drawn
+//     IDs are redrawn until locally owned (≈P draws for P partitions).
+//   - Every other operation is host-based. A job this replica hosts is
+//     always served — even if a newer map assigns it elsewhere, so a map
+//     version bump never strands live rounds. Only a miss consults the
+//     map: unknown jobs owned elsewhere answer WrongPartitionError (HTTP
+//     421 Misdirected Request, code wrong_partition) naming the owning
+//     replica's URL, partition and map version in the error envelope;
+//     unknown jobs owned here answer unknown_job as before. Correctly
+//     routed requests therefore pay zero partition overhead — the check
+//     rides the existing job-lookup miss.
+//
+// GET /v1/cluster/partitions serves the replica's current map (404 on an
+// unpartitioned exchange). Consumers converge in at most one retry: the
+// pkg/client SDK re-aims a refused request at the URL in the envelope
+// (carrying the same Idempotency-Key, so redirected POSTs stay
+// exactly-once) and refreshes its map; cmd/fmore-router does the same as a
+// reverse proxy for clients that want a single endpoint. A partitioned
+// replica opened with Open(dir, opts) keeps its WAL and snapshots under
+// dir/replica-<partition>, so replicas may share a data-dir parent without
+// interleaving logs. The partition surface shows up in the Prometheus
+// catalog as fmore_exchange_partition_id{partition=...} (info gauge),
+// fmore_exchange_partition_map_version and
+// fmore_exchange_wrong_partition_total.
 //
 // cmd/fmore-exchange is the runnable front end (see its -data-dir,
 // -snapshot-bytes and -pprof-addr flags), and examples/exchange is a full

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"fmore/internal/auction"
+	"fmore/internal/partition"
 )
 
 // ErrExchangeClosed reports an operation on a shut-down exchange.
@@ -51,6 +52,17 @@ type Options struct {
 	// falls more than a ring behind loses the overrun and the loss is
 	// counted. Memory is only committed on the first Firehose().Attach.
 	FirehoseRing int
+	// Partition scopes the exchange to one partition of a multi-replica
+	// cluster: Local names the partition this replica owns and Map is the
+	// live cluster map (swappable through its atomic handle without a
+	// restart). A partitioned replica refuses to create jobs whose IDs
+	// rendezvous-hash to another partition and answers job-scoped requests
+	// for jobs it does not host with wrong_partition + the owner's URL;
+	// with Open, its WAL/snapshot directory is additionally namespaced
+	// per replica (<dir>/replica-<partition>) so several replicas can
+	// share one data-dir parent. Nil (the default) is the unpartitioned
+	// single-process posture with zero added cost on any path.
+	Partition *partition.Assignment
 }
 
 // Exchange hosts many concurrent FL auction jobs over one shared node
@@ -62,6 +74,7 @@ type Exchange struct {
 	pool    *scorePool
 	metrics *Metrics
 	fh      *Firehose
+	part    *partition.Assignment
 
 	// WAL gauges, mirrored atomically out of the compaction machinery so a
 	// metrics scrape never touches compactMu (or the writer goroutine):
@@ -104,6 +117,7 @@ func New(opts Options) *Exchange {
 		pool:    newScorePool(opts.Workers, opts.ScoreChunk),
 		metrics: newMetrics(),
 		fh:      newFirehose(opts.FirehoseRing),
+		part:    opts.Partition,
 		ctx:     ctx,
 		cancel:  cancel,
 		jobs:    make(map[string]*Job),
@@ -117,6 +131,9 @@ func New(opts Options) *Exchange {
 // validation leaks nothing).
 func (ex *Exchange) CreateJob(spec JobSpec) (*Job, error) {
 	spec.setDefaults()
+	if err := ex.checkCreateOwnership(spec.ID); err != nil {
+		return nil, err
+	}
 
 	ex.mu.Lock()
 	defer ex.mu.Unlock()
@@ -125,9 +142,13 @@ func (ex *Exchange) CreateJob(spec JobSpec) (*Job, error) {
 	}
 	id := spec.ID
 	if id == "" {
+		// A partitioned replica keeps drawing sequence IDs until one
+		// rendezvous-hashes to its own partition, so a create without an
+		// explicit ID always lands locally (expected ~P draws for P
+		// partitions).
 		for {
 			id = fmt.Sprintf("job-%d", ex.seq.Add(1))
-			if _, taken := ex.jobs[id]; !taken {
+			if _, taken := ex.jobs[id]; !taken && ex.part.Owns(id) {
 				break
 			}
 		}
@@ -166,7 +187,7 @@ func (ex *Exchange) RemoveJob(id string) error {
 	j, ok := ex.jobs[id]
 	ex.mu.RUnlock()
 	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownJob, id)
+		return ex.missingJob(id)
 	}
 	j.close(false)
 	if j.loopDone != nil {
@@ -258,7 +279,7 @@ func (ex *Exchange) SubmitBid(jobID string, bid auction.Bid) (round int, err err
 	j, ok := ex.Job(jobID)
 	if !ok {
 		ex.metrics.bidsRejected.Add(1)
-		return 0, fmt.Errorf("%w: %q", ErrUnknownJob, jobID)
+		return 0, ex.missingJob(jobID)
 	}
 	info, registered := ex.reg.Lookup(bid.NodeID)
 	if !registered && ex.opts.RequireRegistration {
@@ -315,7 +336,7 @@ func (ex *Exchange) Firehose() *Firehose { return ex.fh }
 func (ex *Exchange) CloseRound(jobID string) (RoundOutcome, error) {
 	j, ok := ex.Job(jobID)
 	if !ok {
-		return RoundOutcome{}, fmt.Errorf("%w: %q", ErrUnknownJob, jobID)
+		return RoundOutcome{}, ex.missingJob(jobID)
 	}
 	return j.closeRoundOwned()
 }
@@ -324,7 +345,7 @@ func (ex *Exchange) CloseRound(jobID string) (RoundOutcome, error) {
 func (ex *Exchange) WaitOutcome(ctx context.Context, jobID string, round int) (RoundOutcome, error) {
 	j, ok := ex.Job(jobID)
 	if !ok {
-		return RoundOutcome{}, fmt.Errorf("%w: %q", ErrUnknownJob, jobID)
+		return RoundOutcome{}, ex.missingJob(jobID)
 	}
 	return j.WaitOutcome(ctx, round)
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"fmore/internal/auction"
+	"fmore/internal/partition"
 	"fmore/internal/transport"
 )
 
@@ -47,13 +48,23 @@ const (
 	codeBlacklisted    = "blacklisted"
 	codeTimeout        = "timeout"
 	codeInternal       = "internal_error"
+	// codeWrongPartition (421 Misdirected Request) means the cluster map
+	// places the job on another replica; the envelope carries that replica's
+	// base URL so the caller can re-aim in one hop.
+	codeWrongPartition = "wrong_partition"
 )
 
-// errorEnvelope is the uniform v1 error shape (legacy paths share it).
+// errorEnvelope is the uniform v1 error shape. The partition fields are set
+// only on wrong_partition responses: they name the owning replica under the
+// responding replica's map so routers and SDKs retry against the right box
+// without a second map fetch.
 type errorEnvelope struct {
 	Code         string `json:"code"`
 	Message      string `json:"message"`
 	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+	Partition    string `json:"partition,omitempty"`
+	ReplicaURL   string `json:"replica_url,omitempty"`
+	MapVersion   int64  `json:"map_version,omitempty"`
 }
 
 // NewHandler returns the exchange's HTTP front end. The versioned surface
@@ -73,14 +84,15 @@ type errorEnvelope struct {
 //	POST   /v1/nodes/{id}/blacklist  ban a node
 //	GET    /v1/metrics               throughput and latency snapshot (JSON)
 //	GET    /v1/metrics/prometheus    the same counters in Prometheus text format
+//	GET    /v1/cluster/partitions    the replica's cluster map (404 unpartitioned)
 //
-// Every pre-v1 unversioned path still answers as a deprecated alias of its
-// /v1 twin (Deprecation and Link: successor-version headers set) for one
-// release; /v1/jobs/{id}/events, /v1/jobs/{id}/outcomes and
-// /v1/metrics/prometheus are v1-only. All errors use the
-// {code, message, retry_after_ms?} envelope. The per-job and per-node
-// rollup endpoints (GET /v1/jobs/{id}/stats, GET /v1/nodes/{id}/stats) are
-// served by the internal/analytics wrapper handler, which embeds this one.
+// The pre-v1 unversioned aliases from the original API were removed after
+// their one-release deprecation window; pre-v1 paths now 404 with the v1
+// JSON envelope. All errors use the {code, message, retry_after_ms?}
+// envelope; wrong_partition (421) additionally names the owning replica. The
+// per-job and per-node rollup endpoints (GET /v1/jobs/{id}/stats,
+// GET /v1/nodes/{id}/stats) are served by the internal/analytics wrapper
+// handler, which embeds this one.
 func NewHandler(ex *Exchange) http.Handler {
 	h := &handler{ex: ex, idem: newIdemCache(idemCacheCap)}
 	mux := http.NewServeMux()
@@ -89,28 +101,24 @@ func NewHandler(ex *Exchange) http.Handler {
 		fn           http.HandlerFunc
 	}{
 		{http.MethodPost, "/jobs", h.createJob},
+		{http.MethodGet, "/jobs", h.listJobs},
 		{http.MethodGet, "/jobs/{id}", h.jobStatus},
 		{http.MethodDelete, "/jobs/{id}", h.removeJob},
 		{http.MethodPost, "/jobs/{id}/bids", h.submitBid},
 		{http.MethodPost, "/jobs/{id}/close", h.closeRound},
 		{http.MethodGet, "/jobs/{id}/outcome", h.outcome},
+		{http.MethodGet, "/jobs/{id}/outcomes", h.listOutcomes},
+		{http.MethodGet, "/jobs/{id}/events", h.events},
 		{http.MethodGet, "/jobs/{id}/strategy", h.strategy},
 		{http.MethodPost, "/nodes", h.registerNode},
 		{http.MethodPost, "/nodes/{id}/blacklist", h.blacklistNode},
 		{http.MethodGet, "/metrics", h.metrics},
+		{http.MethodGet, "/metrics/prometheus", h.metricsPrometheus},
+		{http.MethodGet, "/cluster/partitions", h.clusterPartitions},
 	}
 	for _, rt := range routes {
 		mux.HandleFunc(rt.method+" /v1"+rt.path, rt.fn)
-		mux.HandleFunc(rt.method+" "+rt.path, legacyAlias(rt.fn))
 	}
-	// The job listing changed shape in v1 (cursor pagination over full job
-	// views); the legacy path keeps its original {"jobs": [ids]} payload.
-	mux.HandleFunc("GET /v1/jobs", h.listJobs)
-	mux.HandleFunc("GET /jobs", legacyAlias(h.listJobsLegacy))
-	// v1-only additions.
-	mux.HandleFunc("GET /v1/jobs/{id}/outcomes", h.listOutcomes)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", h.events)
-	mux.HandleFunc("GET /v1/metrics/prometheus", h.metricsPrometheus)
 	// Fallback for everything the typed routes miss. The method-less "/"
 	// pattern outranks the mux's built-in 405 handling, so wrong-method
 	// requests land here too: re-probe the mux per method to tell "no such
@@ -141,17 +149,6 @@ func allowedMethods(mux *http.ServeMux, r *http.Request) []string {
 		}
 	}
 	return allowed
-}
-
-// legacyAlias marks a pre-v1 route as deprecated while serving the identical
-// handler: the response carries Deprecation and a successor-version link so
-// clients can discover the /v1 twin mechanically.
-func legacyAlias(fn http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Deprecation", "true")
-		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", r.URL.Path))
-		fn(w, r)
-	}
 }
 
 type handler struct {
@@ -459,10 +456,6 @@ func (h *handler) createJob(w http.ResponseWriter, r *http.Request) {
 	h.writeJSONIdempotent(w, http.StatusCreated, jobView(job), &tok)
 }
 
-func (h *handler) listJobsLegacy(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string][]string{"jobs": h.ex.JobIDs()})
-}
-
 // listJobs serves the v1 paginated listing: jobs in lexical ID order,
 // ?cursor= the last ID of the previous page, ?limit= page size.
 func (h *handler) listJobs(w http.ResponseWriter, r *http.Request) {
@@ -492,10 +485,21 @@ func (h *handler) listJobs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (h *handler) jobStatus(w http.ResponseWriter, r *http.Request) {
-	job, ok := h.ex.Job(r.PathValue("id"))
+// resolveJob looks up a hosted job; on a miss it writes unknown_job — or
+// wrong_partition with the owner's URL when the cluster map places the job
+// on another replica — and returns ok=false.
+func (h *handler) resolveJob(w http.ResponseWriter, id string) (*Job, bool) {
+	job, ok := h.ex.Job(id)
 	if !ok {
-		writeErr(w, fmt.Errorf("%w: %q", ErrUnknownJob, r.PathValue("id")))
+		writeErr(w, h.ex.missingJob(id))
+		return nil, false
+	}
+	return job, true
+}
+
+func (h *handler) jobStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := h.resolveJob(w, r.PathValue("id"))
+	if !ok {
 		return
 	}
 	writeJSON(w, http.StatusOK, jobView(job))
@@ -558,9 +562,8 @@ func (h *handler) closeRound(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *handler) outcome(w http.ResponseWriter, r *http.Request) {
-	job, ok := h.ex.Job(r.PathValue("id"))
+	job, ok := h.resolveJob(w, r.PathValue("id"))
 	if !ok {
-		writeErr(w, fmt.Errorf("%w: %q", ErrUnknownJob, r.PathValue("id")))
 		return
 	}
 	q := r.URL.Query()
@@ -632,9 +635,8 @@ func (h *handler) outcome(w http.ResponseWriter, r *http.Request) {
 // numbers strictly greater than ?cursor=, oldest first. Failed rounds appear
 // with their error set so pages stay contiguous.
 func (h *handler) listOutcomes(w http.ResponseWriter, r *http.Request) {
-	job, ok := h.ex.Job(r.PathValue("id"))
+	job, ok := h.resolveJob(w, r.PathValue("id"))
 	if !ok {
-		writeErr(w, fmt.Errorf("%w: %q", ErrUnknownJob, r.PathValue("id")))
 		return
 	}
 	limit, err := parseLimit(r.URL.Query().Get("limit"), 100, 1000)
@@ -675,9 +677,8 @@ func (h *handler) listOutcomes(w http.ResponseWriter, r *http.Request) {
 // stream ends after job_closed, or when the subscriber falls too far behind
 // (reconnect to resume).
 func (h *handler) events(w http.ResponseWriter, r *http.Request) {
-	job, ok := h.ex.Job(r.PathValue("id"))
+	job, ok := h.resolveJob(w, r.PathValue("id"))
 	if !ok {
-		writeErr(w, fmt.Errorf("%w: %q", ErrUnknownJob, r.PathValue("id")))
 		return
 	}
 	flusher, ok := w.(http.Flusher)
@@ -779,9 +780,8 @@ type strategyResponse struct {
 const defaultStrategySamples = 33
 
 func (h *handler) strategy(w http.ResponseWriter, r *http.Request) {
-	job, ok := h.ex.Job(r.PathValue("id"))
+	job, ok := h.resolveJob(w, r.PathValue("id"))
 	if !ok {
-		writeErr(w, fmt.Errorf("%w: %q", ErrUnknownJob, r.PathValue("id")))
 		return
 	}
 	samples := defaultStrategySamples
@@ -841,6 +841,35 @@ func (h *handler) blacklistNode(w http.ResponseWriter, r *http.Request) {
 
 func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, h.ex.Metrics())
+}
+
+// clusterPartitionsResponse is the GET /v1/cluster/partitions payload: the
+// replica's current cluster map plus its own partition. Routers and SDKs
+// poll this (any replica serves the same map) and advance their local handle
+// when version increases.
+type clusterPartitionsResponse struct {
+	Version    int64               `json:"version"`
+	Local      string              `json:"local"`
+	Partitions []partition.Replica `json:"partitions"`
+}
+
+// clusterPartitions serves the replica's cluster map. An unpartitioned
+// exchange answers 404 not_found — the SDK treats that as "routing off".
+func (h *handler) clusterPartitions(w http.ResponseWriter, _ *http.Request) {
+	p := h.ex.Partition()
+	var m *partition.Map
+	if p != nil {
+		m = p.Map.Load()
+	}
+	if m == nil {
+		writeError(w, http.StatusNotFound, codeNotFound, "exchange is not partitioned")
+		return
+	}
+	writeJSON(w, http.StatusOK, clusterPartitionsResponse{
+		Version:    m.Version,
+		Local:      p.Local,
+		Partitions: m.Partitions,
+	})
 }
 
 // metricsPrometheus serves the same health counters in the Prometheus text
@@ -915,7 +944,10 @@ func parseLimit(s string, def, max int) (int, error) {
 
 // classify maps an exchange error onto its HTTP status and envelope code.
 func classify(err error) (status int, code string) {
+	var wp *WrongPartitionError
 	switch {
+	case errors.As(err, &wp):
+		return http.StatusMisdirectedRequest, codeWrongPartition
 	case errors.Is(err, ErrUnknownJob):
 		return http.StatusNotFound, codeUnknownJob
 	case errors.Is(err, ErrRoundPending):
@@ -974,6 +1006,12 @@ func writeErr(w http.ResponseWriter, err error) {
 	env := errorEnvelope{Code: code, Message: err.Error()}
 	if status == http.StatusGatewayTimeout {
 		env.RetryAfterMS = int64(time.Second / time.Millisecond)
+	}
+	var wp *WrongPartitionError
+	if errors.As(err, &wp) {
+		env.Partition = wp.Partition
+		env.ReplicaURL = wp.ReplicaURL
+		env.MapVersion = wp.MapVersion
 	}
 	writeJSON(w, status, env)
 }

@@ -57,7 +57,7 @@ func TestHTTPJobLifecycle(t *testing.T) {
 	srv, _ := httpFixture(t)
 
 	// Create a manual-mode job.
-	resp, body := postJSON(t, srv.URL+"/jobs", map[string]any{
+	resp, body := postJSON(t, srv.URL+"/v1/jobs", map[string]any{
 		"id":   "cv-task",
 		"rule": map[string]any{"kind": "additive", "alpha": []float64{0.5, 0.5}},
 		"k":    2,
@@ -72,7 +72,7 @@ func TestHTTPJobLifecycle(t *testing.T) {
 
 	// Submit five bids.
 	for i := 0; i < 5; i++ {
-		resp, body := postJSON(t, srv.URL+"/jobs/cv-task/bids", map[string]any{
+		resp, body := postJSON(t, srv.URL+"/v1/jobs/cv-task/bids", map[string]any{
 			"node_id":   i,
 			"qualities": []float64{0.2 * float64(i+1), 0.9 - 0.1*float64(i)},
 			"payment":   0.1,
@@ -84,7 +84,7 @@ func TestHTTPJobLifecycle(t *testing.T) {
 	}
 
 	// A duplicate bid conflicts.
-	resp, _ = postJSON(t, srv.URL+"/jobs/cv-task/bids", map[string]any{
+	resp, _ = postJSON(t, srv.URL+"/v1/jobs/cv-task/bids", map[string]any{
 		"node_id": 0, "qualities": []float64{0.1, 0.1}, "payment": 0.1,
 	})
 	if resp.StatusCode != http.StatusConflict {
@@ -92,20 +92,20 @@ func TestHTTPJobLifecycle(t *testing.T) {
 	}
 
 	// Close the round and read the outcome both ways.
-	resp, closeBody := postJSON(t, srv.URL+"/jobs/cv-task/close", nil)
+	resp, closeBody := postJSON(t, srv.URL+"/v1/jobs/cv-task/close", nil)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("close: status %d, body %v", resp.StatusCode, closeBody)
 	}
 	if n := closeBody["num_bids"].(float64); n != 5 {
 		t.Errorf("close outcome num_bids = %v, want 5", n)
 	}
-	resp, outBody := getJSON(t, srv.URL+"/jobs/cv-task/outcome?round=1")
+	resp, outBody := getJSON(t, srv.URL+"/v1/jobs/cv-task/outcome?round=1")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("outcome: status %d, body %v", resp.StatusCode, outBody)
 	}
 	// ?wait=1 with no round returns the latest completed round immediately —
 	// it must not block on the now-collecting round 2.
-	resp, waitBody := getJSON(t, srv.URL+"/jobs/cv-task/outcome?wait=1")
+	resp, waitBody := getJSON(t, srv.URL+"/v1/jobs/cv-task/outcome?wait=1")
 	if resp.StatusCode != http.StatusOK || waitBody["round"].(float64) != 1 {
 		t.Fatalf("wait latest: status %d, body %v", resp.StatusCode, waitBody)
 	}
@@ -115,17 +115,17 @@ func TestHTTPJobLifecycle(t *testing.T) {
 	}
 
 	// Status and job listing reflect the completed round.
-	_, status := getJSON(t, srv.URL+"/jobs/cv-task")
+	_, status := getJSON(t, srv.URL+"/v1/jobs/cv-task")
 	if status["round"].(float64) != 2 {
 		t.Errorf("job round = %v, want 2", status["round"])
 	}
-	_, list := getJSON(t, srv.URL+"/jobs")
-	if jobs := list["jobs"].([]any); len(jobs) != 1 || jobs[0] != "cv-task" {
+	_, list := getJSON(t, srv.URL+"/v1/jobs")
+	if jobs := list["jobs"].([]any); len(jobs) != 1 || jobs[0].(map[string]any)["id"] != "cv-task" {
 		t.Errorf("job list = %v", jobs)
 	}
 
 	// DELETE evicts the job: the listing empties and further reads 404.
-	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/cv-task", nil)
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/cv-task", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,17 +136,17 @@ func TestHTTPJobLifecycle(t *testing.T) {
 	if decodeBody(t, delResp); delResp.StatusCode != http.StatusOK {
 		t.Fatalf("delete job: status %d", delResp.StatusCode)
 	}
-	resp, _ = getJSON(t, srv.URL+"/jobs/cv-task")
+	resp, _ = getJSON(t, srv.URL+"/v1/jobs/cv-task")
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("status after delete: %d, want 404", resp.StatusCode)
 	}
-	_, list = getJSON(t, srv.URL+"/jobs")
+	_, list = getJSON(t, srv.URL+"/v1/jobs")
 	if jobs := list["jobs"].([]any); len(jobs) != 0 {
 		t.Errorf("job list after delete = %v, want empty", jobs)
 	}
 
 	// Metrics report the traffic.
-	_, metrics := getJSON(t, srv.URL+"/metrics")
+	_, metrics := getJSON(t, srv.URL+"/v1/metrics")
 	if metrics["rounds_total"].(float64) != 1 {
 		t.Errorf("rounds_total = %v, want 1", metrics["rounds_total"])
 	}
@@ -161,33 +161,33 @@ func TestHTTPJobLifecycle(t *testing.T) {
 func TestHTTPErrorMapping(t *testing.T) {
 	srv, ex := httpFixture(t)
 
-	resp, _ := getJSON(t, srv.URL+"/jobs/nope")
+	resp, _ := getJSON(t, srv.URL+"/v1/jobs/nope")
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown job status: %d, want 404", resp.StatusCode)
 	}
-	resp, _ = postJSON(t, srv.URL+"/jobs", map[string]any{
+	resp, _ = postJSON(t, srv.URL+"/v1/jobs", map[string]any{
 		"rule": map[string]any{"kind": "martian", "alpha": []float64{1}},
 		"k":    1,
 	})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad rule kind status: %d, want 400", resp.StatusCode)
 	}
-	resp, _ = postJSON(t, srv.URL+"/nodes/abc/blacklist", nil)
+	resp, _ = postJSON(t, srv.URL+"/v1/nodes/abc/blacklist", nil)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad node id status: %d, want 400", resp.StatusCode)
 	}
 	// A pending round is "not there yet", not a malformed request.
-	_, createBody := postJSON(t, srv.URL+"/jobs", map[string]any{
+	_, createBody := postJSON(t, srv.URL+"/v1/jobs", map[string]any{
 		"rule": map[string]any{"kind": "additive", "alpha": []float64{1, 1}},
 		"k":    1,
 	})
 	jobID := createBody["id"].(string)
-	resp, _ = getJSON(t, srv.URL+"/jobs/"+jobID+"/outcome?round=99")
+	resp, _ = getJSON(t, srv.URL+"/v1/jobs/"+jobID+"/outcome?round=99")
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("pending round status: %d, want 404", resp.StatusCode)
 	}
 	// A rejected bid must not register its node, even with meta attached.
-	resp, _ = postJSON(t, srv.URL+"/jobs/"+jobID+"/bids", map[string]any{
+	resp, _ = postJSON(t, srv.URL+"/v1/jobs/"+jobID+"/bids", map[string]any{
 		"node_id": 77, "qualities": []float64{0.5}, "payment": 0.1, "meta": "edge-77",
 	})
 	if resp.StatusCode != http.StatusBadRequest {
@@ -207,7 +207,7 @@ func TestHTTPMetaDoesNotBypassRegistration(t *testing.T) {
 		srv.Close()
 		ex.Close()
 	})
-	_, createBody := postJSON(t, srv.URL+"/jobs", map[string]any{
+	_, createBody := postJSON(t, srv.URL+"/v1/jobs", map[string]any{
 		"id":   "gated",
 		"rule": map[string]any{"kind": "additive", "alpha": []float64{1, 1}},
 		"k":    1,
@@ -215,7 +215,7 @@ func TestHTTPMetaDoesNotBypassRegistration(t *testing.T) {
 	if createBody["id"] != "gated" {
 		t.Fatalf("create job: %v", createBody)
 	}
-	resp, _ := postJSON(t, srv.URL+"/jobs/gated/bids", map[string]any{
+	resp, _ := postJSON(t, srv.URL+"/v1/jobs/gated/bids", map[string]any{
 		"node_id": 5, "qualities": []float64{0.5, 0.5}, "payment": 0.1,
 		"meta": "sneaky-self-registration",
 	})
@@ -232,7 +232,7 @@ func TestHTTPMetaDoesNotBypassRegistration(t *testing.T) {
 // the window behavior, and actually bound the retained history.
 func TestHTTPKeepOutcomesExposed(t *testing.T) {
 	srv, _ := httpFixture(t)
-	resp, body := postJSON(t, srv.URL+"/jobs", map[string]any{
+	resp, body := postJSON(t, srv.URL+"/v1/jobs", map[string]any{
 		"id":            "hist",
 		"rule":          map[string]any{"kind": "additive", "alpha": []float64{1, 1}},
 		"k":             1,
@@ -245,31 +245,31 @@ func TestHTTPKeepOutcomesExposed(t *testing.T) {
 	if body["keep_outcomes"].(float64) != 2 {
 		t.Fatalf("create response keep_outcomes = %v, want 2", body["keep_outcomes"])
 	}
-	_, view := getJSON(t, srv.URL+"/jobs/hist")
+	_, view := getJSON(t, srv.URL+"/v1/jobs/hist")
 	if view["keep_outcomes"].(float64) != 2 || view["min_bids"].(float64) != 2 || view["bid_window_ms"].(float64) != 0 {
 		t.Fatalf("job view = %v, want keep_outcomes 2, min_bids 2, bid_window_ms 0", view)
 	}
 	for round := 1; round <= 3; round++ {
 		for node := 0; node < 2; node++ {
-			if resp, body := postJSON(t, srv.URL+"/jobs/hist/bids", map[string]any{
+			if resp, body := postJSON(t, srv.URL+"/v1/jobs/hist/bids", map[string]any{
 				"node_id": node, "qualities": []float64{0.4, 0.4 + 0.1*float64(round)}, "payment": 0.1,
 			}); resp.StatusCode != http.StatusAccepted {
 				t.Fatalf("round %d bid: %d %v", round, resp.StatusCode, body)
 			}
 		}
-		if resp, body := postJSON(t, srv.URL+"/jobs/hist/close", nil); resp.StatusCode != http.StatusOK {
+		if resp, body := postJSON(t, srv.URL+"/v1/jobs/hist/close", nil); resp.StatusCode != http.StatusOK {
 			t.Fatalf("round %d close: %d %v", round, resp.StatusCode, body)
 		}
 	}
 	// With keep_outcomes=2, round 1 has aged out (410) and rounds 2-3 serve.
-	if resp, _ := getJSON(t, srv.URL+"/jobs/hist/outcome?round=1"); resp.StatusCode != http.StatusGone {
+	if resp, _ := getJSON(t, srv.URL+"/v1/jobs/hist/outcome?round=1"); resp.StatusCode != http.StatusGone {
 		t.Errorf("evicted round status: %d, want 410", resp.StatusCode)
 	}
-	if resp, _ := getJSON(t, srv.URL+"/jobs/hist/outcome?round=3"); resp.StatusCode != http.StatusOK {
+	if resp, _ := getJSON(t, srv.URL+"/v1/jobs/hist/outcome?round=3"); resp.StatusCode != http.StatusOK {
 		t.Errorf("retained round status: %d, want 200", resp.StatusCode)
 	}
 	// Unset keep_outcomes falls back to the server default.
-	_, defBody := postJSON(t, srv.URL+"/jobs", map[string]any{
+	_, defBody := postJSON(t, srv.URL+"/v1/jobs", map[string]any{
 		"rule": map[string]any{"kind": "additive", "alpha": []float64{1, 1}},
 		"k":    1,
 	})
@@ -280,19 +280,19 @@ func TestHTTPKeepOutcomesExposed(t *testing.T) {
 
 func TestHTTPBlacklistFlow(t *testing.T) {
 	srv, _ := httpFixture(t)
-	if _, body := postJSON(t, srv.URL+"/nodes", map[string]any{"node_id": 3, "meta": "edge-3"}); body["node_id"].(float64) != 3 {
+	if _, body := postJSON(t, srv.URL+"/v1/nodes", map[string]any{"node_id": 3, "meta": "edge-3"}); body["node_id"].(float64) != 3 {
 		t.Fatalf("register node body: %v", body)
 	}
-	resp, _ := postJSON(t, srv.URL+"/nodes/3/blacklist", nil)
+	resp, _ := postJSON(t, srv.URL+"/v1/nodes/3/blacklist", nil)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("blacklist status: %d", resp.StatusCode)
 	}
-	_, createBody := postJSON(t, srv.URL+"/jobs", map[string]any{
+	_, createBody := postJSON(t, srv.URL+"/v1/jobs", map[string]any{
 		"rule": map[string]any{"kind": "additive", "alpha": []float64{1, 1}},
 		"k":    1,
 	})
 	jobID := createBody["id"].(string)
-	resp, _ = postJSON(t, srv.URL+"/jobs/"+jobID+"/bids", map[string]any{
+	resp, _ = postJSON(t, srv.URL+"/v1/jobs/"+jobID+"/bids", map[string]any{
 		"node_id": 3, "qualities": []float64{0.5, 0.5}, "payment": 0.1,
 	})
 	if resp.StatusCode != http.StatusForbidden {

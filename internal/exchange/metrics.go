@@ -38,6 +38,11 @@ type Metrics struct {
 	snapshots    atomic.Int64
 	snapshotErrs atomic.Int64
 
+	// wrongPartition counts job-scoped requests refused because the cluster
+	// map places the job on another replica — sustained growth means a stale
+	// router or SDK map.
+	wrongPartition atomic.Int64
+
 	// latRing holds the last latWindow round latencies as float64 bit
 	// patterns. Writers claim a slot by incrementing latCount; a percentile
 	// scrape loads the slots without any lock, so a sample racing the copy
@@ -103,6 +108,9 @@ type Snapshot struct {
 	// (sealed segments plus the active tail). Both 0 in-memory.
 	WalSegmentCount int64 `json:"wal_segment_count"`
 	WalBytes        int64 `json:"wal_bytes"`
+	// WrongPartition counts requests refused with wrong_partition — jobs
+	// the cluster map assigns to a different replica. Stays 0 unpartitioned.
+	WrongPartition int64 `json:"wrong_partition"`
 	// FirehoseEvents counts events published into the event tap since a
 	// sink first attached; FirehoseDropped counts events sinks lost to
 	// ring overrun (all sinks, past and present).
@@ -134,6 +142,7 @@ func (m *Metrics) snapshot(nodes, activeJobs int) Snapshot {
 		BidsRejected:      m.bidsRejected.Load(),
 		WalSnapshots:      m.snapshots.Load(),
 		WalSnapshotErrors: m.snapshotErrs.Load(),
+		WrongPartition:    m.wrongPartition.Load(),
 	}
 	s.RoundsPerSec = float64(s.RoundsTotal) / elapsed
 	s.BidsPerSec = float64(s.BidsAccepted) / elapsed

@@ -1,0 +1,280 @@
+package exchange
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fmore/internal/auction"
+	"fmore/internal/partition"
+	"fmore/internal/promtext"
+)
+
+// twoPartitionMap builds a v1 map over p0/p1 with placeholder URLs (core
+// tests never dial them; ownership ignores URLs entirely).
+func twoPartitionMap(version int64) *partition.Map {
+	return &partition.Map{Version: version, Partitions: []partition.Replica{
+		{Partition: "p0", URL: "http://127.0.0.1:18780"},
+		{Partition: "p1", URL: "http://127.0.0.1:18781"},
+	}}
+}
+
+// jobOwnedBy finds a job ID the map assigns to the wanted partition.
+func jobOwnedBy(t *testing.T, m *partition.Map, want string) string {
+	t.Helper()
+	for i := 0; i < 4096; i++ {
+		id := fmt.Sprintf("pjob-%d", i)
+		if owner, ok := m.Owner(id); ok && owner.Partition == want {
+			return id
+		}
+	}
+	t.Fatalf("no job id hashes to partition %s", want)
+	return ""
+}
+
+// TestPartitionedCreateRejectsForeignJob: an explicit job ID belonging to
+// the other partition is refused at create time with the owner in the
+// error, while an owned ID and auto-assigned IDs land normally.
+func TestPartitionedCreateRejectsForeignJob(t *testing.T) {
+	m := twoPartitionMap(1)
+	ex := New(Options{Partition: &partition.Assignment{Local: "p0", Map: partition.NewHandle(m)}})
+	defer ex.Close()
+
+	foreign := jobOwnedBy(t, m, "p1")
+	_, err := ex.CreateJob(JobSpec{ID: foreign, Auction: auction.Config{Rule: testRule(t, 0), K: 2}})
+	var wp *WrongPartitionError
+	if !errors.As(err, &wp) {
+		t.Fatalf("foreign create err = %v, want WrongPartitionError", err)
+	}
+	if wp.Partition != "p1" || wp.ReplicaURL != "http://127.0.0.1:18781" || wp.MapVersion != 1 {
+		t.Fatalf("wrong-partition error detail = %+v", wp)
+	}
+
+	owned := jobOwnedBy(t, m, "p0")
+	if _, err := ex.CreateJob(JobSpec{ID: owned, Auction: auction.Config{Rule: testRule(t, 0), K: 2}}); err != nil {
+		t.Fatalf("owned create: %v", err)
+	}
+	// Auto-assigned IDs are drawn until one is owned locally.
+	for i := 0; i < 8; i++ {
+		j, err := ex.CreateJob(JobSpec{Auction: auction.Config{Rule: testRule(t, 0), K: 2}})
+		if err != nil {
+			t.Fatalf("auto create %d: %v", i, err)
+		}
+		if !m.Owns("p0", j.ID()) {
+			t.Fatalf("auto-assigned job %q is not owned by p0", j.ID())
+		}
+	}
+	if got := ex.Metrics().WrongPartition; got != 1 {
+		t.Errorf("wrong_partition counter = %d, want 1", got)
+	}
+}
+
+// TestPartitionedMissClassification pins host-based serving: a hosted job is
+// always served, a non-hosted job the map places elsewhere answers
+// wrong_partition, and a non-hosted job the map places here stays
+// unknown_job.
+func TestPartitionedMissClassification(t *testing.T) {
+	m := twoPartitionMap(1)
+	ex := New(Options{Partition: &partition.Assignment{Local: "p0", Map: partition.NewHandle(m)}})
+	defer ex.Close()
+
+	hosted := jobOwnedBy(t, m, "p0")
+	if _, err := ex.CreateJob(JobSpec{ID: hosted, Auction: auction.Config{Rule: testRule(t, 0), K: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	runRound(t, ex, hosted, 1)
+
+	foreign := jobOwnedBy(t, m, "p1")
+	var wp *WrongPartitionError
+	if _, err := ex.SubmitBid(foreign, auction.Bid{NodeID: 1, Qualities: []float64{0.5, 0.5}, Payment: 0.1}); !errors.As(err, &wp) {
+		t.Fatalf("foreign bid err = %v, want WrongPartitionError", err)
+	}
+	if _, err := ex.CloseRound(foreign); !errors.As(err, &wp) {
+		t.Fatalf("foreign close err = %v, want WrongPartitionError", err)
+	}
+
+	// Owned by p0 under the map but never created: plain unknown_job — a
+	// redirect would bounce the client between replicas forever.
+	ghost := ""
+	for i := 0; i < 4096; i++ {
+		id := fmt.Sprintf("ghost-%d", i)
+		if m.Owns("p0", id) {
+			ghost = id
+			break
+		}
+	}
+	if _, err := ex.CloseRound(ghost); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("ghost close err = %v, want ErrUnknownJob", err)
+	}
+}
+
+// TestPartitionedMapVersionBump: after a newer map moves a job's ownership,
+// the hosting replica keeps serving it (host-based reads — migration is
+// future work), and a replica that never hosted it reports the new owner at
+// the new version.
+func TestPartitionedMapVersionBump(t *testing.T) {
+	v1 := twoPartitionMap(1)
+	h0 := partition.NewHandle(v1)
+	ex0 := New(Options{Partition: &partition.Assignment{Local: "p0", Map: h0}})
+	defer ex0.Close()
+	h1 := partition.NewHandle(v1)
+	ex1 := New(Options{Partition: &partition.Assignment{Local: "p1", Map: h1}})
+	defer ex1.Close()
+
+	// v2 renames p0 to p2 served by a third replica. Pick a job owned by p0
+	// under v1 that lands on p2 under v2, so the bump demonstrably moves it.
+	v2 := &partition.Map{Version: 2, Partitions: []partition.Replica{
+		{Partition: "p2", URL: "http://127.0.0.1:18782"},
+		{Partition: "p1", URL: "http://127.0.0.1:18781"},
+	}}
+	job := ""
+	for i := 0; i < 4096; i++ {
+		id := fmt.Sprintf("pjob-%d", i)
+		if v1.Owns("p0", id) && v2.Owns("p2", id) {
+			job = id
+			break
+		}
+	}
+	if job == "" {
+		t.Fatal("no job id moves p0 -> p2 across the map bump")
+	}
+	if _, err := ex0.CreateJob(JobSpec{ID: job, Auction: auction.Config{Rule: testRule(t, 0), K: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if !h0.Advance(v2) || !h1.Advance(v2) {
+		t.Fatal("Advance rejected a newer map")
+	}
+
+	// The hosting replica still serves its job.
+	runRound(t, ex0, job, 1)
+
+	// A replica that never hosted it reports the v2 owner.
+	_, err := ex1.SubmitBid(job, auction.Bid{NodeID: 1, Qualities: []float64{0.5, 0.5}, Payment: 0.1})
+	var wp *WrongPartitionError
+	if !errors.As(err, &wp) {
+		t.Fatalf("post-bump bid err = %v, want WrongPartitionError", err)
+	}
+	if wp.Partition != "p2" || wp.MapVersion != 2 {
+		t.Fatalf("post-bump owner = %+v, want p2 at map v2", wp)
+	}
+}
+
+// TestPartitionedWALNamespaces: two replicas share one data dir parent; each
+// namespaces its WAL under replica-<partition>, so locks and segments never
+// collide and each recovers only its own jobs.
+func TestPartitionedWALNamespaces(t *testing.T) {
+	parent := t.TempDir()
+	m := twoPartitionMap(1)
+	open := func(local string) *Exchange {
+		t.Helper()
+		ex, err := Open(parent, Options{Partition: &partition.Assignment{Local: local, Map: partition.NewHandle(m)}})
+		if err != nil {
+			t.Fatalf("open %s: %v", local, err)
+		}
+		return ex
+	}
+	ex0, ex1 := open("p0"), open("p1")
+
+	job0, job1 := jobOwnedBy(t, m, "p0"), jobOwnedBy(t, m, "p1")
+	if _, err := ex0.CreateJob(JobSpec{ID: job0, Auction: auction.Config{Rule: testRule(t, 0), K: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex1.CreateJob(JobSpec{ID: job1, Auction: auction.Config{Rule: testRule(t, 0), K: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	runRound(t, ex0, job0, 1)
+	runRound(t, ex1, job1, 1)
+	ex0.Close()
+	ex1.Close()
+
+	for _, sub := range []string{"replica-p0", "replica-p1"} {
+		if st, err := os.Stat(filepath.Join(parent, sub)); err != nil || !st.IsDir() {
+			t.Fatalf("expected WAL namespace %s: %v", sub, err)
+		}
+	}
+
+	// Each replica recovers its own job and only its own job.
+	re0, re1 := open("p0"), open("p1")
+	defer re0.Close()
+	defer re1.Close()
+	if _, ok := re0.Job(job0); !ok {
+		t.Errorf("p0 lost %s across restart", job0)
+	}
+	if _, ok := re0.Job(job1); ok {
+		t.Errorf("p0 recovered p1's job %s", job1)
+	}
+	if _, ok := re1.Job(job1); !ok {
+		t.Errorf("p1 lost %s across restart", job1)
+	}
+}
+
+// TestPartitionHTTPSurface covers the wire contract: 421 wrong_partition
+// with the owner in the envelope, GET /v1/cluster/partitions, and the
+// partition entries in the Prometheus exposition (validated by promtext).
+func TestPartitionHTTPSurface(t *testing.T) {
+	m := twoPartitionMap(3)
+	ex := New(Options{Partition: &partition.Assignment{Local: "p0", Map: partition.NewHandle(m)}})
+	defer ex.Close()
+	srv := httptest.NewServer(NewHandler(ex))
+	defer srv.Close()
+
+	foreign := jobOwnedBy(t, m, "p1")
+	resp, body := postJSON(t, srv.URL+"/v1/jobs/"+foreign+"/bids", map[string]any{
+		"node_id": 1, "qualities": []float64{0.5, 0.5}, "payment": 0.1,
+	})
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("foreign bid status = %d body %v, want 421", resp.StatusCode, body)
+	}
+	if body["code"] != "wrong_partition" || body["partition"] != "p1" ||
+		body["replica_url"] != "http://127.0.0.1:18781" || body["map_version"].(float64) != 3 {
+		t.Fatalf("wrong_partition envelope = %v", body)
+	}
+
+	resp, body = getJSON(t, srv.URL+"/v1/cluster/partitions")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster partitions status = %d body %v", resp.StatusCode, body)
+	}
+	if body["version"].(float64) != 3 || body["local"] != "p0" || len(body["partitions"].([]any)) != 2 {
+		t.Fatalf("cluster partitions body = %v", body)
+	}
+
+	// An unpartitioned exchange 404s the endpoint (the SDK's routing-off
+	// signal) and never answers wrong_partition.
+	plain := New(Options{})
+	defer plain.Close()
+	psrv := httptest.NewServer(NewHandler(plain))
+	defer psrv.Close()
+	if resp, _ := getJSON(t, psrv.URL+"/v1/cluster/partitions"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unpartitioned cluster endpoint status = %d, want 404", resp.StatusCode)
+	}
+	if resp, body := getJSON(t, psrv.URL+"/v1/jobs/"+foreign); resp.StatusCode != http.StatusNotFound || body["code"] != "unknown_job" {
+		t.Fatalf("unpartitioned miss = %d %v, want 404 unknown_job", resp.StatusCode, body)
+	}
+
+	// Prometheus entries: info gauge with the partition label, map version,
+	// misroute counter — all through the validating parser.
+	var buf bytes.Buffer
+	if err := writePrometheus(&buf, ex); err != nil {
+		t.Fatal(err)
+	}
+	page, err := promtext.Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("partitioned exposition does not parse: %v\n%s", err, buf.String())
+	}
+	info := page.Families["fmore_exchange_partition_id"]
+	if info == nil || info.Type != "gauge" || len(info.Samples) != 1 ||
+		info.Samples[0].Labels["partition"] != "p0" || info.Samples[0].Value != 1 {
+		t.Fatalf("partition_id family = %+v", info)
+	}
+	if v, err := page.Value("fmore_exchange_partition_map_version"); err != nil || v != 3 {
+		t.Fatalf("partition_map_version = %v err %v, want 3", v, err)
+	}
+	if v, err := page.Value("fmore_exchange_wrong_partition_total"); err != nil || v != 1 {
+		t.Fatalf("wrong_partition_total = %v err %v, want 1", v, err)
+	}
+}

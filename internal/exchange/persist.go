@@ -927,6 +927,12 @@ func (ex *Exchange) applySnapshot(snap *walSnapshot) error {
 // crash mid-compaction are deleted. Timer-mode jobs resume their bid
 // windows once replay completes.
 func Open(dir string, opts Options) (*Exchange, error) {
+	// A partitioned replica namespaces its WAL under the data dir so N
+	// replicas can share one parent (one machine in tests, one volume in
+	// small deployments) without their logs or dir locks colliding.
+	if p := opts.Partition; p != nil && p.Local != "" {
+		dir = filepath.Join(dir, "replica-"+p.Local)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("exchange: creating data dir: %w", err)
 	}

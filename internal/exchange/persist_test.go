@@ -328,7 +328,7 @@ func TestHTTPOutcomesByteIdenticalAfterRestart(t *testing.T) {
 	srv := httptest.NewServer(NewHandler(ex))
 	defer srv.Close()
 
-	resp, body := postJSON(t, srv.URL+"/jobs", map[string]any{
+	resp, body := postJSON(t, srv.URL+"/v1/jobs", map[string]any{
 		"id":            "wire",
 		"rule":          map[string]any{"kind": "additive", "alpha": []float64{0.55, 0.45}},
 		"k":             3,
@@ -341,20 +341,20 @@ func TestHTTPOutcomesByteIdenticalAfterRestart(t *testing.T) {
 	}
 	for round := 1; round <= rounds; round++ {
 		for _, b := range testBids(3, round, 12) {
-			if resp, body := postJSON(t, srv.URL+"/jobs/wire/bids", map[string]any{
+			if resp, body := postJSON(t, srv.URL+"/v1/jobs/wire/bids", map[string]any{
 				"node_id": b.NodeID, "qualities": b.Qualities, "payment": b.Payment,
 			}); resp.StatusCode != http.StatusAccepted {
 				t.Fatalf("round %d bid: %d %v", round, resp.StatusCode, body)
 			}
 		}
-		if resp, body := postJSON(t, srv.URL+"/jobs/wire/close", nil); resp.StatusCode != http.StatusOK {
+		if resp, body := postJSON(t, srv.URL+"/v1/jobs/wire/close", nil); resp.StatusCode != http.StatusOK {
 			t.Fatalf("round %d close: %d %v", round, resp.StatusCode, body)
 		}
 	}
 
 	rawOutcome := func(base string, round int) []byte {
 		t.Helper()
-		resp, err := http.Get(fmt.Sprintf("%s/jobs/wire/outcome?round=%d", base, round))
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/wire/outcome?round=%d", base, round))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -390,7 +390,7 @@ func TestHTTPOutcomesByteIdenticalAfterRestart(t *testing.T) {
 		}
 	}
 	// The job view (spec fields included) survives too.
-	_, view := getJSON(t, srv2.URL+"/jobs/wire")
+	_, view := getJSON(t, srv2.URL+"/v1/jobs/wire")
 	if view["keep_outcomes"].(float64) != 16 || view["round"].(float64) != rounds+1 {
 		t.Errorf("job view after restart: %v", view)
 	}

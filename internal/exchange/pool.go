@@ -97,7 +97,25 @@ func (p *scorePool) worker() {
 // whole batch is done. scores must have len(bids) entries; batch is the
 // caller's reusable completion tracker. On a scoring error, the first error
 // is returned and the remaining entries of that chunk are undefined.
+//
+// Slates of at most one chunk are scored inline on the calling goroutine: a
+// single-chunk batch is one pool task executed serially by one worker
+// anyway, so the hand-off buys no parallelism — only channel transfer and a
+// worker wakeup (BenchmarkScorePool_SmallSlate measures the gap). The score
+// values, their order, and the round's rng draw sequence are identical on
+// both paths (TestScoreInlineEquivalence).
 func (p *scorePool) score(rule auction.ScoringRule, bids []auction.Bid, scores []float64, batch *batchState) error {
+	if len(bids) <= p.chunk {
+		for i := range bids {
+			b := &bids[i]
+			s, err := auction.Score(rule, b.Qualities, b.Payment)
+			if err != nil {
+				return err
+			}
+			scores[i] = s
+		}
+		return nil
+	}
 	batch.reset()
 	for off := 0; off < len(bids); off += p.chunk {
 		end := off + p.chunk

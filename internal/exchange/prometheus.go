@@ -44,6 +44,19 @@ func writePrometheus(w io.Writer, ex *Exchange) error {
 	gauge("wal_bytes", "Total bytes across live WAL segments (sealed plus active tail).", float64(s.WalBytes))
 	counter("firehose_events_total", "Events published into the firehose tap since a sink first attached.", s.FirehoseEvents)
 	counter("firehose_dropped_total", "Firehose events lost to ring overrun across all sinks.", s.FirehoseDropped)
+	// Partition metrics appear only on a partitioned replica: an info-style
+	// gauge carrying the partition as a label (constant 1, the idiomatic way
+	// to join other series onto topology), the map version, and the
+	// misroute counter.
+	if p := ex.Partition(); p != nil {
+		if m := p.Map.Load(); m != nil {
+			b.WriteString("# HELP fmore_exchange_partition_id Partition served by this replica (info-style: constant 1, partition in the label).\n")
+			b.WriteString("# TYPE fmore_exchange_partition_id gauge\n")
+			b.WriteString(`fmore_exchange_partition_id{partition="` + p.Local + `"} 1` + "\n")
+			gauge("partition_map_version", "Version of the cluster partition map this replica routes by.", float64(m.Version))
+			counter("wrong_partition_total", "Job-scoped requests refused because the map places the job on another replica.", s.WrongPartition)
+		}
+	}
 	gauge("round_latency_p50_seconds", "Median close-to-outcome latency over the sliding percentile window.", s.RoundLatencyP50Ms/1e3)
 	gauge("round_latency_p99_seconds", "99th-percentile close-to-outcome latency over the sliding percentile window.", s.RoundLatencyP99Ms/1e3)
 

@@ -83,7 +83,7 @@ func TestCreateJobRejectsBadEquilibriumSpec(t *testing.T) {
 func TestHTTPStrategyEndpoint(t *testing.T) {
 	srv, _ := httpFixture(t)
 
-	resp, body := postJSON(t, srv.URL+"/jobs", map[string]any{
+	resp, body := postJSON(t, srv.URL+"/v1/jobs", map[string]any{
 		"id":   "fl-mnist",
 		"rule": map[string]any{"kind": "cobb-douglas", "alpha": []float64{1, 1}, "scale": 25},
 		"k":    5,
@@ -102,7 +102,7 @@ func TestHTTPStrategyEndpoint(t *testing.T) {
 		t.Fatalf("job view should advertise the strategy endpoint: %v", body)
 	}
 
-	resp, body = getJSON(t, srv.URL+"/jobs/fl-mnist/strategy?samples=17")
+	resp, body = getJSON(t, srv.URL+"/v1/jobs/fl-mnist/strategy?samples=17")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("strategy: status %d, body %v", resp.StatusCode, body)
 	}
@@ -122,13 +122,13 @@ func TestHTTPStrategyEndpoint(t *testing.T) {
 	}
 
 	// Bad sample counts are rejected.
-	resp, _ = getJSON(t, srv.URL+"/jobs/fl-mnist/strategy?samples=1")
+	resp, _ = getJSON(t, srv.URL+"/v1/jobs/fl-mnist/strategy?samples=1")
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("samples=1 should 400, got %d", resp.StatusCode)
 	}
 
 	// A job without an equilibrium spec answers 404.
-	resp, body = postJSON(t, srv.URL+"/jobs", map[string]any{
+	resp, body = postJSON(t, srv.URL+"/v1/jobs", map[string]any{
 		"id":   "no-game",
 		"rule": map[string]any{"kind": "additive", "alpha": []float64{0.5, 0.5}},
 		"k":    2,
@@ -136,7 +136,7 @@ func TestHTTPStrategyEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("create plain job: status %d body %v", resp.StatusCode, body)
 	}
-	resp, _ = getJSON(t, srv.URL+"/jobs/no-game/strategy")
+	resp, _ = getJSON(t, srv.URL+"/v1/jobs/no-game/strategy")
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("strategy without spec should 404, got %d", resp.StatusCode)
 	}
@@ -182,7 +182,7 @@ func TestStrategySpecSurvivesRecovery(t *testing.T) {
 func TestHTTPOutcomeReportsEveryScore(t *testing.T) {
 	srv, _ := httpFixture(t)
 
-	resp, body := postJSON(t, srv.URL+"/jobs", map[string]any{
+	resp, body := postJSON(t, srv.URL+"/v1/jobs", map[string]any{
 		"id":   "scored",
 		"rule": map[string]any{"kind": "additive", "alpha": []float64{0.5, 0.5}},
 		"k":    3,
@@ -193,7 +193,7 @@ func TestHTTPOutcomeReportsEveryScore(t *testing.T) {
 	}
 	const bidders = 24
 	for i := 0; i < bidders; i++ {
-		resp, body := postJSON(t, srv.URL+"/jobs/scored/bids", map[string]any{
+		resp, body := postJSON(t, srv.URL+"/v1/jobs/scored/bids", map[string]any{
 			"node_id":   i,
 			"qualities": []float64{float64(i) / bidders, 1 - float64(i)/bidders},
 			"payment":   0.1,
@@ -202,7 +202,7 @@ func TestHTTPOutcomeReportsEveryScore(t *testing.T) {
 			t.Fatalf("bid %d: status %d, body %v", i, resp.StatusCode, body)
 		}
 	}
-	resp, body = postJSON(t, srv.URL+"/jobs/scored/close", nil)
+	resp, body = postJSON(t, srv.URL+"/v1/jobs/scored/close", nil)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("close: status %d, body %v", resp.StatusCode, body)
 	}
@@ -215,7 +215,7 @@ func TestHTTPOutcomeReportsEveryScore(t *testing.T) {
 		t.Fatalf("outcome scores cover %d of %d bidders: %v", len(scores), bidders, body["scores"])
 	}
 
-	resp, body = getJSON(t, srv.URL+"/jobs/scored/outcome?round=1")
+	resp, body = getJSON(t, srv.URL+"/v1/jobs/scored/outcome?round=1")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("outcome: status %d, body %v", resp.StatusCode, body)
 	}

@@ -16,6 +16,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"fmore/internal/partition"
 )
 
 // Client is a typed client for the exchange's /v1 API. All methods are safe
@@ -25,6 +27,9 @@ type Client struct {
 	hc      *http.Client
 	retries int
 	backoff time.Duration
+	// routes holds the cluster partition map once EnableRouting fetched one;
+	// with no map every request goes to base.
+	routes partition.Handle
 }
 
 // Option customizes a Client.
@@ -94,6 +99,7 @@ func (c *Client) CreateJob(ctx context.Context, spec JobSpec) (Job, error) {
 		headers: map[string]string{"Idempotency-Key": key},
 		out:     &job,
 		retry:   true,
+		job:     spec.ID,
 	})
 	return job, err
 }
@@ -101,7 +107,7 @@ func (c *Client) CreateJob(ctx context.Context, spec JobSpec) (Job, error) {
 // Job fetches one job's status.
 func (c *Client) Job(ctx context.Context, jobID string) (Job, error) {
 	var job Job
-	err := c.do(ctx, request{method: http.MethodGet, path: "/v1/jobs/" + url.PathEscape(jobID), out: &job, retry: true})
+	err := c.do(ctx, request{method: http.MethodGet, path: "/v1/jobs/" + url.PathEscape(jobID), out: &job, retry: true, job: jobID})
 	return job, err
 }
 
@@ -131,7 +137,7 @@ func (c *Client) Jobs(ctx context.Context) ([]Job, error) {
 
 // RemoveJob closes the job and evicts it from the exchange.
 func (c *Client) RemoveJob(ctx context.Context, jobID string) error {
-	return c.do(ctx, request{method: http.MethodDelete, path: "/v1/jobs/" + url.PathEscape(jobID)})
+	return c.do(ctx, request{method: http.MethodDelete, path: "/v1/jobs/" + url.PathEscape(jobID), job: jobID})
 }
 
 // SubmitBid submits one sealed bid into the job's collecting round and
@@ -149,6 +155,7 @@ func (c *Client) SubmitBid(ctx context.Context, jobID string, bid Bid) (round in
 		headers: map[string]string{"Idempotency-Key": newIdempotencyKey()},
 		out:     &resp,
 		retry:   true,
+		job:     jobID,
 	})
 	return resp.Round, err
 }
@@ -158,7 +165,7 @@ func (c *Client) SubmitBid(ctx context.Context, jobID string, bid Bid) (round in
 // the next round too).
 func (c *Client) CloseRound(ctx context.Context, jobID string) (Outcome, error) {
 	var out Outcome
-	err := c.do(ctx, request{method: http.MethodPost, path: "/v1/jobs/" + url.PathEscape(jobID) + "/close", out: &out})
+	err := c.do(ctx, request{method: http.MethodPost, path: "/v1/jobs/" + url.PathEscape(jobID) + "/close", out: &out, job: jobID})
 	return out, err
 }
 
@@ -166,14 +173,14 @@ func (c *Client) CloseRound(ctx context.Context, jobID string) (Outcome, error) 
 func (c *Client) Outcome(ctx context.Context, jobID string, round int) (Outcome, error) {
 	q := url.Values{"round": {strconv.Itoa(round)}}
 	var out Outcome
-	err := c.do(ctx, request{method: http.MethodGet, path: "/v1/jobs/" + url.PathEscape(jobID) + "/outcome", query: q, out: &out, retry: true})
+	err := c.do(ctx, request{method: http.MethodGet, path: "/v1/jobs/" + url.PathEscape(jobID) + "/outcome", query: q, out: &out, retry: true, job: jobID})
 	return out, err
 }
 
 // LatestOutcome fetches the most recent completed round without blocking.
 func (c *Client) LatestOutcome(ctx context.Context, jobID string) (Outcome, error) {
 	var out Outcome
-	err := c.do(ctx, request{method: http.MethodGet, path: "/v1/jobs/" + url.PathEscape(jobID) + "/outcome", out: &out, retry: true})
+	err := c.do(ctx, request{method: http.MethodGet, path: "/v1/jobs/" + url.PathEscape(jobID) + "/outcome", out: &out, retry: true, job: jobID})
 	return out, err
 }
 
@@ -187,7 +194,7 @@ func (c *Client) WaitOutcome(ctx context.Context, jobID string, round int) (Outc
 	}
 	for {
 		var out Outcome
-		err := c.do(ctx, request{method: http.MethodGet, path: "/v1/jobs/" + url.PathEscape(jobID) + "/outcome", query: q, out: &out, retry: true})
+		err := c.do(ctx, request{method: http.MethodGet, path: "/v1/jobs/" + url.PathEscape(jobID) + "/outcome", query: q, out: &out, retry: true, job: jobID})
 		if err == nil {
 			return out, nil
 		}
@@ -218,7 +225,7 @@ func (c *Client) Outcomes(ctx context.Context, jobID string, afterRound, limit i
 		Outcomes   []Outcome `json:"outcomes"`
 		NextCursor string    `json:"next_cursor"`
 	}
-	err = c.do(ctx, request{method: http.MethodGet, path: "/v1/jobs/" + url.PathEscape(jobID) + "/outcomes", query: q, out: &resp, retry: true})
+	err = c.do(ctx, request{method: http.MethodGet, path: "/v1/jobs/" + url.PathEscape(jobID) + "/outcomes", query: q, out: &resp, retry: true, job: jobID})
 	return resp.Outcomes, resp.NextCursor != "", err
 }
 
@@ -245,7 +252,7 @@ func (c *Client) Strategy(ctx context.Context, jobID string, samples int) (*Stra
 		q.Set("samples", strconv.Itoa(samples))
 	}
 	var s Strategy
-	if err := c.do(ctx, request{method: http.MethodGet, path: "/v1/jobs/" + url.PathEscape(jobID) + "/strategy", query: q, out: &s, retry: true}); err != nil {
+	if err := c.do(ctx, request{method: http.MethodGet, path: "/v1/jobs/" + url.PathEscape(jobID) + "/strategy", query: q, out: &s, retry: true, job: jobID}); err != nil {
 		return nil, err
 	}
 	return &s, nil
@@ -271,7 +278,7 @@ func (c *Client) PrometheusMetrics(ctx context.Context) (string, error) {
 // the analytics wrapper handler; a bare exchange answers 404.
 func (c *Client) JobStats(ctx context.Context, jobID string) (JobStats, error) {
 	var st JobStats
-	err := c.do(ctx, request{method: http.MethodGet, path: "/v1/jobs/" + url.PathEscape(jobID) + "/stats", out: &st, retry: true})
+	err := c.do(ctx, request{method: http.MethodGet, path: "/v1/jobs/" + url.PathEscape(jobID) + "/stats", out: &st, retry: true, job: jobID})
 	return st, err
 }
 
@@ -299,10 +306,18 @@ type request struct {
 	// retry marks the request safe to re-issue after a transient failure
 	// (GETs, and POSTs carrying an idempotency key).
 	retry bool
+	// job scopes the request to one job for SDK-side routing: with a
+	// partition map loaded, the request goes directly to the owning replica.
+	job string
 }
 
 // do executes one API request with context-aware retries and jittered
-// exponential backoff on transient failures.
+// exponential backoff on transient failures. With routing enabled,
+// job-scoped requests go directly to the owning replica; a wrong_partition
+// answer re-aims at the replica the envelope names (once, immediately,
+// refreshing the map on the way — safe even for non-idempotent requests,
+// since the refusing replica executed nothing), and a replica that is
+// unreachable falls back through the client's base URL.
 func (c *Client) do(ctx context.Context, req request) error {
 	var bodyBytes []byte
 	if req.body != nil {
@@ -311,20 +326,28 @@ func (c *Client) do(ctx context.Context, req request) error {
 			return fmt.Errorf("client: encoding request: %w", err)
 		}
 	}
-	u := c.base + req.path
-	if len(req.query) > 0 {
-		u += "?" + req.query.Encode()
-	}
 	maxAttempts := 1
 	if req.retry {
 		maxAttempts += c.retries
 	}
+	// pinned overrides per-attempt base selection after a redirect or
+	// fallback; redirected caps wrong_partition re-aims at one per call.
+	pinned := ""
+	redirected := false
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		if attempt > 0 {
 			if err := sleepBackoff(ctx, c.backoff, attempt-1); err != nil {
 				return lastErr
 			}
+		}
+		base := pinned
+		if base == "" {
+			base = c.routedBase(req.job)
+		}
+		u := base + req.path
+		if len(req.query) > 0 {
+			u += "?" + req.query.Encode()
 		}
 		hr, err := http.NewRequestWithContext(ctx, req.method, u, bytes.NewReader(bodyBytes))
 		if err != nil {
@@ -341,6 +364,11 @@ func (c *Client) do(ctx context.Context, req request) error {
 			lastErr = fmt.Errorf("client: %s %s: %w", req.method, req.path, err)
 			if ctx.Err() != nil {
 				return lastErr
+			}
+			if base != c.base {
+				// The owning replica is unreachable; retries go through the
+				// client's own base (typically the router).
+				pinned = c.base
 			}
 			continue
 		}
@@ -368,6 +396,16 @@ func (c *Client) do(ctx context.Context, req request) error {
 		}
 		apiErr := decodeAPIError(resp)
 		lastErr = apiErr
+		if apiErr.Code == CodeWrongPartition && apiErr.ReplicaURL != "" && !redirected {
+			// The replica refused without executing anything, so one
+			// immediate re-aim is safe regardless of req.retry. Refresh the
+			// map (best effort) so future calls route directly.
+			redirected = true
+			pinned = strings.TrimRight(apiErr.ReplicaURL, "/")
+			_ = c.RefreshPartitions(ctx)
+			attempt--
+			continue
+		}
 		if !transientStatus(resp.StatusCode) {
 			return apiErr
 		}
@@ -416,12 +454,18 @@ func decodeAPIError(resp *http.Response) *APIError {
 		Code         string `json:"code"`
 		Message      string `json:"message"`
 		RetryAfterMS int64  `json:"retry_after_ms"`
+		Partition    string `json:"partition"`
+		ReplicaURL   string `json:"replica_url"`
+		MapVersion   int64  `json:"map_version"`
 	}
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
 	if err := json.Unmarshal(raw, &env); err == nil && env.Code != "" {
 		ae.Code = env.Code
 		ae.Message = env.Message
 		ae.RetryAfter = time.Duration(env.RetryAfterMS) * time.Millisecond
+		ae.Partition = env.Partition
+		ae.ReplicaURL = env.ReplicaURL
+		ae.MapVersion = env.MapVersion
 		return ae
 	}
 	ae.Message = strings.TrimSpace(string(raw))

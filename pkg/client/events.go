@@ -123,7 +123,7 @@ func (c *Client) WatchRounds(ctx context.Context, jobID string, opts WatchOption
 
 // connectEvents opens one SSE connection resuming after lastRound.
 func (c *Client) connectEvents(ctx context.Context, jobID string, lastRound int) (io.ReadCloser, error) {
-	u := c.base + "/v1/jobs/" + url.PathEscape(jobID) + "/events"
+	u := c.routedBase(jobID) + "/v1/jobs/" + url.PathEscape(jobID) + "/events"
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return nil, fmt.Errorf("client: building events request: %w", err)

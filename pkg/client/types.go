@@ -40,6 +40,10 @@ const (
 	CodeNotRegistered  = "not_registered"
 	CodeBlacklisted    = "blacklisted"
 	CodeTimeout        = "timeout"
+	// CodeWrongPartition (421) means the replica does not own the job; the
+	// APIError's ReplicaURL names the owner. The client handles it
+	// transparently — see EnableRouting — so callers rarely observe it.
+	CodeWrongPartition = "wrong_partition"
 )
 
 // APIError is a non-2xx response decoded from the uniform v1 error envelope
@@ -53,6 +57,12 @@ type APIError struct {
 	Message string
 	// RetryAfter is the server's suggested retry delay, when it sent one.
 	RetryAfter time.Duration
+	// Partition, ReplicaURL and MapVersion are set on wrong_partition
+	// responses: the owning partition, its replica's base URL, and the map
+	// version behind the verdict.
+	Partition  string
+	ReplicaURL string
+	MapVersion int64
 }
 
 // Error implements the error interface.
