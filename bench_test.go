@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -300,6 +301,10 @@ func benchmarkExchangeRunAuction(b *testing.B, jobs int, durable, tapped bool) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(jobs*bidders), "bids/round")
+	// GOMAXPROCS rides along on every row: -cpu multiplies the stripe
+	// count and scheduler pressure, so rows are only comparable at the
+	// same value (BENCH.md records it with each number).
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 	snap := ex.Metrics()
 	b.ReportMetric(snap.RoundLatencyP99Ms, "p99-close-ms")
 }
@@ -461,6 +466,8 @@ func benchmarkSubmitBids(b *testing.B, submit func(jobID string, bid auction.Bid
 	workers.Wait()
 	totalBids := float64(submitBenchBidders * submitBenchBidsPerBidder)
 	b.ReportMetric(totalBids*float64(b.N)/b.Elapsed().Seconds(), "bids/sec")
+	// See benchmarkExchangeRunAuction: rows only compare at equal -cpu.
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 }
 
 // BenchmarkExchange_SubmitBids_Parallel is the real exchange path: 64

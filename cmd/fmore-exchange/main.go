@@ -35,8 +35,21 @@
 // ones, so replay time and disk usage stay bounded by live state instead of
 // total rounds served. Without the flag the exchange is in-memory only.
 //
+// The durability/latency tradeoff is tunable without recompiling:
+// -sync-interval (default 2ms) bounds how long the log writer coalesces
+// records before an fsync when nothing is waiting on durability — the
+// crash-loss window is at most that hold plus one fsync — and -commit
+// picks the group-commit policy: "adaptive" (default) commits the moment
+// the writer's queue drains once a durability waiter is pending, so a
+// waiter never idles out the hold while records racing in behind it still
+// share its fsync; "fixed" always holds the full -sync-interval,
+// minimizing flush count at the cost of commit latency. The achieved
+// batching is observable as wal_fsync_total vs wal_fsync_batched_records
+// in the metric catalog.
+//
 // -pprof-addr (off by default) serves net/http/pprof on a separate
-// listener for live profiling.
+// listener for live profiling; while it is up, mutex contention is
+// sampled (1 in 100) so /debug/pprof/mutex has data for lock hunts.
 //
 // The supported Go surface is the pkg/client SDK; the raw API quickstart
 // below shows the wire shapes. Create a job, bid, read the outcome:
@@ -102,6 +115,7 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registered on the DefaultServeMux served at -pprof-addr
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -121,6 +135,10 @@ func main() {
 		"WAL segment size that triggers snapshot + log rotation (0 = default 8 MiB, negative disables)")
 	snapshotInterval := flag.Duration("snapshot-interval", 0,
 		"additionally snapshot + rotate the WAL on this period (0 = size trigger only)")
+	syncInterval := flag.Duration("sync-interval", 0,
+		"WAL group-commit hold: how long the log writer coalesces records before each fsync when no Sync waiter is pending (0 = default 2ms); the crash-loss window is bounded by this plus one fsync")
+	commitPolicy := flag.String("commit", "adaptive",
+		`WAL group-commit policy: "adaptive" (default; commit as soon as the writer's queue drains once a durability waiter is pending) or "fixed" (always hold each commit open for the full -sync-interval)`)
 	pprofAddr := flag.String("pprof-addr", "",
 		"serve net/http/pprof on this address (empty = disabled); keep it loopback-only in production")
 	analyticsWindow := flag.Duration("analytics-window", 0,
@@ -136,6 +154,15 @@ func main() {
 		RequireRegistration: *requireReg,
 		SnapshotBytes:       *snapshotBytes,
 		SnapshotInterval:    *snapshotInterval,
+		SyncInterval:        *syncInterval,
+	}
+	switch *commitPolicy {
+	case "adaptive":
+		opts.Commit = exchange.CommitAdaptive
+	case "fixed":
+		opts.Commit = exchange.CommitFixed
+	default:
+		log.Fatalf(`-commit must be "adaptive" or "fixed", got %q`, *commitPolicy)
 	}
 	if (*partitionID == "") != (*partitionMap == "") {
 		log.Fatal("-partition and -partition-map must be set together")
@@ -154,6 +181,13 @@ func main() {
 		// The profiling surface stays off the service mux (and off by
 		// default): exposing goroutine dumps and heap profiles next to the
 		// public API would be an operational footgun.
+		//
+		// Mutex profiling is sampled only while the pprof listener is up:
+		// /debug/pprof/mutex is where the next lock hunt starts, and the
+		// 1-in-100 sampling costs a contended path a counter update at
+		// worst — nothing when contention is rare, which is the hypothesis
+		// the profile exists to check.
+		runtime.SetMutexProfileFraction(100)
 		go func() {
 			log.Printf("pprof listening on %s", *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {

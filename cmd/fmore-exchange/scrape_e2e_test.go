@@ -87,6 +87,8 @@ func TestE2EPrometheusScrape(t *testing.T) {
 		"fmore_exchange_jobs_active",
 		"fmore_exchange_wal_segment_count",
 		"fmore_exchange_wal_bytes",
+		"fmore_exchange_wal_fsync_total",
+		"fmore_exchange_wal_fsync_batched_records",
 		"fmore_exchange_firehose_events_total",
 		"fmore_exchange_round_latency_seconds",
 	} {
@@ -97,9 +99,31 @@ func TestE2EPrometheusScrape(t *testing.T) {
 	if v, err := first.Value("fmore_exchange_rounds_total"); err != nil || v != 1 {
 		t.Fatalf("rounds_total = %v, %v; want 1", v, err)
 	}
-	// The binary runs durably (-data-dir): the WAL gauges must be live.
+	// The binary runs durably (-data-dir): the WAL gauges must be live, and
+	// the round's records must have hit disk through at least one group
+	// commit settling at least as many records as commits.
 	if v, err := first.Value("fmore_exchange_wal_segment_count"); err != nil || v != 1 {
 		t.Fatalf("wal_segment_count = %v, %v; want 1", v, err)
+	}
+	// The group-commit hold (default 2ms) may still be open when the first
+	// scrape lands, so poll briefly for the commit instead of racing it.
+	fsyncDeadline := time.Now().Add(5 * time.Second)
+	for {
+		page := scrape()
+		fsyncs, err := page.Value("fmore_exchange_wal_fsync_total")
+		if err != nil {
+			t.Fatalf("wal_fsync_total: %v", err)
+		}
+		if fsyncs >= 1 {
+			if v, err := page.Value("fmore_exchange_wal_fsync_batched_records"); err != nil || v < fsyncs {
+				t.Fatalf("wal_fsync_batched_records = %v, %v; want >= wal_fsync_total (%v)", v, err, fsyncs)
+			}
+			break
+		}
+		if time.Now().After(fsyncDeadline) {
+			t.Fatal("wal_fsync_total stayed 0 after a durable round")
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 
 	runRound(2)

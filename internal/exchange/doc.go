@@ -6,9 +6,34 @@
 // The single-job auctioneer of internal/auction (Algorithm 1) scores one
 // round synchronously; the exchange scales that engine to service shape.
 //
-// # Concurrency: the striped intake and the round close
+// # Concurrency: the epoch-published job table, striped intake, round close
 //
-// The hot path is bid ingestion, and it never touches a job-wide lock:
+// The first step of every request is resolving a job ID, and it takes no
+// lock at all. The exchange's job set lives in an immutable table (jobs
+// map plus sorted ID list) published behind an atomic pointer:
+//
+//   - Readers — every submit, outcome read, SSE attach, stats lookup,
+//     metrics scrape and the partition miss-check — load the pointer once
+//     and index the map. The map behind a published table is never mutated
+//     again, so a reader can hold it across arbitrary work; a *Job
+//     resolved from any table stays valid even after a concurrent removal
+//     evicts it (removal closes the job, it does not free it).
+//   - Writers — CreateJob, RemoveJob, Close and WAL replay — are rare.
+//     They serialize on ex.mu, copy the current map, mutate the copy and
+//     publish a new table tagged with the next epoch (a monotone publish
+//     generation; one bump per publish, useful to tests and debuggers).
+//     ex.mu guards exactly this mutate-and-republish plus the closed flag
+//     — it is never taken to read, and round closes never touch it.
+//   - The atomic store is the release barrier: CreateJob finishes every
+//     job field (spec, auctioneer, loop bookkeeping) and appends the WAL
+//     created-record before the store, so a job visible to a lock-free
+//     reader is always fully constructed and durable-ordered. RemoveJob
+//     drains the job first (close, loop exit, the closeMu barrier below),
+//     so an in-flight round close lands its record before the removal
+//     record and replay never meets an outcome for a deleted job.
+//
+// Past the resolve, the hot path is bid ingestion, and it never touches a
+// job-wide lock either:
 //
 //   - Each Job fronts its bid collection with P intake shards (next power
 //     of two ≥ GOMAXPROCS, Options.IntakeShards to override). A node hashes
@@ -64,13 +89,28 @@
 //
 //	uint32 LE payload length | uint32 LE CRC-32 (IEEE) | payload JSON
 //
-// and appended by a dedicated writer goroutine that group-commits: records
-// arriving within the coalescing window (Options.SyncInterval, default 2ms)
-// share one fsync. closeRound hands the record to a channel and never waits
-// on disk (the frame is encoded before the hand-off, so the close path's
-// record scratch is reusable immediately). Sync flushes on demand; Close
-// flushes on shutdown. A kill -9 can lose at most the unflushed window —
-// never tear what a prior fsync wrote.
+// and appended by a dedicated writer goroutine that group-commits.
+// closeRound hands the record to a channel and never waits on disk (the
+// frame is encoded before the hand-off, so the close path's record scratch
+// is reusable immediately); the writer coalesces queued frames into one
+// write syscall and settles them with fdatasync (data plus size, not
+// timestamps — preallocation below keeps the size metadata stable anyway;
+// plain Sync off Linux). Two commit policies (Options.Commit):
+//
+//   - CommitAdaptive (default): while nothing is waiting on durability the
+//     writer holds the commit for up to Options.SyncInterval (default 2ms)
+//     — the hold delays nobody, since appends are fire-and-forget, and is
+//     the crash-loss cap. The moment a Sync/Close waiter is pending it
+//     commits as soon as the queue drains, absorbing records that raced in
+//     behind the waiter into the same fsync instead of idling out the
+//     window.
+//   - CommitFixed: always hold the full window. Fewest fsyncs, but a
+//     durability waiter eats the whole window as latency.
+//
+// wal_fsync_total counts the commits and wal_fsync_batched_records the
+// records they settled; their ratio is the achieved batch size. Sync
+// flushes on demand; Close flushes on shutdown. A kill -9 can lose at most
+// the unflushed window — never tear what a prior fsync wrote.
 //
 // # Snapshot + rotation (log compaction)
 //
@@ -84,20 +124,35 @@
 // cumulative rng draw counts, the KeepOutcomes-bounded outcome history
 // verbatim, and the registry with per-node bid counters, meta and bans.
 //
-// The protocol, in crash-safe order: (1) create and fsync the next
-// segment; (2) stop the world (the jobs mutex plus every job's closeMu —
-// node records may still race, but replaying one is idempotent) and
-// enqueue the rotation through the writer's own channel, making the cut
-// exactly the enqueue order; (3) the writer fsyncs and retires the old
-// segment before touching the new one; (4) the snapshot commits via
-// write-temp/fsync/rename; (5) old segments are deleted. A kill between
-// any two steps leaves either the previous snapshot (or none) with every
-// segment it needs, or the new snapshot with its tail; Open replays
-// snapshot + tail bit-for-bit identically to a full-log replay — retained
-// outcome responses are byte-identical and post-recovery rounds draw the
-// same tiebreak and ψ-admission sequence — and deletes whatever garbage
-// the crash left (covered segments, torn temp files). A torn tail in the
-// active segment is truncated, exactly as before rotation existed.
+// The protocol, in crash-safe order: (1) create, preallocate and fsync
+// the next segment; (2) stop the world (the jobs mutex plus every job's
+// closeMu — node records may still race, but replaying one is idempotent)
+// and enqueue the rotation through the writer's own channel, making the
+// cut exactly the enqueue order; (3) the writer fsyncs the old segment,
+// trims its preallocated slack and retires it before touching the new
+// one; (4) the snapshot commits via write-temp/fsync/rename; (5) old
+// segments are deleted. A kill between any two steps leaves either the
+// previous snapshot (or none) with every segment it needs, or the new
+// snapshot with its tail; Open replays snapshot + tail bit-for-bit
+// identically to a full-log replay — retained outcome responses are
+// byte-identical and post-recovery rounds draw the same tiebreak and
+// ψ-admission sequence — and deletes whatever garbage the crash left
+// (covered segments, torn temp files). A torn tail in the active segment
+// is truncated, exactly as before rotation existed.
+//
+// Segments are preallocated to the rotation threshold (Options.
+// SnapshotBytes, or its default when unset/disabled) at creation —
+// fallocate where available, truncate-extend elsewhere — so steady-state
+// appends never extend the file and each fdatasync settles data blocks
+// without an allocating size update. The reservation is trimmed back to
+// the logical size when a segment rotates or the exchange closes cleanly;
+// only a kill -9 leaves zero-fill on disk, and recovery knows the
+// difference between reservation and damage: a run of zeroes past the
+// last whole record (in the tail, or in a just-created successor segment)
+// is clean end-of-log — truncated on reopen, never treated as a torn
+// write — while nonzero garbage in a sealed segment stays a hard error. A
+// crash-reopened tail runs unpreallocated until the next rotation, so
+// recovered file sizes stay honest.
 //
 // Bids of a round that had not closed at the crash are lost (their round
 // re-collects after restart), and process-local throughput counters
@@ -112,8 +167,9 @@
 //
 //   - Counters and gauges (Metrics/Snapshot). Counters are plain atomics
 //     bumped inline; gauges are derived at scrape time from authoritative
-//     state — jobs_active counts the live job map (so it cannot go stale
-//     across restarts or removals the way counter arithmetic can),
+//     state — jobs_active walks the epoch-published job table behind one
+//     atomic load (so it cannot go stale across restarts or removals the
+//     way counter arithmetic can, and cannot block or be blocked by churn),
 //     wal_segment_count/wal_bytes mirror the segment scan and the log
 //     writer's running size. The round-latency ring (P50/P99) and the
 //     fixed-bucket latency histogram are atomic slots written once per
@@ -147,7 +203,9 @@
 //	wal_snapshots_total         counter    completed WAL compactions
 //	wal_snapshot_errors_total   counter    failed compaction attempts
 //	wal_segment_count           gauge      live log segments on disk (0 in-memory)
-//	wal_bytes                   gauge      bytes across live log segments (0 in-memory)
+//	wal_bytes                   gauge      logical bytes across live segments (reservation excluded)
+//	wal_fsync_total             counter    group commits (fsyncs) of the outcome log
+//	wal_fsync_batched_records   counter    records those commits settled (ratio = batch size)
 //	firehose_events_total       counter    events published to the firehose ring
 //	firehose_dropped_total      counter    events slow sinks missed (all sinks, ever)
 //	round_latency_p50_seconds   gauge      nearest-rank p50 close latency (sliding ring)
@@ -232,8 +290,9 @@
 // fmore_exchange_wrong_partition_total.
 //
 // cmd/fmore-exchange is the runnable front end (see its -data-dir,
-// -snapshot-bytes and -pprof-addr flags), and examples/exchange is a full
-// SDK-driven quickstart including a close-and-reopen pass. Engine adapts
+// -snapshot-bytes, -sync-interval, -commit and -pprof-addr flags), and
+// examples/exchange is a full SDK-driven quickstart including a
+// close-and-reopen pass. Engine adapts
 // one job to the transport.Engine interface for in-process embedding; the
 // cluster harness instead uses pkg/client's Engine over HTTP, exercising
 // the same API surface a deployed exchange would serve.

@@ -17,6 +17,19 @@ import (
 // ErrExchangeClosed reports an operation on a shut-down exchange.
 var ErrExchangeClosed = errors.New("exchange: closed")
 
+// CommitPolicy selects how the outcome log's writer groups records per
+// fsync; see Options.Commit.
+type CommitPolicy int
+
+const (
+	// CommitAdaptive syncs as soon as the writer's queue drains once a
+	// durability waiter is pending; with no waiter it holds the full
+	// SyncInterval (default).
+	CommitAdaptive CommitPolicy = iota
+	// CommitFixed holds each group commit open for the full SyncInterval.
+	CommitFixed
+)
+
 // Options configures an Exchange.
 type Options struct {
 	// Workers sizes the shared scoring pool (default GOMAXPROCS).
@@ -35,9 +48,22 @@ type Options struct {
 	RequireRegistration bool
 	// SyncInterval is the outcome log's group-commit window (default 2ms):
 	// the log writer coalesces records for up to this long before each
-	// fsync. Smaller tightens the crash-loss window; larger trades
-	// durability lag for fewer flushes. Only meaningful with Open.
+	// fsync while nothing waits on durability, so it caps the crash-loss
+	// window. Smaller tightens the durability lag; larger trades lag for
+	// fewer flushes. Only meaningful with Open.
 	SyncInterval time.Duration
+	// Commit selects the outcome log's group-commit policy (only
+	// meaningful with Open). Appends are fire-and-forget, so holding a
+	// commit delays nobody until someone calls Sync or Close; the policies
+	// differ in what happens then. CommitAdaptive (the zero value) commits
+	// the moment the writer's queue drains once a waiter is pending —
+	// records racing in behind the waiter still share its fsync, and the
+	// waiter never idles out the rest of the window. CommitFixed always
+	// holds the full SyncInterval — fewest flushes (battery, shared disks,
+	// fsync-heavy co-tenants), but a waiter eats the whole window as
+	// latency. The achieved batching is observable as wal_fsync_total vs
+	// wal_fsync_batched_records.
+	Commit CommitPolicy
 	// SnapshotBytes triggers WAL compaction (snapshot + segment rotation)
 	// once the active segment exceeds this many bytes (default 8 MiB;
 	// negative disables the size trigger). Only meaningful with Open.
@@ -65,6 +91,45 @@ type Options struct {
 	Partition *partition.Assignment
 }
 
+// jobTable is the exchange's epoch-published job set: an immutable map
+// plus its sorted ID list, swapped whole behind Exchange.table. Readers
+// (submit, outcome reads, SSE attach, stats, scrapes) resolve a job with
+// one atomic load and zero locks; the map behind a published table is
+// never mutated again. Writers copy, mutate the copy, and publish a new
+// table with the next epoch under ex.mu — the atomic store is the release
+// barrier that makes a new job's fields visible to lock-free readers.
+//
+// The epoch is a plain monotone generation counter (one bump per publish
+// under ex.mu). Round closes never republish — a *Job resolved from any
+// table stays valid after eviction, and RemoveJob's closeMu barrier
+// orders an in-flight close's WAL record before the removal record — so
+// the epoch's job is observability: tests and debuggers can pin a table
+// and assert publication order without locking the world.
+type jobTable struct {
+	epoch int64
+	jobs  map[string]*Job
+	ids   []string // lexically sorted; shared — callers copy before returning
+}
+
+// publishJobs copies the current table, applies mutate to the copy, and
+// publishes the result under the next epoch. Callers hold ex.mu (or are
+// the single-threaded replay in Open, which runs before any reader can
+// exist). Job churn is rare, so the O(jobs) copy is off every hot path.
+func (ex *Exchange) publishJobs(mutate func(jobs map[string]*Job)) {
+	cur := ex.table.Load()
+	next := make(map[string]*Job, len(cur.jobs)+1)
+	for id, j := range cur.jobs {
+		next[id] = j
+	}
+	mutate(next)
+	ids := make([]string, 0, len(next))
+	for id := range next {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	ex.table.Store(&jobTable{epoch: cur.epoch + 1, jobs: next, ids: ids})
+}
+
 // Exchange hosts many concurrent FL auction jobs over one shared node
 // registry, scoring pool and metrics sink. All methods are safe for
 // concurrent use.
@@ -87,8 +152,11 @@ type Exchange struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu     sync.RWMutex
-	jobs   map[string]*Job
+	// mu serializes job-set mutation (create/remove/close) and the
+	// republish of table; it is never taken to read. table is the
+	// epoch-published job set every read path loads lock-free.
+	mu     sync.Mutex
+	table  atomic.Pointer[jobTable]
 	closed bool
 	seq    atomic.Int64
 
@@ -111,7 +179,7 @@ type Exchange struct {
 // New starts an exchange (its scoring workers launch immediately).
 func New(opts Options) *Exchange {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Exchange{
+	ex := &Exchange{
 		opts:    opts,
 		reg:     NewRegistry(),
 		pool:    newScorePool(opts.Workers, opts.ScoreChunk),
@@ -120,8 +188,9 @@ func New(opts Options) *Exchange {
 		part:    opts.Partition,
 		ctx:     ctx,
 		cancel:  cancel,
-		jobs:    make(map[string]*Job),
 	}
+	ex.table.Store(&jobTable{jobs: make(map[string]*Job)})
+	return ex
 }
 
 // CreateJob validates spec, hosts the job, and (in timer mode) starts its
@@ -140,6 +209,7 @@ func (ex *Exchange) CreateJob(spec JobSpec) (*Job, error) {
 	if ex.closed {
 		return nil, ErrExchangeClosed
 	}
+	hosted := ex.table.Load().jobs
 	id := spec.ID
 	if id == "" {
 		// A partitioned replica keeps drawing sequence IDs until one
@@ -148,11 +218,11 @@ func (ex *Exchange) CreateJob(spec JobSpec) (*Job, error) {
 		// partitions).
 		for {
 			id = fmt.Sprintf("job-%d", ex.seq.Add(1))
-			if _, taken := ex.jobs[id]; !taken && ex.part.Owns(id) {
+			if _, taken := hosted[id]; !taken && ex.part.Owns(id) {
 				break
 			}
 		}
-	} else if _, dup := ex.jobs[id]; dup {
+	} else if _, dup := hosted[id]; dup {
 		return nil, fmt.Errorf("exchange: job %q already exists", id)
 	}
 	spec.ID = id
@@ -164,13 +234,13 @@ func (ex *Exchange) CreateJob(spec JobSpec) (*Job, error) {
 	if err := ex.logJobCreated(j.spec); err != nil {
 		return nil, err
 	}
-	// loopDone must be in place before the job is published: Close snapshots
-	// ex.jobs and reads loopDone, so the write has to happen-before the
-	// mutex-guarded publication.
+	// loopDone must be in place before the job is published: the table
+	// store is the release barrier lock-free readers (and Close's table
+	// snapshot) synchronize on, so every job field write must precede it.
 	if spec.BidWindow > 0 {
 		j.loopDone = make(chan struct{})
 	}
-	ex.jobs[id] = j
+	ex.publishJobs(func(jobs map[string]*Job) { jobs[id] = j })
 	ex.metrics.jobsCreated.Add(1)
 	if j.loopDone != nil {
 		go j.loop()
@@ -183,9 +253,7 @@ func (ex *Exchange) CreateJob(spec JobSpec) (*Job, error) {
 // long-lived service would grow without bound as FL tasks finish. Outcome
 // reads for the job fail afterwards.
 func (ex *Exchange) RemoveJob(id string) error {
-	ex.mu.RLock()
-	j, ok := ex.jobs[id]
-	ex.mu.RUnlock()
+	j, ok := ex.table.Load().jobs[id]
 	if !ok {
 		return ex.missingJob(id)
 	}
@@ -203,40 +271,38 @@ func (ex *Exchange) RemoveJob(id string) error {
 	j.closeMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
 
 	// Evict and log under the jobs mutex: CreateJob may only reuse the ID
-	// once the map slot is free, and it logs its created record under the
-	// same mutex, so the log can never read created → created or removed
-	// after the successor's records. The removal record alone keeps the
-	// job gone after recovery; no job-closed record is needed alongside.
+	// once the published table is without the slot, and it logs its created
+	// record under the same mutex, so the log can never read created →
+	// created or removed after the successor's records. The removal record
+	// alone keeps the job gone after recovery; no job-closed record is
+	// needed alongside.
 	ex.mu.Lock()
-	if cur, present := ex.jobs[id]; !present || cur != j {
+	if cur, present := ex.table.Load().jobs[id]; !present || cur != j {
 		// A concurrent RemoveJob won the eviction (and the slot may already
 		// host a successor job, which must not be torn down here).
 		ex.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownJob, id)
 	}
-	delete(ex.jobs, id)
+	ex.publishJobs(func(jobs map[string]*Job) { delete(jobs, id) })
 	ex.logJobRemoved(id)
 	ex.mu.Unlock()
 	return nil
 }
 
-// Job resolves a hosted job by ID.
+// Job resolves a hosted job by ID: one atomic table load, no locks. This
+// is the resolve on every submit, outcome read, SSE attach and stats
+// lookup, so it must never contend with job churn or round closes.
 func (ex *Exchange) Job(id string) (*Job, bool) {
-	ex.mu.RLock()
-	j, ok := ex.jobs[id]
-	ex.mu.RUnlock()
+	j, ok := ex.table.Load().jobs[id]
 	return j, ok
 }
 
-// JobIDs lists hosted jobs in lexical order.
+// JobIDs lists hosted jobs in lexical order (the table keeps its ID list
+// pre-sorted; only the caller-owned copy is paid here).
 func (ex *Exchange) JobIDs() []string {
-	ex.mu.RLock()
-	ids := make([]string, 0, len(ex.jobs))
-	for id := range ex.jobs {
-		ids = append(ids, id)
-	}
-	ex.mu.RUnlock()
-	sort.Strings(ids)
+	t := ex.table.Load()
+	ids := make([]string, len(t.ids))
+	copy(ids, t.ids)
 	return ids
 }
 
@@ -351,23 +417,26 @@ func (ex *Exchange) WaitOutcome(ctx context.Context, jobID string, round int) (R
 }
 
 // Metrics returns a point-in-time health snapshot. jobs_active is derived
-// from the live job map at scrape time — not a created-minus-closed
+// from the published job table at scrape time — not a created-minus-closed
 // counter delta, which would go stale across a restart (replay recounts
-// creations but closed-and-removed jobs leave no counted trace).
+// creations but closed-and-removed jobs leave no counted trace). The scan
+// walks one immutable table, so a scrape never blocks (or is blocked by)
+// job churn; a half-created job is unreachable by construction because
+// publication is a single pointer store.
 func (ex *Exchange) Metrics() Snapshot {
-	ex.mu.RLock()
 	active := 0
-	for _, j := range ex.jobs {
+	for _, j := range ex.table.Load().jobs {
 		if !j.closed.Load() {
 			active++
 		}
 	}
-	ex.mu.RUnlock()
 	s := ex.metrics.snapshot(ex.reg.Len(), active)
 	s.WalSegmentCount = ex.walSegs.Load()
 	s.WalBytes = ex.walSealedBytes.Load()
 	if ex.wal != nil {
 		s.WalBytes += ex.wal.size.Load()
+		s.WalFsyncTotal = ex.wal.fsyncs.Load()
+		s.WalFsyncBatchedRecords = ex.wal.fsyncRecs.Load()
 	}
 	s.FirehoseEvents, s.FirehoseDropped = fhStats(ex.fh)
 	return s
@@ -401,8 +470,9 @@ func (ex *Exchange) Close() {
 		return
 	}
 	ex.closed = true
-	jobs := make([]*Job, 0, len(ex.jobs))
-	for _, j := range ex.jobs {
+	t := ex.table.Load()
+	jobs := make([]*Job, 0, len(t.jobs))
+	for _, j := range t.jobs {
 		jobs = append(jobs, j)
 	}
 	ex.mu.Unlock()

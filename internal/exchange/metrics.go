@@ -108,6 +108,13 @@ type Snapshot struct {
 	// (sealed segments plus the active tail). Both 0 in-memory.
 	WalSegmentCount int64 `json:"wal_segment_count"`
 	WalBytes        int64 `json:"wal_bytes"`
+	// WalFsyncTotal counts the log's group commits (fsyncs) and
+	// WalFsyncBatchedRecords the records those commits made durable;
+	// their ratio is the achieved group-commit batch size — the
+	// observable behind the adaptive/fixed commit-policy tradeoff
+	// (Options.Commit). Both 0 in-memory.
+	WalFsyncTotal          int64 `json:"wal_fsync_total"`
+	WalFsyncBatchedRecords int64 `json:"wal_fsync_batched_records"`
 	// WrongPartition counts requests refused with wrong_partition — jobs
 	// the cluster map assigns to a different replica. Stays 0 unpartitioned.
 	WrongPartition int64 `json:"wrong_partition"`

@@ -50,15 +50,23 @@ const maxWalRecord = 64 << 20
 // device, which bounds memory instead of growing an unbounded queue.
 const walBuffer = 1024
 
-// defaultSyncDelay is the group-commit window: after writing a batch the
-// writer keeps collecting records for up to this long before the fsync, so
-// a storm of round closes shares one disk flush instead of paying one
-// each. (Back-to-back fsyncs are not just slow — each blocking syscall
-// also steals the writer's scheduler slot, which on small machines stalls
-// the scoring goroutines too.) A crash can lose at most this window plus
-// one fsync of acknowledged-but-unflushed records, the standard contract
-// of an asynchronous WAL; Sync bypasses the wait entirely.
+// defaultSyncDelay is the fixed group-commit window (CommitFixed, or any
+// explicit SyncInterval): after writing a batch the writer keeps
+// collecting records for up to this long before the fsync, so a storm of
+// round closes shares one disk flush instead of paying one each.
+// (Back-to-back fsyncs are not just slow — each blocking syscall also
+// steals the writer's scheduler slot, which on small machines stalls the
+// scoring goroutines too.) A crash can lose at most this window plus one
+// fsync of acknowledged-but-unflushed records, the standard contract of
+// an asynchronous WAL; Sync bypasses the wait entirely. The default
+// CommitAdaptive policy replaces the fixed hold with a drain-and-commit
+// loop — see persister.run.
 const defaultSyncDelay = 2 * time.Millisecond
+
+// walWriteBuffer bounds the writer-local batch buffer: queued frames are
+// coalesced into one write syscall per group commit instead of one per
+// record, spilling early if a batch outgrows this.
+const walWriteBuffer = 1 << 20
 
 // defaultSnapshotBytes is the size trigger for snapshot + rotation: once
 // the active segment grows past it, the exchange compacts in the
@@ -185,6 +193,18 @@ type walSnapNode struct {
 type persister struct {
 	f         *os.File
 	syncDelay time.Duration
+	// adaptive selects the group-commit policy: true (CommitAdaptive)
+	// commits as soon as the queue momentarily drains — the fsync's own
+	// latency is the batching window — false (CommitFixed) holds each
+	// commit open for the full syncDelay.
+	adaptive bool
+
+	// Commit telemetry, read by metrics scrapes: fsyncs counts group
+	// commits (wal_fsync_total), fsyncRecs the records those commits made
+	// durable (wal_fsync_batched_records) — their ratio is the achieved
+	// batch size, the observable of the adaptive/fixed tradeoff.
+	fsyncs    atomic.Int64
+	fsyncRecs atomic.Int64
 
 	// Writer-goroutine state: the active segment's seq and byte size, plus
 	// the snapshot size trigger. notified latches the trigger per segment
@@ -253,13 +273,14 @@ func newFrameBuf() *frameBuf {
 	return fb
 }
 
-func newPersister(f *os.File, seq, size int64, syncDelay time.Duration, threshold int64, onFull func()) *persister {
+func newPersister(f *os.File, seq, size int64, syncDelay time.Duration, adaptive bool, threshold int64, onFull func()) *persister {
 	if syncDelay <= 0 {
 		syncDelay = defaultSyncDelay
 	}
 	p := &persister{
 		f:         f,
 		syncDelay: syncDelay,
+		adaptive:  adaptive,
 		seq:       seq,
 		threshold: threshold,
 		onFull:    onFull,
@@ -350,7 +371,8 @@ func (p *persister) fail(err error) {
 	p.err.CompareAndSwap(nil, &err)
 }
 
-// close drains the queue, fsyncs and closes the file. Idempotent.
+// close drains the queue, fsyncs, trims the segment's preallocated tail
+// back to its logical size and closes the file. Idempotent.
 func (p *persister) close() error {
 	p.mu.Lock()
 	if p.closed {
@@ -362,17 +384,30 @@ func (p *persister) close() error {
 	close(p.ch)
 	p.mu.Unlock()
 	<-p.done
+	// A cleanly closed segment is exactly its logical size — crash-only
+	// zero-fill is what replay's preallocation tolerance is for, and tests
+	// (and operators) get to read "file size == bytes logged" on a clean
+	// shutdown. Best-effort: a failed trim just leaves a zero tail.
+	p.f.Truncate(p.size.Load()) //nolint:errcheck // zero tails are tolerated by replay
 	if err := p.f.Close(); err != nil {
 		p.fail(err)
 	}
 	return p.Err()
 }
 
-// run is the writer goroutine: batch every queued record, write, group
-// commit (coalesce up to syncDelay of further records), fsync once, release
-// flush waiters. It never exits before the channel closes — on a disk error
-// it keeps draining (and discarding) so appenders can never wedge on a full
-// channel.
+// run is the writer goroutine: coalesce every queued record into a
+// writer-local batch buffer, write the batch with one syscall, fsync once
+// (fdatasync on Linux), release flush waiters. It never exits before the
+// channel closes — on a disk error it keeps draining (and discarding) so
+// appenders can never wedge on a full channel.
+//
+// Group commit is adaptive by default: after the first record the writer
+// drains whatever is already queued without blocking and commits the
+// moment the queue is momentarily empty — the fsync's own latency (and
+// the write syscall before it) is the batching window, so concurrent
+// round closes still share one flush while a lone record is durable as
+// fast as the disk allows instead of idling out a fixed timer. CommitFixed
+// restores the timer: hold each commit open for up to syncDelay.
 //
 // The loop deliberately never takes p.mu: appenders hold it while sending
 // (including blocking on a full channel), so a writer that needed the mutex
@@ -382,16 +417,37 @@ func (p *persister) close() error {
 func (p *persister) run() {
 	defer close(p.done)
 	var flushes []chan struct{}
+	var batch []byte  // frames coalesced since the last write syscall
+	var pending int64 // records written or batched since the last fsync
 	dirty := false
 	failed := false
-	settle := func() {
-		if dirty {
-			if err := p.f.Sync(); err != nil {
+	flushBatch := func() {
+		if len(batch) == 0 {
+			return
+		}
+		if !failed && p.Err() == nil {
+			if _, err := p.f.Write(batch); err != nil {
 				p.fail(err)
 				failed = true
+			} else {
+				dirty = true
+			}
+		}
+		batch = batch[:0]
+	}
+	settle := func() {
+		flushBatch()
+		if dirty {
+			if err := fdatasync(p.f); err != nil {
+				p.fail(err)
+				failed = true
+			} else {
+				p.fsyncs.Add(1)
+				p.fsyncRecs.Add(pending)
 			}
 			dirty = false
 		}
+		pending = 0
 		for _, c := range flushes {
 			close(c)
 		}
@@ -405,12 +461,17 @@ func (p *persister) run() {
 			// would leave a gap that replay silently mis-recovers from,
 			// which is worse than a log that simply ends early.
 			if !failed && p.Err() == nil {
-				if n, err := p.f.Write(msg.rec.buf.Bytes()); err != nil {
-					p.fail(err)
-					failed = true
-				} else {
-					dirty = true
-					p.size.Add(int64(n))
+				b := msg.rec.buf.Bytes()
+				if len(batch) > 0 && len(batch)+len(b) > walWriteBuffer {
+					flushBatch() // spill early; the fsync still waits for settle
+				}
+				if !failed {
+					// The frame is copied before the pooled buffer returns;
+					// size counts logical bytes at batch time so the gauge
+					// and the rotation trigger never lag the queue.
+					batch = append(batch, b...)
+					p.size.Add(int64(len(b)))
+					pending++
 				}
 			}
 			p.bufs.Put(msg.rec)
@@ -424,6 +485,11 @@ func (p *persister) run() {
 			// between rotation and the snapshot replays old segments plus
 			// the new tail, which only works if no old record was lost.
 			settle()
+			// Trim the preallocated zero tail so the sealed segment is
+			// exactly its logical size. Best-effort and not re-fsynced: a
+			// crash that loses the trim leaves zero-fill, which replay
+			// recognizes as clean preallocated space.
+			p.f.Truncate(p.size.Load()) //nolint:errcheck // zero tails are tolerated by replay
 			if err := p.f.Close(); err != nil {
 				p.fail(err)
 				failed = true
@@ -446,9 +512,12 @@ func (p *persister) run() {
 	}
 	for msg := range p.ch {
 		write(msg)
-		// Group commit: hold the fsync for up to syncDelay while more
-		// records trickle in — unless a Sync caller is already waiting.
 		if len(flushes) == 0 {
+			// No durability waiter: hold the fsync for up to syncDelay
+			// while more records trickle in. The hold delays nobody
+			// (appends are fire-and-forget) and is the crash-loss cap;
+			// committing eagerly here would turn every trickled record
+			// into its own fsync.
 			timer := time.NewTimer(p.syncDelay)
 		coalesce:
 			for {
@@ -466,6 +535,24 @@ func (p *persister) run() {
 				}
 			}
 			timer.Stop()
+		}
+		if p.adaptive {
+			// Adaptive: a waiter is (now) pending — absorb whatever else
+			// is already queued before the flush, so the records racing
+			// in behind the Sync share its fsync instead of forcing the
+			// next one. The fixed policy commits with the queue as-is.
+		drain:
+			for len(flushes) > 0 {
+				select {
+				case m, ok := <-p.ch:
+					if !ok {
+						break drain // outer range exits next; commit below
+					}
+					write(m)
+				default:
+					break drain
+				}
+			}
 		}
 		commit()
 	}
@@ -539,6 +626,42 @@ func scanWAL(f *os.File) (recs []walRecord, valid int64, err error) {
 		recs = append(recs, rec)
 		valid += 8 + int64(n)
 	}
+}
+
+// zeroFrom reports whether every byte of f from off to EOF is zero — the
+// signature of preallocated-but-unwritten segment space, as opposed to a
+// torn frame's garbage.
+func zeroFrom(f *os.File, off int64) (bool, error) {
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return false, err
+	}
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := f.Read(buf)
+		for _, b := range buf[:n] {
+			if b != 0 {
+				return false, nil
+			}
+		}
+		if err == io.EOF {
+			return true, nil
+		}
+		if err != nil {
+			return false, err
+		}
+	}
+}
+
+// walPreallocBytes is the segment preallocation size: the rotation
+// threshold when the size trigger is on (a segment rotates right around
+// the point it would first have to grow), the default threshold when the
+// trigger is disabled (benchmarks, operator choice — appends should still
+// never extend the file).
+func walPreallocBytes(opts Options) int64 {
+	if opts.SnapshotBytes > 0 {
+		return opts.SnapshotBytes
+	}
+	return defaultSnapshotBytes
 }
 
 // --- segment and snapshot files ---------------------------------------------
@@ -732,6 +855,10 @@ func (ex *Exchange) Compact() error {
 		ex.wal.rearmSizeTrigger()
 		return err
 	}
+	// Preallocate before the durability fsync so the reservation itself is
+	// durable with the file: steady-state appends then never extend the
+	// segment and each group commit is a data-only flush.
+	preallocate(f, walPreallocBytes(ex.opts))
 	if err := f.Sync(); err != nil {
 		return abort(fmt.Errorf("exchange: creating segment: %w", err))
 	}
@@ -750,11 +877,13 @@ func (ex *Exchange) Compact() error {
 		ex.mu.Unlock()
 		return abort(ErrExchangeClosed)
 	}
-	jobs := make([]*Job, 0, len(ex.jobs))
-	for _, j := range ex.jobs {
-		jobs = append(jobs, j)
+	// The published table's ID list is already sorted — the deterministic
+	// closeMu lock order the capture relies on.
+	t := ex.table.Load()
+	jobs := make([]*Job, 0, len(t.jobs))
+	for _, id := range t.ids {
+		jobs = append(jobs, t.jobs[id])
 	}
-	sort.Slice(jobs, func(a, b int) bool { return jobs[a].id < jobs[b].id })
 	for _, j := range jobs {
 		j.closeMu.Lock()
 	}
@@ -883,39 +1012,47 @@ func (ex *Exchange) captureSnapshot(jobs []*Job, cutSeq int64) (*walSnapshot, er
 
 // applySnapshot replays a snapshot into the (still private) exchange,
 // exactly as if the deleted segments' records had been applied one by one.
+// Replay runs before any reader exists, so the whole job set is built in
+// one publish instead of a copy-per-job.
 func (ex *Exchange) applySnapshot(snap *walSnapshot) error {
 	for _, n := range snap.Nodes {
 		ex.reg.restore(n.ID, n.Meta, n.Bids, n.Banned)
 	}
-	for i := range snap.Jobs {
-		sj := &snap.Jobs[i]
-		spec, err := sj.Spec.spec()
-		if err != nil {
-			return fmt.Errorf("snapshot job %q: %w", sj.Spec.ID, err)
+	var ferr error
+	ex.publishJobs(func(jobs map[string]*Job) {
+		for i := range snap.Jobs {
+			sj := &snap.Jobs[i]
+			spec, err := sj.Spec.spec()
+			if err != nil {
+				ferr = fmt.Errorf("snapshot job %q: %w", sj.Spec.ID, err)
+				return
+			}
+			if _, dup := jobs[spec.ID]; dup {
+				ferr = fmt.Errorf("snapshot job %q duplicated", spec.ID)
+				return
+			}
+			j, err := newJob(ex, spec.ID, spec)
+			if err != nil {
+				ferr = fmt.Errorf("snapshot job %q: %w", spec.ID, err)
+				return
+			}
+			for _, wr := range sj.History {
+				j.restoreRound(wr.outcome(j.id))
+			}
+			if len(sj.History) == 0 {
+				j.round = sj.Round
+				j.baseRnd = sj.BaseRound
+			}
+			j.src.fastForwardTo(sj.Draws)
+			j.auct.Resume(sj.AuctRound)
+			if sj.Closed {
+				j.closed.Store(true)
+			}
+			jobs[spec.ID] = j
+			ex.metrics.jobsCreated.Add(1)
 		}
-		if _, dup := ex.jobs[spec.ID]; dup {
-			return fmt.Errorf("snapshot job %q duplicated", spec.ID)
-		}
-		j, err := newJob(ex, spec.ID, spec)
-		if err != nil {
-			return fmt.Errorf("snapshot job %q: %w", spec.ID, err)
-		}
-		for _, wr := range sj.History {
-			j.restoreRound(wr.outcome(j.id))
-		}
-		if len(sj.History) == 0 {
-			j.round = sj.Round
-			j.baseRnd = sj.BaseRound
-		}
-		j.src.fastForwardTo(sj.Draws)
-		j.auct.Resume(sj.AuctRound)
-		if sj.Closed {
-			j.closed.Store(true)
-		}
-		ex.jobs[spec.ID] = j
-		ex.metrics.jobsCreated.Add(1)
-	}
-	return nil
+	})
+	return ferr
 }
 
 // Open starts an exchange backed by a write-ahead outcome log in dir
@@ -1003,20 +1140,26 @@ func Open(dir string, opts Options) (*Exchange, error) {
 	}
 
 	// Scan every live segment first, then decide where the effective tail
-	// is. A torn tail is normally only legal in the last segment — but the
-	// rotation protocol creates (and fsyncs) the successor segment BEFORE
-	// the writer's barrier fsyncs the retiring one, so a power loss in that
-	// window leaves a torn segment followed by one still-empty successor.
-	// That state is recoverable, not corrupt: the rotation never happened,
-	// so the torn segment is the effective tail (truncate it, delete the
-	// orphaned empty successors). A torn non-last segment followed by any
+	// is. Segments are preallocated to the rotation threshold, so bytes
+	// past the last valid frame come in two flavors: all-zero fill (clean
+	// preallocated space whose trim was not yet durable — the zero length
+	// prefix is exactly why scanWAL stops there) and garbage (a torn frame
+	// from a crash mid-append). A torn tail is normally only legal in the
+	// last segment — but the rotation protocol creates (and fsyncs) the
+	// successor segment BEFORE the writer's barrier fsyncs the retiring
+	// one, so a power loss in that window leaves a torn segment followed
+	// by one record-free successor (empty or still pure zero-fill). That
+	// state is recoverable, not corrupt: the rotation never happened, so
+	// the torn segment is the effective tail (truncate it, delete the
+	// orphaned successors). A torn non-last segment followed by any
 	// WRITTEN segment is impossible by the barrier ordering and stays a
 	// hard error rather than a guess.
 	type segScan struct {
-		seq   int64
-		recs  []walRecord
-		valid int64
-		size  int64
+		seq      int64
+		recs     []walRecord
+		valid    int64
+		size     int64
+		zeroTail bool // every byte past valid is zero (preallocated fill)
 	}
 	scans := make([]segScan, 0, len(live))
 	for _, seq := range live {
@@ -1026,29 +1169,33 @@ func Open(dir string, opts Options) (*Exchange, error) {
 		}
 		recs, valid, err := scanWAL(f)
 		var size int64
+		zeroTail := true
 		if err == nil {
 			var st os.FileInfo
 			if st, err = f.Stat(); err == nil {
 				size = st.Size()
 			}
 		}
+		if err == nil && size > valid {
+			zeroTail, err = zeroFrom(f, valid)
+		}
 		f.Close() //nolint:errcheck // read-only scan
 		if err != nil {
 			return closeFail(fmt.Errorf("exchange: reading wal segment %d: %w", seq, err))
 		}
-		scans = append(scans, segScan{seq: seq, recs: recs, valid: valid, size: size})
+		scans = append(scans, segScan{seq: seq, recs: recs, valid: valid, size: size, zeroTail: zeroTail})
 	}
 	tailIdx := len(scans) - 1
 	for i, s := range scans[:len(scans)-1] {
-		if s.size == s.valid {
-			continue // clean non-last segment
+		if s.size == s.valid || s.zeroTail {
+			continue // clean non-last segment (exact or zero-filled prealloc)
 		}
 		for _, later := range scans[i+1:] {
-			if later.size != 0 || len(later.recs) != 0 {
+			if len(later.recs) != 0 || (later.size != 0 && !later.zeroTail) {
 				return closeFail(fmt.Errorf("exchange: wal segment %d is corrupt before its end", s.seq))
 			}
 		}
-		tailIdx = i // crash mid-rotation: torn segment + empty successors
+		tailIdx = i // crash mid-rotation: torn segment + record-free successors
 		break
 	}
 	for _, orphan := range scans[tailIdx+1:] {
@@ -1075,10 +1222,21 @@ func Open(dir string, opts Options) (*Exchange, error) {
 	// read as corruption on the next replay.
 	tailScan := scans[len(scans)-1]
 	tailValid := tailScan.valid
+	fresh := tailScan.size == 0 && tailValid == 0
 	tail, serr := os.OpenFile(filepath.Join(dir, segName(tailScan.seq)), os.O_RDWR, 0o644)
 	if serr == nil {
 		if tailScan.size > tailValid {
+			// Cuts torn garbage AND preallocated zero-fill alike; a
+			// crash-reopened tail runs unpreallocated until its next
+			// rotation (re-extending it here would make recovered file
+			// sizes lie about logged bytes for the segment's whole life).
 			serr = tail.Truncate(tailValid)
+		}
+		if serr == nil && fresh {
+			// A brand-new tail (fresh dir, or a post-cut segment that was
+			// never written) gets the full preallocation, like every
+			// segment Compact creates.
+			preallocate(tail, walPreallocBytes(opts))
 		}
 		if serr == nil {
 			_, serr = tail.Seek(tailValid, io.SeekStart)
@@ -1102,17 +1260,18 @@ func Open(dir string, opts Options) (*Exchange, error) {
 	ex.walSeq = live[len(live)-1]
 	ex.walFloor = live[0]
 	// Seed the WAL gauges from the scan: every live segment counts, the
-	// sealed ones (all but the tail) by their full size — the tail's
+	// sealed ones (all but the tail) by their valid bytes (size would
+	// overcount a zero-filled preallocated tail) — the active tail's
 	// valid prefix is the persister's starting size below.
 	ex.walSegs.Store(int64(len(live)))
 	sealed := int64(0)
 	for _, s := range scans[:len(scans)-1] {
-		sealed += s.size
+		sealed += s.valid
 	}
 	ex.walSealedBytes.Store(sealed)
 	ex.compactCh = make(chan struct{}, 1)
 	ex.compactDone = make(chan struct{})
-	ex.wal = newPersister(tail, ex.walSeq, tailValid, opts.SyncInterval, threshold, func() {
+	ex.wal = newPersister(tail, ex.walSeq, tailValid, opts.SyncInterval, opts.Commit == CommitAdaptive, threshold, func() {
 		select {
 		case ex.compactCh <- struct{}{}:
 		default:
@@ -1122,7 +1281,7 @@ func Open(dir string, opts Options) (*Exchange, error) {
 	// Start the bid windows only now: a loop closing rounds mid-replay would
 	// interleave fresh draws with the reconstruction of old ones.
 	ex.mu.Lock()
-	for _, j := range ex.jobs {
+	for _, j := range ex.table.Load().jobs {
 		if j.spec.BidWindow > 0 && !j.closed.Load() {
 			j.loopDone = make(chan struct{})
 			go j.loop()
@@ -1172,16 +1331,16 @@ func (ex *Exchange) applyRecord(rec walRecord) error {
 		if err != nil {
 			return err
 		}
-		if _, dup := ex.jobs[spec.ID]; dup {
+		if _, dup := ex.table.Load().jobs[spec.ID]; dup {
 			return fmt.Errorf("job %q created twice", spec.ID)
 		}
-		ex.jobs[spec.ID] = j
+		ex.publishJobs(func(jobs map[string]*Job) { jobs[spec.ID] = j })
 		ex.metrics.jobsCreated.Add(1)
 	case recRound:
 		if rec.Round == nil {
 			return errors.New("round record without payload")
 		}
-		j, ok := ex.jobs[rec.Round.Job]
+		j, ok := ex.table.Load().jobs[rec.Round.Job]
 		if !ok {
 			return fmt.Errorf("round for unknown job %q", rec.Round.Job)
 		}
@@ -1193,16 +1352,16 @@ func (ex *Exchange) applyRecord(rec walRecord) error {
 			info.bids.Add(1)
 		}
 	case recJobClosed:
-		j, ok := ex.jobs[rec.ID]
+		j, ok := ex.table.Load().jobs[rec.ID]
 		if !ok {
 			return fmt.Errorf("close for unknown job %q", rec.ID)
 		}
 		j.closed.Store(true)
 	case recJobRemoved:
-		if _, ok := ex.jobs[rec.ID]; !ok {
+		if _, ok := ex.table.Load().jobs[rec.ID]; !ok {
 			return fmt.Errorf("removal of unknown job %q", rec.ID)
 		}
-		delete(ex.jobs, rec.ID)
+		ex.publishJobs(func(jobs map[string]*Job) { delete(jobs, rec.ID) })
 	case recNode:
 		if rec.Node == nil {
 			return errors.New("node record without payload")
@@ -1225,7 +1384,7 @@ func (ex *Exchange) applyRecord(rec walRecord) error {
 // and its close record, so the close is reconstructed here; and every job's
 // intake shards are aligned to its replayed collecting round.
 func (ex *Exchange) finishReplay() {
-	for _, j := range ex.jobs {
+	for _, j := range ex.table.Load().jobs {
 		if !j.closed.Load() && j.spec.MaxRounds > 0 && j.round > j.spec.MaxRounds {
 			j.closed.Store(true)
 		}

@@ -8,10 +8,10 @@ import (
 
 // Prometheus text exposition (format 0.0.4), hand-rolled so the exchange
 // stays dependency-free. Every metric is prefixed fmore_exchange_ and
-// derives from the same atomics the JSON snapshot reads, so a scrape is as
-// non-blocking as GET /v1/metrics: no lock in the exchange core is taken
-// beyond the job-map read lock that jobs_active needs. See doc.go for the
-// full metric catalog.
+// derives from the same atomics the JSON snapshot reads, so a scrape takes
+// no lock in the exchange core at all — jobs_active walks the
+// epoch-published job table behind one atomic load, never blocking (or
+// blocked by) job churn. See doc.go for the full metric catalog.
 
 // writePrometheus renders the exchange's metrics in the exposition format.
 func writePrometheus(w io.Writer, ex *Exchange) error {
@@ -41,7 +41,9 @@ func writePrometheus(w io.Writer, ex *Exchange) error {
 	counter("wal_snapshots_total", "Completed WAL compactions (snapshot + segment rotation).", s.WalSnapshots)
 	counter("wal_snapshot_errors_total", "WAL compaction attempts that failed and will be retried.", s.WalSnapshotErrors)
 	gauge("wal_segment_count", "Live WAL segments a restart would replay.", float64(s.WalSegmentCount))
-	gauge("wal_bytes", "Total bytes across live WAL segments (sealed plus active tail).", float64(s.WalBytes))
+	gauge("wal_bytes", "Logical bytes across live WAL segments (sealed plus active tail; preallocated-but-unwritten space is excluded).", float64(s.WalBytes))
+	counter("wal_fsync_total", "Group commits (fsyncs) of the outcome log.", s.WalFsyncTotal)
+	counter("wal_fsync_batched_records", "Records made durable by those group commits; the ratio to wal_fsync_total is the achieved batch size.", s.WalFsyncBatchedRecords)
 	counter("firehose_events_total", "Events published into the firehose tap since a sink first attached.", s.FirehoseEvents)
 	counter("firehose_dropped_total", "Firehose events lost to ring overrun across all sinks.", s.FirehoseDropped)
 	// Partition metrics appear only on a partitioned replica: an info-style
