@@ -47,6 +47,30 @@
 // batching is observable as wal_fsync_total vs wal_fsync_batched_records
 // in the metric catalog.
 //
+// # Admission control
+//
+// Overload protection is off unless at least one limit flag is set:
+//
+//	-rate-global N      exchange-wide bid-submit ceiling, bids/sec
+//	-rate-node N        per-node bid-submit ceiling, bids/sec
+//	-rate-job N         per-job bid-submit ceiling, bids/sec
+//	-admission-burst D  burst window each limit absorbs (default 250ms;
+//	                    burst = rate x window, min 1)
+//	-max-inflight N     concurrent bid submits inside the handler; beyond
+//	                    it requests shed before the body is read
+//	-max-subscribers N  SSE stream cap; the oldest stream is evicted to
+//	                    admit a new one
+//
+// Shed bid submits answer 429 {"code":"overloaded","retry_after_ms":N};
+// the pkg/client SDK sleeps the hint and retries with the same
+// Idempotency-Key (a shed never burns the key). Round closes, WAL commits
+// and SSE heartbeats are never shed. GET /v1/healthz reports the overload
+// state: 200 {"status":"ok"} normally, 503 {"status":"overloaded",
+// "retry_after_ms":N} while shedding — the fmore-router probes it and
+// fails fast on the replica's behalf. The admission_* metric family
+// (sheds by scope, in-flight gauge, SSE occupancy/evictions, overload
+// bit) appears in both /v1/metrics and /v1/metrics/prometheus.
+//
 // -pprof-addr (off by default) serves net/http/pprof on a separate
 // listener for live profiling; while it is up, mutex contention is
 // sampled (1 in 100) so /debug/pprof/mutex has data for lock hunts.
@@ -119,6 +143,7 @@ import (
 	"syscall"
 	"time"
 
+	"fmore/internal/admission"
 	"fmore/internal/analytics"
 	"fmore/internal/exchange"
 	"fmore/internal/partition"
@@ -147,6 +172,18 @@ func main() {
 		"partition this replica owns (requires -partition-map; empty = unpartitioned)")
 	partitionMap := flag.String("partition-map", "",
 		`cluster partition map, "p0=http://host:port,p1=..." (same spec on every replica)`)
+	rateGlobal := flag.Float64("rate-global", 0,
+		"admission: exchange-wide bid-submit ceiling in bids/sec (0 = unlimited)")
+	rateNode := flag.Float64("rate-node", 0,
+		"admission: per-node bid-submit ceiling in bids/sec (0 = unlimited)")
+	rateJob := flag.Float64("rate-job", 0,
+		"admission: per-job bid-submit ceiling in bids/sec (0 = unlimited)")
+	admissionBurst := flag.Duration("admission-burst", 250*time.Millisecond,
+		"admission: burst window each rate limit may absorb at once (burst = rate x window, min 1)")
+	maxInflight := flag.Int64("max-inflight", 0,
+		"admission: bid submits allowed inside the handler at once; beyond it requests shed with 429 before the body is read (0 = unlimited)")
+	maxSubscribers := flag.Int("max-subscribers", 0,
+		"admission: SSE event-stream cap; at the cap the oldest stream is evicted to admit a new subscriber (0 = unlimited)")
 	flag.Parse()
 
 	opts := exchange.Options{
@@ -163,6 +200,25 @@ func main() {
 		opts.Commit = exchange.CommitFixed
 	default:
 		log.Fatalf(`-commit must be "adaptive" or "fixed", got %q`, *commitPolicy)
+	}
+	if *rateGlobal > 0 || *rateNode > 0 || *rateJob > 0 || *maxInflight > 0 || *maxSubscribers > 0 {
+		burst := func(rate float64) int {
+			b := int(rate * admissionBurst.Seconds())
+			if b < 1 {
+				b = 1
+			}
+			return b
+		}
+		opts.Admission = admission.NewController(admission.Config{
+			GlobalRate:  *rateGlobal,
+			GlobalBurst: burst(*rateGlobal),
+			NodeRate:    *rateNode,
+			NodeBurst:   burst(*rateNode),
+			JobRate:     *rateJob,
+			JobBurst:    burst(*rateJob),
+			MaxInflight: *maxInflight,
+			MaxStreams:  *maxSubscribers,
+		})
 	}
 	if (*partitionID == "") != (*partitionMap == "") {
 		log.Fatal("-partition and -partition-map must be set together")

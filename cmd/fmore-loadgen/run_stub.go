@@ -1,0 +1,13 @@
+//go:build !loadtest
+
+package main
+
+import "errors"
+
+// run in the untagged build only explains how to get the real harness;
+// keeping the stub in the default build means `go build ./...` always
+// compiles the package without dragging the load driver into normal
+// builds.
+func run() error {
+	return errors.New("fmore-loadgen: built without the loadtest tag; rebuild with `go build -tags loadtest ./cmd/fmore-loadgen`")
+}

@@ -30,10 +30,21 @@
 //   - Everything else (listings, metrics, the cluster map itself) goes to
 //     the default replica: the lexically first partition.
 //
+// Overload protection: with -healthz-interval > 0 (default 1s) the router
+// probes each replica's GET /v1/healthz on that cadence. While a replica
+// advertises overload (503), bid submits bound for it are failed fast with
+// 429 {"code":"overloaded","retry_after_ms":N} — the replica's own hint —
+// without consuming a connection on the struggling backend. A per-replica
+// circuit breaker does the same for replicas that stop answering at the
+// transport level: three consecutive forward errors open the circuit and
+// bid submits shed until a cooldown probe succeeds. Only bid submits are
+// ever shed; job creation, round closes, registry writes and event streams
+// always forward.
+//
 // The router's own counters are at GET /router/metrics in Prometheus text
 // format: fmore_router_forward_total{partition=...}, fmore_router_fanout_total,
-// fmore_router_retry_total, fmore_router_proxy_error_total and
-// fmore_router_map_version.
+// fmore_router_retry_total, fmore_router_proxy_error_total,
+// fmore_router_shed_total and fmore_router_map_version.
 package main
 
 import (
@@ -55,12 +66,25 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fmore/internal/admission"
 	"fmore/internal/partition"
 )
 
 // maxBufferedBody bounds how much of a request body the router will buffer
 // for replay; exchange payloads (job specs, bids) are tiny.
 const maxBufferedBody = 8 << 20
+
+// Breaker tuning for replica forwards: three consecutive transport errors
+// open the circuit, and a probe is allowed through after one second.
+const (
+	breakerThreshold = 3
+	breakerCooldown  = time.Second
+)
+
+// defaultShedRetryMS is the retry_after_ms the router advertises when it
+// sheds without a fresher hint from the replica (breaker open, or an
+// overloaded replica that sent no hint).
+const defaultShedRetryMS = 1000
 
 var jobPathRe = regexp.MustCompile(`^/v1/jobs/([^/]+)(/.*)?$`)
 
@@ -71,12 +95,24 @@ type router struct {
 	hc     *http.Client
 
 	mu       sync.Mutex
-	forwards map[string]*atomic.Int64 // per-partition forward counter
+	forwards map[string]*atomic.Int64  // per-partition forward counter
+	health   map[string]*replicaHealth // per-partition overload + breaker state
 
 	fanouts    atomic.Int64
 	retries    atomic.Int64
 	proxyErrs  atomic.Int64
+	sheds      atomic.Int64
 	refreshing atomic.Bool
+}
+
+// replicaHealth is what the router knows about one replica's ability to
+// take sheddable load: the overload bit its /v1/healthz advertised on the
+// last probe (with the replica's retry hint), and a circuit breaker fed by
+// forward outcomes for replicas that stop answering entirely.
+type replicaHealth struct {
+	overloaded   atomic.Bool
+	retryAfterMS atomic.Int64
+	breaker      *admission.Breaker
 }
 
 func newRouter(m *partition.Map) *router {
@@ -84,6 +120,7 @@ func newRouter(m *partition.Map) *router {
 		routes:   partition.NewHandle(m),
 		hc:       &http.Client{},
 		forwards: make(map[string]*atomic.Int64),
+		health:   make(map[string]*replicaHealth),
 	}
 }
 
@@ -96,6 +133,17 @@ func (rt *router) forwardCounter(part string) *atomic.Int64 {
 		rt.forwards[part] = c
 	}
 	return c
+}
+
+func (rt *router) healthFor(part string) *replicaHealth {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	h := rt.health[part]
+	if h == nil {
+		h = &replicaHealth{breaker: admission.NewBreaker(breakerThreshold, breakerCooldown)}
+		rt.health[part] = h
+	}
+	return h
 }
 
 func (rt *router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -122,14 +170,32 @@ func (rt *router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		proxyError(w, http.StatusBadGateway, "router has no partition map")
 		return
 	}
+	// Bid submits are the only load the router sheds: fail fast while the
+	// replica advertises overload (healthz probe) or has stopped answering
+	// (open breaker), instead of adding our connection to its pile.
+	health := rt.healthFor(target.Partition)
+	if sheddable(r) {
+		if health.overloaded.Load() {
+			rt.sheds.Add(1)
+			shedOverloaded(w, health.retryAfterMS.Load())
+			return
+		}
+		if !health.breaker.Allow(time.Now().UnixNano()) {
+			rt.sheds.Add(1)
+			shedOverloaded(w, defaultShedRetryMS)
+			return
+		}
+	}
 	rt.forwardCounter(target.Partition).Add(1)
 
 	resp, err := rt.send(r, target.URL, body)
 	if err != nil {
+		health.breaker.Failure(time.Now().UnixNano())
 		rt.proxyErrs.Add(1)
 		proxyError(w, http.StatusBadGateway, "forwarding to "+target.Partition+": "+err.Error())
 		return
 	}
+	health.breaker.Success()
 	// A replica that does not own the job answers 421 with the owner's URL:
 	// refresh the map (a version bump is the usual cause) and re-forward the
 	// buffered request once. The replayed request is byte-identical,
@@ -237,6 +303,88 @@ func (rt *router) send(r *http.Request, baseURL string, body []byte) (*http.Resp
 		req.Header.Set("X-Forwarded-For", host)
 	}
 	return rt.hc.Do(req)
+}
+
+// sheddable reports whether a request is deliberate-backpressure material:
+// only bid submits. Round closes, job creation, registry writes and event
+// streams must always be forwarded — shedding those would stall auctions
+// rather than protect them.
+func sheddable(r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		return false
+	}
+	sub := jobPathRe.FindStringSubmatch(r.URL.Path)
+	return sub != nil && sub[2] == "/bids"
+}
+
+// shedOverloaded answers a router-level shed in the exchange's own
+// overload envelope so SDK clients retry after the hint exactly as they
+// would for a replica-issued 429.
+func shedOverloaded(w http.ResponseWriter, retryMS int64) {
+	if retryMS <= 0 {
+		retryMS = defaultShedRetryMS
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"code":           "overloaded",
+		"message":        "replica is overloaded; retry after the hint",
+		"retry_after_ms": retryMS,
+	})
+}
+
+// probeLoop re-checks every replica's /v1/healthz on the given cadence
+// until ctx is cancelled.
+func (rt *router) probeLoop(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			rt.probeOnce(ctx)
+		}
+	}
+}
+
+// probeOnce polls each replica's health endpoint and updates its overload
+// bit and retry hint. A probe that fails at the transport level leaves the
+// last-known state alone — the forward-path breaker handles dead replicas,
+// and flapping the overload bit on a lost probe would shed load a healthy
+// replica could serve.
+func (rt *router) probeOnce(ctx context.Context) {
+	m := rt.routes.Load()
+	if m == nil {
+		return
+	}
+	for _, rep := range m.Partitions {
+		h := rt.healthFor(rep.Partition)
+		pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		req, err := http.NewRequestWithContext(pctx, http.MethodGet,
+			strings.TrimRight(rep.URL, "/")+"/v1/healthz", nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		resp, err := rt.hc.Do(req)
+		if err != nil {
+			cancel()
+			continue
+		}
+		var hz struct {
+			RetryAfterMS int64 `json:"retry_after_ms"`
+		}
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&hz)
+		resp.Body.Close()
+		cancel()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			h.retryAfterMS.Store(hz.RetryAfterMS)
+			h.overloaded.Store(true)
+		} else {
+			h.overloaded.Store(false)
+		}
+	}
 }
 
 // misdirectTarget extracts the owning replica from a wrong_partition
@@ -371,6 +519,9 @@ func (rt *router) metrics(w http.ResponseWriter) {
 	b.WriteString("# HELP fmore_router_proxy_error_total Forwards that failed at the transport level.\n")
 	b.WriteString("# TYPE fmore_router_proxy_error_total counter\n")
 	fmt.Fprintf(&b, "fmore_router_proxy_error_total %d\n", rt.proxyErrs.Load())
+	b.WriteString("# HELP fmore_router_shed_total Bid submits failed fast (429) because the owning replica was overloaded or its circuit was open.\n")
+	b.WriteString("# TYPE fmore_router_shed_total counter\n")
+	fmt.Fprintf(&b, "fmore_router_shed_total %d\n", rt.sheds.Load())
 	b.WriteString("# HELP fmore_router_map_version Version of the partition map the router routes by.\n")
 	b.WriteString("# TYPE fmore_router_map_version gauge\n")
 	version := int64(0)
@@ -385,6 +536,8 @@ func main() {
 	addr := flag.String("addr", ":8779", "HTTP listen address (:0 picks a free port, logged on start)")
 	replicas := flag.String("replicas", "",
 		`cluster partition map, "p0=http://host:port,p1=..." (same spec the replicas were started with)`)
+	healthzInterval := flag.Duration("healthz-interval", time.Second,
+		"how often to probe each replica's /v1/healthz for overload (0 disables probing and health-based shedding)")
 	flag.Parse()
 
 	m, err := partition.Parse(*replicas)
@@ -392,6 +545,9 @@ func main() {
 		log.Fatalf("parsing -replicas: %v", err)
 	}
 	rt := newRouter(m)
+	if *healthzInterval > 0 {
+		go rt.probeLoop(context.Background(), *healthzInterval)
+	}
 
 	listener, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -2,12 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -305,5 +307,143 @@ func TestRouterEventsStream(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("round_closed event never arrived through the router")
+	}
+}
+
+// TestRouterShedsOverloadedReplica: a healthz probe that finds a replica
+// overloaded makes the router fail bid submits fast with the replica's own
+// retry hint, while round closes still forward; a healthy probe restores
+// forwarding, and the sheds show up on /router/metrics.
+func TestRouterShedsOverloadedReplica(t *testing.T) {
+	var overloaded atomic.Bool
+	overloaded.Store(true)
+	var backendBids, backendCloses atomic.Int64
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/v1/healthz":
+			w.Header().Set("Content-Type", "application/json")
+			if overloaded.Load() {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				io.WriteString(w, `{"status":"overloaded","retry_after_ms":250}`)
+				return
+			}
+			io.WriteString(w, `{"status":"ok"}`)
+		case strings.HasSuffix(r.URL.Path, "/bids"):
+			backendBids.Add(1)
+			w.WriteHeader(http.StatusAccepted)
+			io.WriteString(w, `{"round":1}`)
+		case strings.HasSuffix(r.URL.Path, "/close"):
+			backendCloses.Add(1)
+			io.WriteString(w, `{"round":1}`)
+		default:
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+	defer backend.Close()
+
+	m := &partition.Map{Version: 1, Partitions: []partition.Replica{{Partition: "p0", URL: backend.URL}}}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rt := newRouter(m)
+	front := httptest.NewServer(rt)
+	defer front.Close()
+	ctx := context.Background()
+
+	rt.probeOnce(ctx)
+	resp, err := http.Post(front.URL+"/v1/jobs/j1/bids", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || env["code"] != "overloaded" {
+		t.Fatalf("shed response = %d %v", resp.StatusCode, env)
+	}
+	if ms, _ := env["retry_after_ms"].(float64); ms != 250 {
+		t.Fatalf("retry_after_ms = %v, want the replica's hint 250", env["retry_after_ms"])
+	}
+	if got := backendBids.Load(); got != 0 {
+		t.Fatalf("backend saw %d bids while shedding, want 0", got)
+	}
+	// Round closes are never shed.
+	resp, err = http.Post(front.URL+"/v1/jobs/j1/close", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || backendCloses.Load() != 1 {
+		t.Fatalf("close while overloaded: status %d, backend closes %d", resp.StatusCode, backendCloses.Load())
+	}
+
+	// A healthy probe lifts the shed.
+	overloaded.Store(false)
+	rt.probeOnce(ctx)
+	resp, err = http.Post(front.URL+"/v1/jobs/j1/bids", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || backendBids.Load() != 1 {
+		t.Fatalf("bid after recovery: status %d, backend bids %d", resp.StatusCode, backendBids.Load())
+	}
+
+	mresp, err := http.Get(front.URL + "/router/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	parsed, err := promtext.Parse(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := parsed.Value("fmore_router_shed_total"); err != nil || v != 1 {
+		t.Fatalf("fmore_router_shed_total = %v (%v), want 1", v, err)
+	}
+}
+
+// TestRouterBreakerFailsFast: a replica that stops answering at the
+// transport level trips the per-replica breaker after three consecutive
+// forward errors, after which bid submits shed without touching the socket.
+func TestRouterBreakerFailsFast(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close() // nothing listens here anymore
+
+	m := &partition.Map{Version: 1, Partitions: []partition.Replica{{Partition: "p0", URL: deadURL}}}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rt := newRouter(m)
+	front := httptest.NewServer(rt)
+	defer front.Close()
+
+	for i := 0; i < breakerThreshold; i++ {
+		resp, err := http.Post(front.URL+"/v1/jobs/j1/bids", "application/json", strings.NewReader(`{}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadGateway {
+			t.Fatalf("forward %d while circuit closed: status %d, want 502", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(front.URL+"/v1/jobs/j1/bids", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || env["code"] != "overloaded" {
+		t.Fatalf("post-trip response = %d %v, want fast 429 overloaded", resp.StatusCode, env)
+	}
+	if rt.sheds.Load() != 1 {
+		t.Fatalf("sheds = %d, want 1", rt.sheds.Load())
 	}
 }

@@ -1,0 +1,329 @@
+package admission
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBucketConcurrentAccuracy hammers one bucket from 64 goroutines on a
+// frozen clock and requires exact token accounting: the burst admits to the
+// token, nothing more, and advancing the clock refills to the token. This
+// is the -race witness that the CAS loop neither double-spends nor loses
+// tokens under contention.
+func TestBucketConcurrentAccuracy(t *testing.T) {
+	const (
+		rate      = 1000.0 // 1ms per token
+		burst     = 100
+		writers   = 64
+		perWriter = 200
+	)
+	b := NewBucket(rate, burst)
+	interval := int64(time.Millisecond)
+	now := time.Now().UnixNano()
+
+	hammer := func(at int64) int64 {
+		var admitted atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perWriter; i++ {
+					if ok, _ := b.Allow(at); ok {
+						admitted.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		return admitted.Load()
+	}
+
+	if got := hammer(now); got != burst {
+		t.Fatalf("cold bucket admitted %d, want exactly the burst %d", got, burst)
+	}
+	// 50 intervals later exactly 50 tokens have refilled.
+	if got := hammer(now + 50*interval); got != 50 {
+		t.Fatalf("after 50 intervals admitted %d, want 50", got)
+	}
+	// No time passed: everything sheds, and the retry hint is one interval.
+	ok, retry := b.Allow(now + 50*interval)
+	if ok {
+		t.Fatal("drained bucket admitted a bid")
+	}
+	if retry != time.Duration(interval) {
+		t.Fatalf("retry hint = %v, want %v", retry, time.Duration(interval))
+	}
+	// Waiting out the hint admits again.
+	if ok, _ := b.Allow(now + 50*interval + int64(retry)); !ok {
+		t.Fatal("bucket still rejects after waiting out its own retry hint")
+	}
+}
+
+// TestBucketNilUnlimited: nil buckets (rate 0) admit everything.
+func TestBucketNilUnlimited(t *testing.T) {
+	b := NewBucket(0, 10)
+	if b != nil {
+		t.Fatal("rate 0 should build a nil (unlimited) bucket")
+	}
+	if ok, retry := b.Allow(time.Now().UnixNano()); !ok || retry != 0 {
+		t.Fatalf("nil bucket: ok=%v retry=%v", ok, retry)
+	}
+}
+
+// TestControllerHierarchyScopes pins the check order (global before node
+// before job), the per-scope counters, and that a rejection at one level
+// reports that level's scope.
+func TestControllerHierarchyScopes(t *testing.T) {
+	clock := time.Now()
+	c := NewController(Config{
+		GlobalRate: 1000, GlobalBurst: 2,
+		NodeRate: 1000, NodeBurst: 1,
+		JobRate: 1000, JobBurst: 10,
+		Now: func() time.Time { return clock },
+	})
+	node := c.NewNodeBucket()
+	job := c.NewJobBucket()
+
+	if ok, _, _ := c.AdmitBid(node, job); !ok {
+		t.Fatal("first bid must admit")
+	}
+	// Node burst (1) is spent; the node level sheds next.
+	ok, scope, retry := c.AdmitBid(node, job)
+	if ok || scope != ScopeNode || retry <= 0 {
+		t.Fatalf("second bid: ok=%v scope=%q retry=%v, want node shed", ok, scope, retry)
+	}
+	// A different node passes the node level, and the global burst (2) is
+	// now spent — the shed bid above consumed a global token too, by design.
+	other := c.NewNodeBucket()
+	ok, scope, _ = c.AdmitBid(other, job)
+	if ok || scope != ScopeGlobal {
+		t.Fatalf("third bid: ok=%v scope=%q, want global shed", ok, scope)
+	}
+	st := c.Stats()
+	if st.ShedGlobal != 1 || st.ShedNode != 1 || st.ShedJob != 0 || st.ShedTotal() != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if !st.Overloaded {
+		t.Fatal("a shed within the window must report overloaded")
+	}
+	clock = clock.Add(2 * defaultOverloadWindow)
+	if over, _ := c.Overloaded(); over {
+		t.Fatal("overload must clear once the window passes without sheds")
+	}
+}
+
+// TestControllerInflightGate: 64 concurrent claimants against an 8-slot
+// gate never exceed 8 admitted at once, sheds are counted, and released
+// slots are reusable.
+func TestControllerInflightGate(t *testing.T) {
+	c := NewController(Config{MaxInflight: 8})
+	var (
+		cur, peak atomic.Int64
+		admitted  atomic.Int64
+		wg        sync.WaitGroup
+	)
+	for w := 0; w < 64; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ok, retry := c.BeginRequest()
+				if !ok {
+					if retry <= 0 {
+						t.Error("inflight shed without a retry hint")
+					}
+					continue
+				}
+				admitted.Add(1)
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				cur.Add(-1)
+				c.EndRequest()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 8 {
+		t.Fatalf("peak concurrent admissions %d > MaxInflight 8", p)
+	}
+	if admitted.Load() == 0 {
+		t.Fatal("no request was ever admitted")
+	}
+	st := c.Stats()
+	if st.Inflight != 0 {
+		t.Fatalf("inflight gauge = %d after all releases", st.Inflight)
+	}
+	if st.ShedInflight+admitted.Load() != 64*100 {
+		t.Fatalf("admitted %d + shed %d != %d attempts", admitted.Load(), st.ShedInflight, 64*100)
+	}
+}
+
+// TestControllerStreamEvictionOrder pins the SSE cap policy: at the cap
+// the OLDEST stream is evicted first (FIFO), release frees a slot without
+// evictions, and a release racing its own eviction is harmless.
+func TestControllerStreamEvictionOrder(t *testing.T) {
+	c := NewController(Config{MaxStreams: 3})
+	var (
+		mu      sync.Mutex
+		evicted []int
+	)
+	mark := func(id int) func() {
+		return func() {
+			mu.Lock()
+			evicted = append(evicted, id)
+			mu.Unlock()
+		}
+	}
+	rel1 := c.AcquireStream(mark(1))
+	rel2 := c.AcquireStream(mark(2))
+	_ = c.AcquireStream(mark(3))
+	if st := c.Stats(); st.SSEActive != 3 || st.SSEEvicted != 0 {
+		t.Fatalf("stats after fill = %+v", st)
+	}
+	_ = c.AcquireStream(mark(4)) // cap hit: evicts 1
+	_ = c.AcquireStream(mark(5)) // cap hit: evicts 2
+	mu.Lock()
+	got := append([]int(nil), evicted...)
+	mu.Unlock()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("eviction order = %v, want [1 2]", got)
+	}
+	// Releasing an evicted stream is a no-op; releasing a live one frees a
+	// slot so the next acquire does not evict.
+	rel1()
+	rel2()
+	if st := c.Stats(); st.SSEActive != 3 {
+		t.Fatalf("active = %d, want 3 (streams 3,4,5)", st.SSEActive)
+	}
+	// One live release, then an acquire fits without eviction.
+	relEvictable := c.AcquireStream(mark(6)) // evicts 3
+	relEvictable()
+	_ = c.AcquireStream(mark(7)) // fills the freed slot
+	mu.Lock()
+	final := append([]int(nil), evicted...)
+	mu.Unlock()
+	if len(final) != 3 || final[2] != 3 {
+		t.Fatalf("evictions = %v, want [1 2 3]", final)
+	}
+	if st := c.Stats(); st.SSEActive != 3 || st.SSEEvicted != 3 {
+		t.Fatalf("final stats = %+v", st)
+	}
+}
+
+// TestControllerStreamConcurrent churns acquires/releases from many
+// goroutines under -race and checks the registry never leaks entries.
+func TestControllerStreamConcurrent(t *testing.T) {
+	c := NewController(Config{MaxStreams: 4})
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				release := c.AcquireStream(func() {})
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	if st := c.Stats(); st.SSEActive != 0 {
+		t.Fatalf("active streams = %d after all releases", st.SSEActive)
+	}
+}
+
+// TestBreakerTransitions walks closed → open → half-open → closed and the
+// failed-probe re-open.
+func TestBreakerTransitions(t *testing.T) {
+	b := NewBreaker(3, time.Second)
+	now := time.Now().UnixNano()
+	for i := 0; i < 2; i++ {
+		b.Failure(now)
+		if !b.Allow(now) {
+			t.Fatalf("breaker opened after %d failures, threshold 3", i+1)
+		}
+	}
+	b.Failure(now) // third consecutive failure opens
+	if b.Allow(now) {
+		t.Fatal("breaker still closed after reaching the threshold")
+	}
+	if b.Allow(now + int64(500*time.Millisecond)) {
+		t.Fatal("breaker allowed before cooldown elapsed")
+	}
+	probeAt := now + int64(time.Second)
+	if !b.Allow(probeAt) {
+		t.Fatal("cooldown elapsed: one probe must be allowed")
+	}
+	if b.Allow(probeAt) {
+		t.Fatal("second caller during the half-open probe must fail fast")
+	}
+	// Failed probe: re-open for a full cooldown.
+	b.Failure(probeAt)
+	if b.Allow(probeAt + int64(500*time.Millisecond)) {
+		t.Fatal("failed probe must re-open for a full cooldown")
+	}
+	again := probeAt + int64(time.Second)
+	if !b.Allow(again) {
+		t.Fatal("second probe must be allowed after the re-open cooldown")
+	}
+	b.Success()
+	if !b.Allow(again) || !b.Allow(again) {
+		t.Fatal("successful probe must close the circuit for everyone")
+	}
+	// A single failure on the re-closed circuit does not re-open it.
+	b.Failure(again)
+	if !b.Allow(again) {
+		t.Fatal("success must have reset the failure streak")
+	}
+}
+
+// TestBreakerProbeElection: when the cooldown lapses under concurrency,
+// exactly one caller wins the half-open probe.
+func TestBreakerProbeElection(t *testing.T) {
+	b := NewBreaker(1, time.Millisecond)
+	now := time.Now().UnixNano()
+	b.Failure(now)
+	probeAt := now + int64(2*time.Millisecond)
+	var allowed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 32; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Allow(probeAt) {
+				allowed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := allowed.Load(); got != 1 {
+		t.Fatalf("%d probes allowed, want exactly 1", got)
+	}
+}
+
+// TestNilController: every hot-path method on a nil controller is a no-op
+// that admits, so callers never branch on enablement.
+func TestNilController(t *testing.T) {
+	var c *Controller
+	if ok, _, _ := c.AdmitBid(nil, nil); !ok {
+		t.Fatal("nil controller must admit")
+	}
+	if ok, _ := c.BeginRequest(); !ok {
+		t.Fatal("nil controller must admit requests")
+	}
+	c.EndRequest()
+	c.AcquireStream(func() { t.Fatal("nil controller must not evict") })()
+	if over, _ := c.Overloaded(); over {
+		t.Fatal("nil controller is never overloaded")
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil stats = %+v", st)
+	}
+}

@@ -1,0 +1,114 @@
+package admission
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Breaker states. The zero value of Breaker starts closed.
+const (
+	stateClosed int32 = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// Breaker is an atomics-only circuit breaker for slow or failing
+// downstreams (a router's replica, an external sink). Closed passes
+// everything; threshold consecutive failures open it; after cooldown one
+// probe request is let through half-open, and its outcome decides whether
+// the circuit closes again or re-opens for another cooldown.
+type Breaker struct {
+	state     atomic.Int32
+	failures  atomic.Int64
+	openedAt  atomic.Int64 // unix nanos of the last open transition
+	threshold int64
+	cooldown  int64 // nanos
+}
+
+// NewBreaker builds a breaker that opens after threshold consecutive
+// failures (clamped to ≥ 1) and probes again after cooldown.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{threshold: int64(threshold), cooldown: int64(cooldown)}
+}
+
+// Allow reports whether a request may proceed at time now (unix nanos).
+// When an open breaker's cooldown has elapsed, exactly one caller wins the
+// half-open probe slot; everyone else keeps failing fast until the probe
+// reports back. A nil breaker allows everything.
+func (b *Breaker) Allow(now int64) bool {
+	if b == nil {
+		return true
+	}
+	switch b.state.Load() {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if now-b.openedAt.Load() < b.cooldown {
+			return false
+		}
+		// CAS elects the single probe; losers observe half-open (or a
+		// just-closed circuit if the probe already succeeded).
+		if b.state.CompareAndSwap(stateOpen, stateHalfOpen) {
+			return true
+		}
+		return b.state.Load() == stateClosed
+	default: // half-open: the probe is in flight
+		return false
+	}
+}
+
+// Success records a completed request: the circuit closes and the failure
+// streak resets.
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.failures.Store(0)
+	b.state.Store(stateClosed)
+}
+
+// Failure records a failed request at time now. A failed half-open probe
+// re-opens immediately; in the closed state the threshold'th consecutive
+// failure opens the circuit.
+func (b *Breaker) Failure(now int64) {
+	if b == nil {
+		return
+	}
+	if b.state.Load() == stateHalfOpen {
+		b.openedAt.Store(now)
+		b.failures.Store(0)
+		b.state.Store(stateOpen)
+		return
+	}
+	if b.failures.Add(1) >= b.threshold {
+		b.openedAt.Store(now)
+		b.failures.Store(0)
+		b.state.Store(stateOpen)
+	}
+}
+
+// Open reports whether the circuit is currently failing fast (open and
+// still cooling down, or waiting on a half-open probe).
+func (b *Breaker) Open(now int64) bool { return !b.nilOrWouldAllow(now) }
+
+// nilOrWouldAllow is Allow without the probe-election side effect, for
+// observability callers that must not consume the probe slot.
+func (b *Breaker) nilOrWouldAllow(now int64) bool {
+	if b == nil {
+		return true
+	}
+	switch b.state.Load() {
+	case stateClosed:
+		return true
+	case stateOpen:
+		return now-b.openedAt.Load() >= b.cooldown
+	default:
+		return false
+	}
+}

@@ -1,0 +1,64 @@
+package admission
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Bucket is a lock-free token bucket implemented as a GCRA (generic cell
+// rate algorithm) limiter: the whole bucket state is one atomic int64 — the
+// theoretical arrival time (TAT) in nanoseconds — so an admit is a load, a
+// comparison and a CAS, with zero allocations and no locks. A nil *Bucket
+// admits everything, which lets callers express "unlimited" without a
+// branch at every site.
+type Bucket struct {
+	tat atomic.Int64 // theoretical arrival time, unix nanos
+	// interval is the nanosecond cost of one token (1e9 / rate); depth is
+	// the burst allowance expressed in the same unit (burst · interval).
+	interval int64
+	depth    int64
+}
+
+// NewBucket builds a bucket refilling at ratePerSec tokens per second with
+// the given burst capacity (clamped to ≥ 1). A non-positive rate means
+// unlimited and returns nil.
+func NewBucket(ratePerSec float64, burst int) *Bucket {
+	if ratePerSec <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	interval := int64(float64(time.Second) / ratePerSec)
+	if interval < 1 {
+		interval = 1
+	}
+	return &Bucket{interval: interval, depth: int64(burst) * interval}
+}
+
+// Allow consumes one token at time now (unix nanos). On rejection it
+// reports how long the caller should wait before one token is available —
+// the retry_after hint of the v1 envelope.
+func (b *Bucket) Allow(now int64) (ok bool, retryAfter time.Duration) {
+	if b == nil {
+		return true, 0
+	}
+	for {
+		tat := b.tat.Load()
+		t := tat
+		if now > t {
+			t = now
+		}
+		next := t + b.interval
+		if next-now > b.depth {
+			// next == tat+interval here: rejection implies tat > now,
+			// because an idle bucket (tat ≤ now) always has interval ≤
+			// depth headroom. No state changes on rejection, so a rejected
+			// caller never pushes the TAT further out.
+			return false, time.Duration(next - now - b.depth)
+		}
+		if b.tat.CompareAndSwap(tat, next) {
+			return true, 0
+		}
+	}
+}

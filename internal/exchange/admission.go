@@ -1,0 +1,27 @@
+package exchange
+
+import (
+	"fmt"
+	"time"
+
+	"fmore/internal/admission"
+)
+
+// OverloadError reports a bid shed by the admission controller (Options.
+// Admission). The HTTP front end maps it to 429 `overloaded` and carries
+// RetryAfter as retry_after_ms in the v1 envelope; Scope names the limit
+// level that fired (global, node, job or inflight). Sheds are deliberate
+// backpressure, not faults: the client SDK retries after the hint.
+type OverloadError struct {
+	Scope      admission.Scope
+	RetryAfter time.Duration
+}
+
+// Error implements the error interface.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("exchange: overloaded (%s limit), retry in %v", e.Scope, e.RetryAfter)
+}
+
+// Admission exposes the exchange's admission controller; nil when overload
+// protection is disabled.
+func (ex *Exchange) Admission() *admission.Controller { return ex.adm }

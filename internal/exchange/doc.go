@@ -212,9 +212,59 @@
 //	round_latency_p99_seconds   gauge      nearest-rank p99 close latency (sliding ring)
 //	round_latency_seconds       histogram  cumulative close latency, le= 250µs..2.5s buckets
 //
+// With Options.Admission installed the admission family joins the catalog
+// (absent otherwise, so an unprotected exchange exposes zero admission
+// surface):
+//
+//	admission_shed_total        counter    requests shed, labeled reason= global|node|job|inflight
+//	admission_sse_evicted_total counter    SSE streams evicted (oldest first) at the cap
+//	admission_inflight          gauge      bid submits currently inside the in-flight gate
+//	admission_sse_active        gauge      SSE streams currently registered
+//	admission_overloaded        gauge      1 while /v1/healthz answers 503, else 0
+//
 // The histogram is bucketed at write time (one atomic add per close) and
 // cumulated at scrape; its _count equals rounds_total, so the two read
 // consistently under concurrent closes.
+//
+// # Admission & overload
+//
+// Options.Admission mounts an internal/admission.Controller in front of
+// the bid-submit path (nil = no admission, zero overhead, no healthz
+// overload state). The protection is layered, cheapest refusal first:
+//
+//   - In-flight gate. The HTTP handler claims a slot before reading the
+//     request body or touching the Idempotency-Key, so a saturated
+//     exchange sheds excess submits at the cost of a header parse.
+//   - Hierarchical GCRA rate limits, global → per-node → per-job. Each
+//     level is one lock-free CAS on a single int64 (the theoretical
+//     arrival time); a rejected check is side-effect-free, so shed
+//     traffic cannot push honest traffic's tokens out. The admit path
+//     runs on a cached clock refreshed only when a level rejects —
+//     steady-state headroom costs no clock reads — and allocates
+//     nothing. Per-node buckets live on the registry entry (minted once
+//     by CAS); unregistered nodes share one bucket, which also throttles
+//     registration-spray abuse. Per-job buckets are minted at job
+//     creation.
+//   - SSE subscriber cap. At Config.MaxStreams the OLDEST stream is
+//     evicted (its request context canceled) to admit the newcomer, so a
+//     reconnect storm converges on the newest subscribers instead of
+//     locking out fresh clients.
+//
+// Shed policy: only bid submits are ever shed. Round closes, WAL commits
+// and SSE heartbeats are never admission-checked — load shedding exists
+// to protect exactly those; a 429 on a close would be the failure mode,
+// not the defense. A shed bid answers 429 {"code":"overloaded",
+// "retry_after_ms":N}; because the shed happens before the idempotency
+// claim (HTTP gate) or aborts it (rate gate), the request's
+// Idempotency-Key is never burned — the pkg/client SDK sleeps the hint
+// and retries with the same key.
+//
+// GET /v1/healthz is the overload signal for probers (the fmore-router
+// polls it and fails fast on a replica's behalf): 200 {"status":"ok"}
+// normally, 503 {"status":"overloaded","retry_after_ms":N} while the
+// in-flight gate is saturated or within one OverloadWindow (default 1s)
+// of the most recent shed, so the bit is stable rather than flapping
+// per-request.
 //
 // # The /v1 API
 //

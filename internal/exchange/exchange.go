@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fmore/internal/admission"
 	"fmore/internal/auction"
 	"fmore/internal/partition"
 )
@@ -89,6 +90,14 @@ type Options struct {
 	// share one data-dir parent. Nil (the default) is the unpartitioned
 	// single-process posture with zero added cost on any path.
 	Partition *partition.Assignment
+	// Admission enables overload protection: hierarchical token-bucket
+	// rate limits on bid intake (global/per-node/per-job), an in-flight
+	// request gate, and SSE subscriber caps, all with shed accounting
+	// surfaced via Metrics and GET /v1/healthz. Shed bids fail with
+	// *OverloadError (429 + retry_after_ms over HTTP); round closes, WAL
+	// commits and SSE heartbeats are never shed. Nil (the default)
+	// disables admission with zero added cost on the hot path.
+	Admission *admission.Controller
 }
 
 // jobTable is the exchange's epoch-published job set: an immutable map
@@ -140,6 +149,7 @@ type Exchange struct {
 	metrics *Metrics
 	fh      *Firehose
 	part    *partition.Assignment
+	adm     *admission.Controller
 
 	// WAL gauges, mirrored atomically out of the compaction machinery so a
 	// metrics scrape never touches compactMu (or the writer goroutine):
@@ -186,6 +196,7 @@ func New(opts Options) *Exchange {
 		metrics: newMetrics(),
 		fh:      newFirehose(opts.FirehoseRing),
 		part:    opts.Partition,
+		adm:     opts.Admission,
 		ctx:     ctx,
 		cancel:  cancel,
 	}
@@ -356,6 +367,23 @@ func (ex *Exchange) SubmitBid(jobID string, bid auction.Bid) (round int, err err
 		ex.metrics.bidsRejected.Add(1)
 		return 0, fmt.Errorf("%w: node %d", ErrBlacklisted, bid.NodeID)
 	}
+	// Admission runs after the cheap policy checks and before any intake
+	// work: a shed bid touches no stripe, no buffer and no log. Registered
+	// nodes carry their private bucket on the registry entry (one lazy CAS
+	// per node lifetime, then a lock-free pointer load); unregistered nodes
+	// share one bucket so a registration spray cannot dodge the node level.
+	if ex.adm != nil {
+		var nodeBucket *admission.Bucket
+		if registered {
+			nodeBucket = info.admitBucket(ex.adm)
+		} else {
+			nodeBucket = ex.adm.UnregisteredBucket()
+		}
+		if ok, scope, retry := ex.adm.AdmitBid(nodeBucket, j.admit); !ok {
+			ex.metrics.bidsRejected.Add(1)
+			return 0, &OverloadError{Scope: scope, RetryAfter: retry}
+		}
+	}
 	// Acceptance side effects run inside the intake shard's critical
 	// section, atomically with the buffer insert — the invariant the WAL
 	// snapshot's pending-bid accounting relies on. Registered nodes pass
@@ -439,6 +467,19 @@ func (ex *Exchange) Metrics() Snapshot {
 		s.WalFsyncBatchedRecords = ex.wal.fsyncRecs.Load()
 	}
 	s.FirehoseEvents, s.FirehoseDropped = fhStats(ex.fh)
+	if ex.adm != nil {
+		st := ex.adm.Stats()
+		s.AdmissionEnabled = true
+		s.AdmissionOverloaded = st.Overloaded
+		s.AdmissionInflight = st.Inflight
+		s.AdmissionShedTotal = st.ShedTotal()
+		s.AdmissionShedGlobal = st.ShedGlobal
+		s.AdmissionShedNode = st.ShedNode
+		s.AdmissionShedJob = st.ShedJob
+		s.AdmissionShedInflight = st.ShedInflight
+		s.AdmissionSSEActive = st.SSEActive
+		s.AdmissionSSEEvicted = st.SSEEvicted
+	}
 	return s
 }
 

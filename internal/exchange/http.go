@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"fmore/internal/admission"
 	"fmore/internal/auction"
 	"fmore/internal/partition"
 	"fmore/internal/transport"
@@ -48,6 +49,10 @@ const (
 	codeBlacklisted    = "blacklisted"
 	codeTimeout        = "timeout"
 	codeInternal       = "internal_error"
+	// codeOverloaded (429) means the admission controller shed the request
+	// (rate limit or in-flight cap); the envelope's retry_after_ms says when
+	// to try again. Deliberate backpressure — retryable by contract.
+	codeOverloaded = "overloaded"
 	// codeWrongPartition (421 Misdirected Request) means the cluster map
 	// places the job on another replica; the envelope carries that replica's
 	// base URL so the caller can re-aim in one hop.
@@ -85,6 +90,7 @@ type errorEnvelope struct {
 //	GET    /v1/metrics               throughput and latency snapshot (JSON)
 //	GET    /v1/metrics/prometheus    the same counters in Prometheus text format
 //	GET    /v1/cluster/partitions    the replica's cluster map (404 unpartitioned)
+//	GET    /v1/healthz               overload state (503 + retry_after_ms when shedding)
 //
 // The pre-v1 unversioned aliases from the original API were removed after
 // their one-release deprecation window; pre-v1 paths now 404 with the v1
@@ -115,6 +121,7 @@ func NewHandler(ex *Exchange) http.Handler {
 		{http.MethodGet, "/metrics", h.metrics},
 		{http.MethodGet, "/metrics/prometheus", h.metricsPrometheus},
 		{http.MethodGet, "/cluster/partitions", h.clusterPartitions},
+		{http.MethodGet, "/healthz", h.healthz},
 	}
 	for _, rt := range routes {
 		mux.HandleFunc(rt.method+" /v1"+rt.path, rt.fn)
@@ -506,6 +513,16 @@ func (h *handler) jobStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *handler) submitBid(w http.ResponseWriter, r *http.Request) {
+	// The in-flight gate runs before the body read and before the
+	// idempotency claim: a shed request is the cheapest possible 429 and
+	// never burns its Idempotency-Key, so the client's retry replays
+	// nothing stale.
+	adm := h.ex.Admission()
+	if ok, retry := adm.BeginRequest(); !ok {
+		writeOverloaded(w, admission.ScopeInflight, retry)
+		return
+	}
+	defer adm.EndRequest()
 	jobID := r.PathValue("id")
 	raw, err := io.ReadAll(io.LimitReader(r.Body, maxIdempotentBody))
 	if err != nil {
@@ -700,6 +717,19 @@ func (h *handler) events(w http.ResponseWriter, r *http.Request) {
 		after = n
 	}
 
+	// SSE subscriber cap: register the stream with the admission controller
+	// before subscribing. At the cap the controller cancels the OLDEST
+	// stream's context to make room — new subscribers always get in, and
+	// the victim's select loop unwinds through its normal Unsubscribe path.
+	// Heartbeats of admitted streams are never shed.
+	if adm := h.ex.Admission(); adm != nil {
+		ctx, cancel := context.WithCancel(r.Context())
+		defer cancel()
+		release := adm.AcquireStream(cancel)
+		defer release()
+		r = r.WithContext(ctx)
+	}
+
 	past, cur, sub := job.Subscribe(after)
 	if sub != nil {
 		defer job.Unsubscribe(sub)
@@ -872,6 +902,44 @@ func (h *handler) clusterPartitions(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// healthzResponse is the GET /v1/healthz payload. status is "ok" or
+// "overloaded"; the admission_* fields mirror the controller's accounting
+// (all zero, and status always "ok", when admission is disabled).
+type healthzResponse struct {
+	Status       string `json:"status"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+	Inflight     int64  `json:"admission_inflight"`
+	ShedTotal    int64  `json:"admission_shed_total"`
+	SSEActive    int64  `json:"admission_sse_active"`
+}
+
+// healthz is the overload probe for routers and load balancers: 200 while
+// the exchange accepts work, 503 + retry_after_ms while the admission
+// controller reports overload (in-flight gate saturated, or a shed within
+// the overload window). The handler itself is never shed — a prober must
+// always get an answer.
+func (h *handler) healthz(w http.ResponseWriter, _ *http.Request) {
+	adm := h.ex.Admission()
+	if adm == nil {
+		writeJSON(w, http.StatusOK, healthzResponse{Status: "ok"})
+		return
+	}
+	st := adm.Stats()
+	resp := healthzResponse{
+		Status:    "ok",
+		Inflight:  st.Inflight,
+		ShedTotal: st.ShedTotal(),
+		SSEActive: st.SSEActive,
+	}
+	status := http.StatusOK
+	if st.Overloaded {
+		resp.Status = "overloaded"
+		resp.RetryAfterMS = retryMS(st.RetryAfter)
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
 // metricsPrometheus serves the same health counters in the Prometheus text
 // exposition format (see prometheus.go and the catalog in doc.go).
 func (h *handler) metricsPrometheus(w http.ResponseWriter, _ *http.Request) {
@@ -945,9 +1013,12 @@ func parseLimit(s string, def, max int) (int, error) {
 // classify maps an exchange error onto its HTTP status and envelope code.
 func classify(err error) (status int, code string) {
 	var wp *WrongPartitionError
+	var ov *OverloadError
 	switch {
 	case errors.As(err, &wp):
 		return http.StatusMisdirectedRequest, codeWrongPartition
+	case errors.As(err, &ov):
+		return http.StatusTooManyRequests, codeOverloaded
 	case errors.Is(err, ErrUnknownJob):
 		return http.StatusNotFound, codeUnknownJob
 	case errors.Is(err, ErrRoundPending):
@@ -1013,7 +1084,32 @@ func writeErr(w http.ResponseWriter, err error) {
 		env.ReplicaURL = wp.ReplicaURL
 		env.MapVersion = wp.MapVersion
 	}
+	var ov *OverloadError
+	if errors.As(err, &ov) {
+		env.RetryAfterMS = retryMS(ov.RetryAfter)
+	}
 	writeJSON(w, status, env)
+}
+
+// retryMS renders a retry hint as whole milliseconds, clamped to ≥ 1 so a
+// sub-millisecond hint still tells the client to back off.
+func retryMS(d time.Duration) int64 {
+	ms := int64(d / time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// writeOverloaded renders an admission shed that never reached the
+// exchange core (the in-flight gate) in the same envelope SubmitBid sheds
+// use.
+func writeOverloaded(w http.ResponseWriter, scope admission.Scope, retry time.Duration) {
+	writeJSON(w, http.StatusTooManyRequests, errorEnvelope{
+		Code:         codeOverloaded,
+		Message:      fmt.Sprintf("exchange: overloaded (%s limit), retry advised", scope),
+		RetryAfterMS: retryMS(retry),
+	})
 }
 
 // writeError renders an explicit status/code pair (request validation and

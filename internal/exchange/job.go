@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fmore/internal/admission"
 	"fmore/internal/auction"
 	"fmore/internal/transport"
 )
@@ -143,6 +144,11 @@ type Job struct {
 	// lock, buffer, dedup set and round label. Bid submission touches only
 	// its shard; the round close drains all shards once. See intake.go.
 	intake *intake
+
+	// admit is the job's admission bucket (nil when admission is off or the
+	// job level is unlimited). Immutable after newJob, so the submit path
+	// reads it without synchronization.
+	admit *admission.Bucket
 
 	// mu guards the round/history state: the round counter, outcome history
 	// (and its pooled-buffer holds), the scoring flag, the round-completion
@@ -753,6 +759,7 @@ func newJob(ex *Exchange, id string, spec JobSpec) (*Job, error) {
 		ctx:         ctx,
 		cancel:      cancel,
 		intake:      newIntake(ex.opts.IntakeShards),
+		admit:       ex.adm.NewJobBucket(),
 		round:       1,
 		subs:        make(map[*Subscription]struct{}),
 		auct:        auct,

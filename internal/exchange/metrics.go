@@ -126,6 +126,21 @@ type Snapshot struct {
 	// Round-close latency percentiles over the last latWindow rounds.
 	RoundLatencyP50Ms float64 `json:"round_latency_p50_ms"`
 	RoundLatencyP99Ms float64 `json:"round_latency_p99_ms"`
+	// Admission* mirror the overload-protection accounting (Options.
+	// Admission): whether the controller is installed, whether it currently
+	// reports overload, the in-flight bid-submit gauge, sheds by scope, and
+	// SSE subscriber occupancy/evictions. All zero (and Enabled false) when
+	// admission is disabled.
+	AdmissionEnabled      bool  `json:"admission_enabled"`
+	AdmissionOverloaded   bool  `json:"admission_overloaded"`
+	AdmissionInflight     int64 `json:"admission_inflight"`
+	AdmissionShedTotal    int64 `json:"admission_shed_total"`
+	AdmissionShedGlobal   int64 `json:"admission_shed_global"`
+	AdmissionShedNode     int64 `json:"admission_shed_node"`
+	AdmissionShedJob      int64 `json:"admission_shed_job"`
+	AdmissionShedInflight int64 `json:"admission_shed_inflight"`
+	AdmissionSSEActive    int64 `json:"admission_sse_active"`
+	AdmissionSSEEvicted   int64 `json:"admission_sse_evicted"`
 }
 
 // snapshot assembles the exported view. nodes and activeJobs are supplied

@@ -59,6 +59,34 @@ func writePrometheus(w io.Writer, ex *Exchange) error {
 			counter("wrong_partition_total", "Job-scoped requests refused because the map places the job on another replica.", s.WrongPartition)
 		}
 	}
+	// Admission metrics appear only when overload protection is installed:
+	// sheds by scope on one labeled counter, SSE occupancy and evictions,
+	// the in-flight gauge, and the boolean overload state health probers
+	// read.
+	if s.AdmissionEnabled {
+		b.WriteString("# HELP fmore_exchange_admission_shed_total Requests shed by the admission controller, by limit scope.\n")
+		b.WriteString("# TYPE fmore_exchange_admission_shed_total counter\n")
+		for _, sc := range [...]struct {
+			reason string
+			v      int64
+		}{
+			{"global", s.AdmissionShedGlobal},
+			{"node", s.AdmissionShedNode},
+			{"job", s.AdmissionShedJob},
+			{"inflight", s.AdmissionShedInflight},
+		} {
+			b.WriteString(`fmore_exchange_admission_shed_total{reason="` + sc.reason + `"} ` +
+				strconv.FormatInt(sc.v, 10) + "\n")
+		}
+		counter("admission_sse_evicted_total", "SSE streams evicted (oldest first) to admit new subscribers at the cap.", s.AdmissionSSEEvicted)
+		gauge("admission_inflight", "Bid-submit requests currently inside the in-flight gate.", float64(s.AdmissionInflight))
+		gauge("admission_sse_active", "SSE streams currently registered with the admission controller.", float64(s.AdmissionSSEActive))
+		overloaded := 0.0
+		if s.AdmissionOverloaded {
+			overloaded = 1
+		}
+		gauge("admission_overloaded", "1 while the exchange advertises overload on /v1/healthz, else 0.", overloaded)
+	}
 	gauge("round_latency_p50_seconds", "Median close-to-outcome latency over the sliding percentile window.", s.RoundLatencyP50Ms/1e3)
 	gauge("round_latency_p99_seconds", "99th-percentile close-to-outcome latency over the sliding percentile window.", s.RoundLatencyP99Ms/1e3)
 

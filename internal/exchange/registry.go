@@ -3,6 +3,8 @@ package exchange
 import (
 	"sync"
 	"sync/atomic"
+
+	"fmore/internal/admission"
 )
 
 // regShards is the stripe count of the registry. 64 stripes keep lock
@@ -20,6 +22,30 @@ type NodeInfo struct {
 	meta        atomic.Pointer[string]
 	bids        atomic.Int64
 	blacklisted atomic.Bool
+	// admit is the node's private admission bucket, minted lazily on its
+	// first admission-checked bid. Hanging it off the registry entry keeps
+	// the hot path allocation-free (a pointer load) and bounds limiter
+	// memory by the registry's own size — no separate keyed map to shard,
+	// expire, or box int keys into.
+	admit atomic.Pointer[admission.Bucket]
+}
+
+// admitBucket returns the node's private admission bucket, minting it on
+// first use. Racing minters CAS and converge on one bucket; the loser's
+// throwaway bucket was never observed, so token accounting stays exact.
+// Returns nil (unlimited) when the controller has no node-level limit.
+func (n *NodeInfo) admitBucket(c *admission.Controller) *admission.Bucket {
+	if b := n.admit.Load(); b != nil {
+		return b
+	}
+	b := c.NewNodeBucket()
+	if b == nil {
+		return nil
+	}
+	if n.admit.CompareAndSwap(nil, b) {
+		return b
+	}
+	return n.admit.Load()
 }
 
 // Meta returns the node's opaque caller label (address, capability string,

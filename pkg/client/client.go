@@ -337,7 +337,15 @@ func (c *Client) do(ctx context.Context, req request) error {
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		if attempt > 0 {
-			if err := sleepBackoff(ctx, c.backoff, attempt-1); err != nil {
+			// A server-supplied retry_after_ms (429 overloaded, 504 timeout)
+			// overrides the computed backoff: the server knows when capacity
+			// returns, and honoring the hint keeps a shedding exchange from
+			// being hammered on the client's own schedule.
+			if hint := retryHint(lastErr); hint > 0 {
+				if err := sleepFor(ctx, hint); err != nil {
+					return lastErr
+				}
+			} else if err := sleepBackoff(ctx, c.backoff, attempt-1); err != nil {
 				return lastErr
 			}
 		}
@@ -415,13 +423,42 @@ func (c *Client) do(ctx context.Context, req request) error {
 
 // transientStatus reports whether a failure status is worth retrying.
 // 504 is the long-poll timeout — WaitOutcome handles it explicitly, and a
-// plain request hitting a gateway timeout is equally safe to re-issue.
+// plain request hitting a gateway timeout is equally safe to re-issue. 429
+// is the exchange's admission shed: deliberate, explicitly retryable
+// backpressure whose envelope carries the retry_after_ms hint the retry
+// loop honors. Requests are re-sent with their original headers, so a
+// retried keyed POST reuses its Idempotency-Key — a shed never burns the
+// key (the server rejects before claiming it), and the eventual success is
+// recorded against it normally.
 func transientStatus(status int) bool {
 	switch status {
-	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
 		return true
 	}
 	return false
+}
+
+// retryHint extracts the server's suggested retry delay from the previous
+// attempt's error, 0 when it sent none.
+func retryHint(err error) time.Duration {
+	var ae *APIError
+	if errors.As(err, &ae) && ae.RetryAfter > 0 {
+		return ae.RetryAfter
+	}
+	return 0
+}
+
+// sleepFor sleeps exactly d, or returns early when ctx expires.
+func sleepFor(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // sleepBackoff sleeps base·2ᵃᵗᵗᵉᵐᵖᵗ with ±50% jitter (capped at 5s), or

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -285,5 +286,76 @@ func TestClientBidder(t *testing.T) {
 	}
 	if round, err := b.Submit(ctx); err != nil || round != 1 {
 		t.Fatalf("bidder submit: round %d err %v", round, err)
+	}
+}
+
+// TestClientHonorsRetryAfterHint: a 429 shed with retry_after_ms delays the
+// retry by at least the server's hint (the 1ms configured backoff cannot
+// explain the gap), the retry reuses the same Idempotency-Key, and the
+// eventual acceptance is a fresh submit, not an idempotent replay.
+func TestClientHonorsRetryAfterHint(t *testing.T) {
+	ex := exchange.New(exchange.Options{})
+	inner := exchange.NewHandler(ex)
+	const hintMS = 80
+	var (
+		mu       sync.Mutex
+		keys     []string
+		arrivals []time.Time
+		shed     = true
+	)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			mu.Lock()
+			keys = append(keys, r.Header.Get("Idempotency-Key"))
+			arrivals = append(arrivals, time.Now())
+			doShed := shed
+			shed = false
+			mu.Unlock()
+			if doShed {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusTooManyRequests)
+				fmt.Fprintf(w, `{"code":"overloaded","message":"shed","retry_after_ms":%d}`, hintMS)
+				return
+			}
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		srv.Close()
+		ex.Close()
+	})
+	// 1ms backoff: any observed inter-attempt gap near the hint must come
+	// from the retry_after_ms path, not the computed backoff.
+	c, err := New(srv.URL, WithBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := c.CreateJob(ctx, additiveSpec("hint", 1, 7)); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	keys, arrivals, shed = nil, nil, true
+	mu.Unlock()
+
+	round, err := c.SubmitBid(ctx, "hint", Bid{NodeID: 1, Qualities: []float64{0.5, 0.5}, Payment: 0.1})
+	if err != nil || round != 1 {
+		t.Fatalf("submit through shedding front end: round %d err %v", round, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(keys) != 2 {
+		t.Fatalf("attempts = %d, want 2 (one shed, one admitted)", len(keys))
+	}
+	if keys[0] == "" || keys[0] != keys[1] {
+		t.Fatalf("idempotency keys across retry = %q, %q; want identical and non-empty", keys[0], keys[1])
+	}
+	if gap := arrivals[1].Sub(arrivals[0]); gap < hintMS*time.Millisecond {
+		t.Fatalf("retry after %v, want >= %dms (server hint)", gap, hintMS)
+	}
+	// The shed never reached the exchange, so the key was never claimed:
+	// the success must be a first-time accept, not a replay.
+	if ex.Metrics().BidsAccepted != 1 {
+		t.Fatalf("bids accepted = %d, want 1", ex.Metrics().BidsAccepted)
 	}
 }

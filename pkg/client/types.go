@@ -40,6 +40,10 @@ const (
 	CodeNotRegistered  = "not_registered"
 	CodeBlacklisted    = "blacklisted"
 	CodeTimeout        = "timeout"
+	// CodeOverloaded (429) means the exchange's admission controller shed
+	// the request; the APIError's RetryAfter carries the server's hint and
+	// the client retries after it automatically (within the retry budget).
+	CodeOverloaded = "overloaded"
 	// CodeWrongPartition (421) means the replica does not own the job; the
 	// APIError's ReplicaURL names the owner. The client handles it
 	// transparently — see EnableRouting — so callers rarely observe it.
