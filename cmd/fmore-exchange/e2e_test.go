@@ -37,7 +37,15 @@ func startExchange(t *testing.T, bin, dataDir string, extra ...string) (string, 
 // URL plus lifecycle handles.
 func startProc(t *testing.T, bin string, args ...string) (string, func(), *exec.Cmd) {
 	t.Helper()
+	return startProcEnv(t, bin, nil, args...)
+}
+
+// startProcEnv is startProc with extra environment entries (e.g.
+// FMORE_FAILPOINTS specs for the chaos tests).
+func startProcEnv(t *testing.T, bin string, extraEnv []string, args ...string) (string, func(), *exec.Cmd) {
+	t.Helper()
 	cmd := exec.Command(bin, args...)
+	cmd.Env = append(os.Environ(), extraEnv...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)

@@ -47,6 +47,26 @@
 // batching is observable as wal_fsync_total vs wal_fsync_batched_records
 // in the metric catalog.
 //
+// # Storage failure policy
+//
+// -on-wal-failure picks what happens when the log takes its first sticky
+// error (EIO, ENOSPC, a failed fsync or rotation — the error never
+// clears; see the "Failure model & degraded mode" section of
+// internal/exchange's docs). "degrade" (default) keeps the replica up in
+// read-only-for-writes mode: bid submits, round closes and job mutations
+// answer 503 {"code":"durability_lost","retry_after_ms":N}, outcome
+// reads/pages/SSE keep serving what memory holds, GET /v1/healthz flips
+// to 503 {"status":"degraded"} so the fmore-router steers new bid traffic
+// to healthy replicas, and wal_failed / wal_last_error_unix appear in
+// both metric surfaces. "failstop" exits the process instead, for
+// deployments that prefer crash-and-failover to a degraded survivor.
+// Recovery is a restart against repaired storage: replay serves
+// everything that reached the log before the error.
+//
+// For chaos drills, the FMORE_FAILPOINTS environment variable arms
+// deterministic fault-injection sites inside the WAL (see internal/fault
+// for the spec grammar); unset, the sites cost one dormant atomic load.
+//
 // # Admission control
 //
 // Overload protection is off unless at least one limit flag is set:
@@ -146,6 +166,7 @@ import (
 	"fmore/internal/admission"
 	"fmore/internal/analytics"
 	"fmore/internal/exchange"
+	"fmore/internal/fault"
 	"fmore/internal/partition"
 )
 
@@ -164,6 +185,8 @@ func main() {
 		"WAL group-commit hold: how long the log writer coalesces records before each fsync when no Sync waiter is pending (0 = default 2ms); the crash-loss window is bounded by this plus one fsync")
 	commitPolicy := flag.String("commit", "adaptive",
 		`WAL group-commit policy: "adaptive" (default; commit as soon as the writer's queue drains once a durability waiter is pending) or "fixed" (always hold each commit open for the full -sync-interval)`)
+	onWALFailure := flag.String("on-wal-failure", "degrade",
+		`storage failure policy after the WAL's first sticky error: "degrade" (default; keep serving reads, answer durable writes with 503 durability_lost, report degraded on /v1/healthz) or "failstop" (exit immediately)`)
 	pprofAddr := flag.String("pprof-addr", "",
 		"serve net/http/pprof on this address (empty = disabled); keep it loopback-only in production")
 	analyticsWindow := flag.Duration("analytics-window", 0,
@@ -200,6 +223,20 @@ func main() {
 		opts.Commit = exchange.CommitFixed
 	default:
 		log.Fatalf(`-commit must be "adaptive" or "fixed", got %q`, *commitPolicy)
+	}
+	switch *onWALFailure {
+	case "degrade":
+		opts.OnWALFailure = exchange.WALDegrade
+	case "failstop":
+		opts.OnWALFailure = exchange.WALFailstop
+	default:
+		log.Fatalf(`-on-wal-failure must be "degrade" or "failstop", got %q`, *onWALFailure)
+	}
+	// Failpoint activation (FMORE_FAILPOINTS, see internal/fault): dormant
+	// and free unless the environment arms a site — the chaos harness's
+	// lever for injecting disk faults into a real binary.
+	if err := fault.EnableFromEnv(); err != nil {
+		log.Fatalf("%s: %v", fault.EnvVar, err)
 	}
 	if *rateGlobal > 0 || *rateNode > 0 || *rateJob > 0 || *maxInflight > 0 || *maxSubscribers > 0 {
 		burst := func(rate float64) int {
@@ -314,7 +351,9 @@ func main() {
 	if err := ex.Sync(); err != nil {
 		log.Printf("outcome log: %v", err)
 	}
-	ex.Close()
+	if err := ex.Close(); err != nil {
+		log.Printf("outcome log close: %v", err)
+	}
 	snap := ex.Metrics()
 	log.Printf("served %d rounds, %d bids (%.1f bids/sec, p99 round latency %.2fms)",
 		snap.RoundsTotal, snap.BidsAccepted, snap.BidsPerSec, snap.RoundLatencyP99Ms)

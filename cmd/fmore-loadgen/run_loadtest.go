@@ -36,7 +36,7 @@ type config struct {
 func run() error {
 	var cfg config
 	flag.StringVar(&cfg.target, "target", "http://localhost:8780", "base URL of the exchange under test")
-	flag.StringVar(&cfg.scenario, "scenario", "baseline", "baseline | spike | soak | stress | all")
+	flag.StringVar(&cfg.scenario, "scenario", "baseline", "baseline | spike | soak | stress | chaos | all")
 	flag.Float64Var(&cfg.rate, "rate", 500, "offered bids/sec for baseline/soak; starting step for stress")
 	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "base step duration (soak runs 3x this)")
 	flag.IntVar(&cfg.workers, "workers", 32, "concurrent submitter goroutines")
@@ -55,7 +55,14 @@ func run() error {
 		if c.job == "" || cfg.scenario == "all" {
 			c.job = "loadgen-" + sc
 		}
-		if err := runScenario(c); err != nil {
+		var err error
+		if sc == "chaos" {
+			// Chaos spawns its own faulted cluster; -target is unused.
+			err = runChaos(c)
+		} else {
+			err = runScenario(c)
+		}
+		if err != nil {
 			log.Printf("FAIL scenario=%s: %v", sc, err)
 			failed = true
 		}

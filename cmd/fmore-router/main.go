@@ -32,7 +32,9 @@
 //
 // Overload protection: with -healthz-interval > 0 (default 1s) the router
 // probes each replica's GET /v1/healthz on that cadence. While a replica
-// advertises overload (503), bid submits bound for it are failed fast with
+// advertises overload or durability loss (503 {"status":"overloaded"} or
+// {"status":"degraded"} — the latter after a WAL failure under the
+// degrade policy), bid submits bound for it are failed fast with
 // 429 {"code":"overloaded","retry_after_ms":N} — the replica's own hint —
 // without consuming a connection on the struggling backend. A per-replica
 // circuit breaker does the same for replicas that stop answering at the
@@ -67,8 +69,13 @@ import (
 	"time"
 
 	"fmore/internal/admission"
+	"fmore/internal/fault"
 	"fmore/internal/partition"
 )
+
+// fpForward is the router's forward-path failpoint (see internal/fault):
+// dormant — one atomic load — unless a test or FMORE_FAILPOINTS arms it.
+var fpForward = fault.New("router/forward")
 
 // maxBufferedBody bounds how much of a request body the router will buffer
 // for replay; exchange payloads (job specs, bids) are tiny.
@@ -301,6 +308,12 @@ func (rt *router) send(r *http.Request, baseURL string, body []byte) (*http.Resp
 			host = prior + ", " + host
 		}
 		req.Header.Set("X-Forwarded-For", host)
+	}
+	// Chaos lever for the forward path: an armed router/forward failpoint
+	// makes this hop fail (or stall) like a flaky replica link, feeding the
+	// same breaker a real transport error would.
+	if err := fpForward.Fire(); err != nil {
+		return nil, err
 	}
 	return rt.hc.Do(req)
 }
@@ -540,6 +553,9 @@ func main() {
 		"how often to probe each replica's /v1/healthz for overload (0 disables probing and health-based shedding)")
 	flag.Parse()
 
+	if err := fault.EnableFromEnv(); err != nil {
+		log.Fatalf("%s: %v", fault.EnvVar, err)
+	}
 	m, err := partition.Parse(*replicas)
 	if err != nil {
 		log.Fatalf("parsing -replicas: %v", err)

@@ -23,7 +23,7 @@ import (
 func admittedFixture(t *testing.T, cfg admission.Config) *Exchange {
 	t.Helper()
 	ex := New(Options{Admission: admission.NewController(cfg)})
-	t.Cleanup(ex.Close)
+	t.Cleanup(func() { ex.Close() })
 	if _, err := ex.CreateJob(JobSpec{ID: "adm", Auction: auction.Config{Rule: testRule(t, 0), K: 2}}); err != nil {
 		t.Fatal(err)
 	}

@@ -159,6 +159,50 @@
 // (rounds/sec, bids/sec) restart from zero — only outcomes, specs and the
 // registry are durable.
 //
+// # Failure model & degraded mode
+//
+// The storage faults the exchange is built to survive, and what each one
+// costs, are explicit. A torn tail (power loss or kill -9 mid-write) is
+// routine: recovery truncates the log to the last whole CRC-valid frame
+// and replays; everything a completed fsync settled is intact, and a
+// group-commit window's worth of fire-and-forget acks is the documented
+// loss cap. An I/O error during snapshot preallocation is a clean abort:
+// the orphan segment is removed, the rotation trigger re-arms, the
+// attempt counts in wal_snapshot_errors and the next Compact simply
+// retries — the replica never leaves healthy service.
+//
+// A sticky error on the live log — a failed frame write, fdatasync, or
+// segment seal (EIO, ENOSPC) — is different: the writer freezes the log
+// at the first failure (appending past a dropped record would leave a
+// gap that replay mis-recovers from) and the error is permanent for the
+// process. Options.OnWALFailure picks the policy:
+//
+//   - WALDegrade (default). The replica stays up but stops lying about
+//     durability: every durable mutation (bid submit, round close, job
+//     create/remove) refuses with a DegradedError — HTTP 503, code
+//     durability_lost, retry_after_ms set — while reads, outcome pages,
+//     SSE streams and metrics keep serving what was already won.
+//     /v1/healthz flips to 503 {"status":"degraded","wal_failed_unix":…},
+//     which the fmore-router's prober observes and steers sheddable bid
+//     traffic away; the pkg/client SDK treats durability_lost as routing
+//     feedback (refresh the map, re-aim once with the same
+//     Idempotency-Key). wal_failed and wal_last_error_unix expose the
+//     state in the JSON and Prometheus catalogs, Sync and Close return
+//     the sticky error, and an operator resolves it with a restart on a
+//     healthy disk — recovery replays to the last durable frame exactly
+//     as after a crash.
+//   - WALFailstop. The process exits (status 1) on the first sticky
+//     error instead, for fleets that prefer a dead replica to a
+//     read-only one.
+//
+// cmd/fmore-exchange exposes the choice as -on-wal-failure degrade|failstop.
+// The failpoint framework (internal/fault, FMORE_FAILPOINTS) exists to
+// prove all of the above deterministically: the crash-matrix tests and the
+// chaos harness (fmore-loadgen -scenario chaos, TestE2EChaos) inject torn
+// writes, EIO and ENOSPC at every stage and assert the contract, including
+// byte-identical recovery of every acknowledged outcome outside the
+// group-commit window.
+//
 // # Observability: metrics and the event firehose
 //
 // The exchange observes itself on three levels, all following the same
@@ -206,6 +250,8 @@
 //	wal_bytes                   gauge      logical bytes across live segments (reservation excluded)
 //	wal_fsync_total             counter    group commits (fsyncs) of the outcome log
 //	wal_fsync_batched_records   counter    records those commits settled (ratio = batch size)
+//	wal_failed                  gauge      1 after the log's first sticky error (degraded), else 0
+//	wal_last_error_unix         gauge      Unix time of that first sticky error, 0 while healthy
 //	firehose_events_total       counter    events published to the firehose ring
 //	firehose_dropped_total      counter    events slow sinks missed (all sinks, ever)
 //	round_latency_p50_seconds   gauge      nearest-rank p50 close latency (sliding ring)
@@ -340,7 +386,8 @@
 // fmore_exchange_wrong_partition_total.
 //
 // cmd/fmore-exchange is the runnable front end (see its -data-dir,
-// -snapshot-bytes, -sync-interval, -commit and -pprof-addr flags), and
+// -snapshot-bytes, -sync-interval, -commit, -on-wal-failure and
+// -pprof-addr flags), and
 // examples/exchange is a full SDK-driven quickstart including a
 // close-and-reopen pass. Engine adapts
 // one job to the transport.Engine interface for in-process embedding; the

@@ -90,6 +90,13 @@ type Options struct {
 	// share one data-dir parent. Nil (the default) is the unpartitioned
 	// single-process posture with zero added cost on any path.
 	Partition *partition.Assignment
+	// OnWALFailure selects the storage failure policy of a durable
+	// exchange: WALDegrade (the default) keeps serving reads while
+	// refusing durable writes with *DegradedError after the outcome log's
+	// first sticky error; WALFailstop terminates the process instead. Only
+	// meaningful with Open. See the "Failure model & degraded mode"
+	// section of the package documentation.
+	OnWALFailure WALFailurePolicy
 	// Admission enables overload protection: hierarchical token-bucket
 	// rate limits on bid intake (global/per-node/per-job), an in-flight
 	// request gate, and SSE subscriber caps, all with shed accounting
@@ -159,6 +166,14 @@ type Exchange struct {
 	walSegs        atomic.Int64
 	walSealedBytes atomic.Int64
 
+	// Degraded-mode state, written once by walFailure (the persister's
+	// onFail callback) and read lock-free by every durable write path,
+	// healthz and the metrics snapshot. walFailed is stored last so a
+	// reader that observes it also observes the cause and timestamp.
+	walFailed     atomic.Bool
+	walFailedUnix atomic.Int64
+	walLastErr    atomic.Pointer[error]
+
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -220,6 +235,11 @@ func (ex *Exchange) CreateJob(spec JobSpec) (*Job, error) {
 	if ex.closed {
 		return nil, ErrExchangeClosed
 	}
+	// A degraded replica must not host new jobs: their created records
+	// would never reach disk, so a restart would forget them entirely.
+	if err := ex.degradedErr(); err != nil {
+		return nil, err
+	}
 	hosted := ex.table.Load().jobs
 	id := spec.ID
 	if id == "" {
@@ -267,6 +287,12 @@ func (ex *Exchange) RemoveJob(id string) error {
 	j, ok := ex.table.Load().jobs[id]
 	if !ok {
 		return ex.missingJob(id)
+	}
+	// Removal is a durable mutation (the removal record is what keeps the
+	// job gone after recovery), so a degraded replica refuses it before
+	// touching the job.
+	if err := ex.degradedErr(); err != nil {
+		return err
 	}
 	j.close(false)
 	if j.loopDone != nil {
@@ -357,6 +383,14 @@ func (ex *Exchange) SubmitBid(jobID string, bid auction.Bid) (round int, err err
 	if !ok {
 		ex.metrics.bidsRejected.Add(1)
 		return 0, ex.missingJob(jobID)
+	}
+	// Degraded gate, ahead of all intake work: an accepted bid is a
+	// durability promise (its round's record must survive a restart),
+	// which a failed WAL can no longer keep. One atomic load while
+	// healthy.
+	if err := ex.degradedErr(); err != nil {
+		ex.metrics.bidsRejected.Add(1)
+		return 0, err
 	}
 	info, registered := ex.reg.Lookup(bid.NodeID)
 	if !registered && ex.opts.RequireRegistration {
@@ -466,6 +500,8 @@ func (ex *Exchange) Metrics() Snapshot {
 		s.WalFsyncTotal = ex.wal.fsyncs.Load()
 		s.WalFsyncBatchedRecords = ex.wal.fsyncRecs.Load()
 	}
+	s.WalFailed = ex.walFailed.Load()
+	s.WalLastErrorUnix = ex.walFailedUnix.Load()
 	s.FirehoseEvents, s.FirehoseDropped = fhStats(ex.fh)
 	if ex.adm != nil {
 		st := ex.adm.Stats()
@@ -503,12 +539,17 @@ func (ex *Exchange) Sync() error {
 // closes are drained, background compaction stops, the scoring pool is
 // stopped, and the outcome log (if any) is flushed and closed. Shutdown
 // does not write job-closed records — a restart via Open resumes every
-// unfinished job. Idempotent.
-func (ex *Exchange) Close() {
+// unfinished job. Idempotent; the error is the outcome log's first sticky
+// error (a failed final write, fsync or file close — records that never
+// became durable), nil on an in-memory exchange or a clean shutdown.
+func (ex *Exchange) Close() error {
 	ex.mu.Lock()
 	if ex.closed {
 		ex.mu.Unlock()
-		return
+		if ex.wal != nil {
+			return ex.wal.close() // idempotent: waits out the first close, reports its error
+		}
+		return nil
 	}
 	ex.closed = true
 	t := ex.table.Load()
@@ -544,10 +585,12 @@ func (ex *Exchange) Close() {
 	ex.fh.stopAll()
 	// After the barrier no append can be in flight, so the final flush sees
 	// every record.
+	var err error
 	if ex.wal != nil {
-		ex.wal.close() //nolint:errcheck // sticky error remains readable via Sync-before-Close
+		err = ex.wal.close()
 	}
 	if ex.walLock != nil {
 		ex.walLock.Close() //nolint:errcheck // advisory lock dies with the fd either way
 	}
+	return err
 }

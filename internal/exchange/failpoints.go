@@ -1,0 +1,26 @@
+package exchange
+
+import "fmore/internal/fault"
+
+// Failpoints of the durability path. Each sits exactly where the real
+// error would surface, so an injected EIO/ENOSPC/torn write exercises the
+// identical handling code a failing disk would — sticky persister error,
+// degraded mode, compaction abort-and-rearm. All are dormant (one atomic
+// load, zero allocations) unless armed by a test, the chaos harness, or
+// FMORE_FAILPOINTS (see internal/fault).
+var (
+	// fpWalWrite guards the writer's batch write syscall. Torn configs
+	// model a short write: the allowed prefix reaches the file, then the
+	// error sticks — the classic torn-tail crash shape.
+	fpWalWrite = fault.New("wal/write")
+	// fpWalFsync guards the group-commit fdatasync.
+	fpWalFsync = fault.New("wal/fsync")
+	// fpWalRotate guards the writer's segment switch (sealing the old
+	// segment).
+	fpWalRotate = fault.New("wal/rotate")
+	// fpWalPrealloc guards new-segment preallocation in Compact; a firing
+	// aborts the compaction (rearmed, not sticky) like a real ENOSPC.
+	fpWalPrealloc = fault.New("wal/prealloc")
+	// fpWalSnapshot guards the snapshot tmp+rename commit.
+	fpWalSnapshot = fault.New("wal/snapshot")
+)

@@ -57,6 +57,11 @@ const (
 	// places the job on another replica; the envelope carries that replica's
 	// base URL so the caller can re-aim in one hop.
 	codeWrongPartition = "wrong_partition"
+	// codeDurabilityLost (503) means the replica's outcome log took a
+	// sticky error and it refuses durable writes (degraded mode). Reads
+	// keep serving; clients should retry the write against a healthy
+	// replica after refreshing the partition map.
+	codeDurabilityLost = "durability_lost"
 )
 
 // errorEnvelope is the uniform v1 error shape. The partition fields are set
@@ -902,39 +907,47 @@ func (h *handler) clusterPartitions(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// healthzResponse is the GET /v1/healthz payload. status is "ok" or
-// "overloaded"; the admission_* fields mirror the controller's accounting
-// (all zero, and status always "ok", when admission is disabled).
+// healthzResponse is the GET /v1/healthz payload. status is "ok",
+// "overloaded" (admission backpressure, clears on its own) or "degraded"
+// (durability lost, clears only on restart/failover); the admission_*
+// fields mirror the controller's accounting (all zero when admission is
+// disabled).
 type healthzResponse struct {
-	Status       string `json:"status"`
-	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
-	Inflight     int64  `json:"admission_inflight"`
-	ShedTotal    int64  `json:"admission_shed_total"`
-	SSEActive    int64  `json:"admission_sse_active"`
+	Status        string `json:"status"`
+	RetryAfterMS  int64  `json:"retry_after_ms,omitempty"`
+	WalFailedUnix int64  `json:"wal_failed_unix,omitempty"`
+	Inflight      int64  `json:"admission_inflight"`
+	ShedTotal     int64  `json:"admission_shed_total"`
+	SSEActive     int64  `json:"admission_sse_active"`
 }
 
-// healthz is the overload probe for routers and load balancers: 200 while
+// healthz is the health probe for routers and load balancers: 200 while
 // the exchange accepts work, 503 + retry_after_ms while the admission
 // controller reports overload (in-flight gate saturated, or a shed within
-// the overload window). The handler itself is never shed — a prober must
-// always get an answer.
+// the overload window) or the replica is degraded (outcome log failed —
+// see the failure-model section in the package docs). Degraded wins over
+// overloaded: it is the stronger condition, never clears on its own, and
+// is reported with or without an admission controller installed. The
+// handler itself is never shed — a prober must always get an answer.
 func (h *handler) healthz(w http.ResponseWriter, _ *http.Request) {
-	adm := h.ex.Admission()
-	if adm == nil {
-		writeJSON(w, http.StatusOK, healthzResponse{Status: "ok"})
-		return
+	resp := healthzResponse{Status: "ok"}
+	if adm := h.ex.Admission(); adm != nil {
+		st := adm.Stats()
+		resp.Inflight = st.Inflight
+		resp.ShedTotal = st.ShedTotal()
+		resp.SSEActive = st.SSEActive
+		if st.Overloaded {
+			resp.Status = "overloaded"
+			resp.RetryAfterMS = retryMS(st.RetryAfter)
+		}
 	}
-	st := adm.Stats()
-	resp := healthzResponse{
-		Status:    "ok",
-		Inflight:  st.Inflight,
-		ShedTotal: st.ShedTotal(),
-		SSEActive: st.SSEActive,
+	if h.ex.Degraded() {
+		resp.Status = "degraded"
+		resp.WalFailedUnix = h.ex.DegradedSince()
+		resp.RetryAfterMS = retryMS(time.Second)
 	}
 	status := http.StatusOK
-	if st.Overloaded {
-		resp.Status = "overloaded"
-		resp.RetryAfterMS = retryMS(st.RetryAfter)
+	if resp.Status != "ok" {
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, resp)
@@ -1014,11 +1027,14 @@ func parseLimit(s string, def, max int) (int, error) {
 func classify(err error) (status int, code string) {
 	var wp *WrongPartitionError
 	var ov *OverloadError
+	var dg *DegradedError
 	switch {
 	case errors.As(err, &wp):
 		return http.StatusMisdirectedRequest, codeWrongPartition
 	case errors.As(err, &ov):
 		return http.StatusTooManyRequests, codeOverloaded
+	case errors.As(err, &dg):
+		return http.StatusServiceUnavailable, codeDurabilityLost
 	case errors.Is(err, ErrUnknownJob):
 		return http.StatusNotFound, codeUnknownJob
 	case errors.Is(err, ErrRoundPending):
@@ -1087,6 +1103,14 @@ func writeErr(w http.ResponseWriter, err error) {
 	var ov *OverloadError
 	if errors.As(err, &ov) {
 		env.RetryAfterMS = retryMS(ov.RetryAfter)
+	}
+	var dg *DegradedError
+	if errors.As(err, &dg) {
+		// The condition clears only on replica restart (or failover), so
+		// the hint is "soon, elsewhere": long enough for a router probe
+		// cycle to steer traffic away, short enough that clients holding a
+		// stale map re-resolve quickly.
+		env.RetryAfterMS = retryMS(time.Second)
 	}
 	writeJSON(w, status, env)
 }

@@ -379,6 +379,14 @@ func (j *Job) closeRoundLocked() (RoundOutcome, error) {
 	if j.closed.Load() {
 		return RoundOutcome{}, ErrJobClosed
 	}
+	// A degraded replica must not close rounds: the outcome would be
+	// acknowledged to clients but its record can no longer reach disk, and
+	// a lost acknowledged outcome is the one thing this system promises
+	// never to produce. The collected bids stay in the intake, so a
+	// recovered (restarted) replica closes the round with nothing lost.
+	if err := j.ex.degradedErr(); err != nil {
+		return RoundOutcome{}, err
+	}
 	if got := int(j.intake.pending.Load()); got < j.spec.MinBids {
 		j.ex.metrics.idleTicks.Add(1)
 		return RoundOutcome{}, fmt.Errorf("%w: %d/%d", ErrBelowQuorum, got, j.spec.MinBids)

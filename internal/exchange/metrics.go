@@ -115,6 +115,12 @@ type Snapshot struct {
 	// (Options.Commit). Both 0 in-memory.
 	WalFsyncTotal          int64 `json:"wal_fsync_total"`
 	WalFsyncBatchedRecords int64 `json:"wal_fsync_batched_records"`
+	// WalFailed reports durability loss: the outcome log took a sticky
+	// error and the replica is refusing durable writes (degraded mode).
+	// WalLastErrorUnix is when (Unix seconds), 0 while healthy. Both stay
+	// healthy-valued in-memory.
+	WalFailed        bool  `json:"wal_failed"`
+	WalLastErrorUnix int64 `json:"wal_last_error_unix"`
 	// WrongPartition counts requests refused with wrong_partition — jobs
 	// the cluster map assigns to a different replica. Stays 0 unpartitioned.
 	WrongPartition int64 `json:"wrong_partition"`

@@ -232,6 +232,12 @@ type persister struct {
 	// misbehaves under load.
 	err atomic.Pointer[error]
 
+	// onFail, when set, is invoked exactly once — by whichever goroutine
+	// wins the sticky-error CAS — with the first error. It runs lock-free
+	// from arbitrary contexts (including the writer goroutine), so it must
+	// never block; the exchange uses it to flip into degraded mode.
+	onFail func(error)
+
 	mu     sync.Mutex // guards ch against send-after-close
 	closed bool
 
@@ -273,7 +279,7 @@ func newFrameBuf() *frameBuf {
 	return fb
 }
 
-func newPersister(f *os.File, seq, size int64, syncDelay time.Duration, adaptive bool, threshold int64, onFull func()) *persister {
+func newPersister(f *os.File, seq, size int64, syncDelay time.Duration, adaptive bool, threshold int64, onFull func(), onFail func(error)) *persister {
 	if syncDelay <= 0 {
 		syncDelay = defaultSyncDelay
 	}
@@ -284,6 +290,7 @@ func newPersister(f *os.File, seq, size int64, syncDelay time.Duration, adaptive
 		seq:       seq,
 		threshold: threshold,
 		onFull:    onFull,
+		onFail:    onFail,
 		ch:        make(chan persistMsg, walBuffer),
 		done:      make(chan struct{}),
 	}
@@ -366,9 +373,13 @@ func (p *persister) Err() error {
 }
 
 // fail records the first sticky error, lock-free (see the err field's
-// comment for why the writer goroutine must never block here).
+// comment for why the writer goroutine must never block here). The CAS
+// winner also fires onFail, so the degraded-mode transition happens exactly
+// once and carries the first error, never a later one.
 func (p *persister) fail(err error) {
-	p.err.CompareAndSwap(nil, &err)
+	if p.err.CompareAndSwap(nil, &err) && p.onFail != nil {
+		p.onFail(err)
+	}
 }
 
 // close drains the queue, fsyncs, trims the segment's preallocated tail
@@ -426,11 +437,23 @@ func (p *persister) run() {
 			return
 		}
 		if !failed && p.Err() == nil {
-			if _, err := p.f.Write(batch); err != nil {
-				p.fail(err)
+			// The failpoint bounds the write like a failing device would: a
+			// torn config lets a prefix reach the file before the error
+			// sticks, leaving exactly the partial frame recovery must
+			// truncate away.
+			allowed, ferr := fpWalWrite.Cut(len(batch))
+			if allowed > 0 {
+				if _, werr := p.f.Write(batch[:allowed]); werr != nil {
+					if ferr == nil {
+						ferr = werr
+					}
+				} else {
+					dirty = true // even a torn prefix is on its way to disk
+				}
+			}
+			if ferr != nil {
+				p.fail(ferr)
 				failed = true
-			} else {
-				dirty = true
 			}
 		}
 		batch = batch[:0]
@@ -438,7 +461,11 @@ func (p *persister) run() {
 	settle := func() {
 		flushBatch()
 		if dirty {
-			if err := fdatasync(p.f); err != nil {
+			err := fpWalFsync.Fire()
+			if err == nil {
+				err = fdatasync(p.f)
+			}
+			if err != nil {
 				p.fail(err)
 				failed = true
 			} else {
@@ -490,7 +517,11 @@ func (p *persister) run() {
 			// crash that loses the trim leaves zero-fill, which replay
 			// recognizes as clean preallocated space.
 			p.f.Truncate(p.size.Load()) //nolint:errcheck // zero tails are tolerated by replay
-			if err := p.f.Close(); err != nil {
+			err := fpWalRotate.Fire()
+			if cerr := p.f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
 				p.fail(err)
 				failed = true
 			}
@@ -748,6 +779,9 @@ func lockDir(dir string) (*os.File, error) {
 // commit point — a crash anywhere before it leaves the previous snapshot
 // (or none) in force, with every segment it needs still on disk.
 func writeSnapshot(dir string, snap *walSnapshot) error {
+	if err := fpWalSnapshot.Fire(); err != nil {
+		return fmt.Errorf("exchange: writing snapshot: %w", err)
+	}
 	payload, err := json.Marshal(snap)
 	if err != nil {
 		return fmt.Errorf("exchange: encoding snapshot: %w", err)
@@ -858,6 +892,9 @@ func (ex *Exchange) Compact() error {
 	// Preallocate before the durability fsync so the reservation itself is
 	// durable with the file: steady-state appends then never extend the
 	// segment and each group commit is a data-only flush.
+	if err := fpWalPrealloc.Fire(); err != nil {
+		return abort(fmt.Errorf("exchange: preallocating segment: %w", err))
+	}
 	preallocate(f, walPreallocBytes(ex.opts))
 	if err := f.Sync(); err != nil {
 		return abort(fmt.Errorf("exchange: creating segment: %w", err))
@@ -1276,7 +1313,7 @@ func Open(dir string, opts Options) (*Exchange, error) {
 		case ex.compactCh <- struct{}{}:
 		default:
 		}
-	})
+	}, ex.walFailure)
 	go ex.compactLoop()
 	// Start the bid windows only now: a loop closing rounds mid-replay would
 	// interleave fresh draws with the reconstruction of old ones.

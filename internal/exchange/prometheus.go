@@ -44,6 +44,12 @@ func writePrometheus(w io.Writer, ex *Exchange) error {
 	gauge("wal_bytes", "Logical bytes across live WAL segments (sealed plus active tail; preallocated-but-unwritten space is excluded).", float64(s.WalBytes))
 	counter("wal_fsync_total", "Group commits (fsyncs) of the outcome log.", s.WalFsyncTotal)
 	counter("wal_fsync_batched_records", "Records made durable by those group commits; the ratio to wal_fsync_total is the achieved batch size.", s.WalFsyncBatchedRecords)
+	walFailed := 0.0
+	if s.WalFailed {
+		walFailed = 1
+	}
+	gauge("wal_failed", "1 after the outcome log's first sticky error (replica degraded, refusing durable writes), else 0.", walFailed)
+	gauge("wal_last_error_unix", "Unix time of the outcome log's first sticky error, 0 while healthy.", float64(s.WalLastErrorUnix))
 	counter("firehose_events_total", "Events published into the firehose tap since a sink first attached.", s.FirehoseEvents)
 	counter("firehose_dropped_total", "Firehose events lost to ring overrun across all sinks.", s.FirehoseDropped)
 	// Partition metrics appear only on a partitioned replica: an info-style

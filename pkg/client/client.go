@@ -17,8 +17,16 @@ import (
 	"strings"
 	"time"
 
+	"fmore/internal/fault"
 	"fmore/internal/partition"
 )
+
+// fpTransport injects transport-level failures (connection errors, latency)
+// into every SDK request, exercising the client's retry/backoff/budget
+// machinery without a flaky network. Enable via
+// FMORE_FAILPOINTS="sdk/transport=eio@p0.1" in a process that calls
+// fault.EnableFromEnv, or fault.Enable in tests.
+var fpTransport = fault.New("sdk/transport")
 
 // Client is a typed client for the exchange's /v1 API. All methods are safe
 // for concurrent use; the underlying http.Client reuses connections.
@@ -27,6 +35,9 @@ type Client struct {
 	hc      *http.Client
 	retries int
 	backoff time.Duration
+	// retryBudget caps the total time one call may spend sleeping between
+	// retry attempts; see WithRetryBudget.
+	retryBudget time.Duration
 	// routes holds the cluster partition map once EnableRouting fetched one;
 	// with no map every request goes to base.
 	routes partition.Handle
@@ -53,6 +64,17 @@ func WithBackoff(d time.Duration) Option {
 	return func(c *Client) { c.backoff = d }
 }
 
+// WithRetryBudget caps the total time one call may spend sleeping between
+// retry attempts (server hints and computed backoff alike); once the next
+// sleep would exceed the budget the call fails with the last error
+// instead. A degraded cluster — every replica answering 503
+// durability_lost with a retry hint — therefore fails fast rather than
+// backing off for the full retry count. Default 5s; 0 or negative removes
+// the cap.
+func WithRetryBudget(d time.Duration) Option {
+	return func(c *Client) { c.retryBudget = d }
+}
+
 // New returns a client for the exchange at baseURL (e.g.
 // "http://localhost:8780"). The /v1 prefix is implied; do not include it.
 func New(baseURL string, opts ...Option) (*Client, error) {
@@ -67,10 +89,11 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 		return nil, fmt.Errorf("client: base URL %q has no host", baseURL)
 	}
 	c := &Client{
-		base:    strings.TrimRight(u.String(), "/"),
-		hc:      &http.Client{},
-		retries: 3,
-		backoff: 100 * time.Millisecond,
+		base:        strings.TrimRight(u.String(), "/"),
+		hc:          &http.Client{},
+		retries:     3,
+		backoff:     100 * time.Millisecond,
+		retryBudget: 5 * time.Second,
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -306,6 +329,11 @@ type request struct {
 	// retry marks the request safe to re-issue after a transient failure
 	// (GETs, and POSTs carrying an idempotency key).
 	retry bool
+	// noReaim disables the wrong_partition/durability_lost re-aim paths.
+	// Set on the partition-map fetch itself, whose re-aim handling calls
+	// back into RefreshPartitions — without the guard, an intermediary
+	// answering that endpoint with one of those codes would recurse.
+	noReaim bool
 	// job scopes the request to one job for SDK-side routing: with a
 	// partition map loaded, the request goes directly to the owning replica.
 	job string
@@ -318,6 +346,17 @@ type request struct {
 // refreshing the map on the way — safe even for non-idempotent requests,
 // since the refusing replica executed nothing), and a replica that is
 // unreachable falls back through the client's base URL.
+// doTransport issues one HTTP request through the sdk/transport failpoint:
+// when firing it injects its configured latency and error before the
+// request leaves the process, modelling the connection failures the retry
+// loop must absorb.
+func (c *Client) doTransport(hr *http.Request) (*http.Response, error) {
+	if err := fpTransport.Fire(); err != nil {
+		return nil, err
+	}
+	return c.hc.Do(hr)
+}
+
 func (c *Client) do(ctx context.Context, req request) error {
 	var bodyBytes []byte
 	if req.body != nil {
@@ -331,21 +370,32 @@ func (c *Client) do(ctx context.Context, req request) error {
 		maxAttempts += c.retries
 	}
 	// pinned overrides per-attempt base selection after a redirect or
-	// fallback; redirected caps wrong_partition re-aims at one per call.
+	// fallback; redirected caps wrong_partition re-aims at one per call,
+	// rerouted caps durability_lost re-aims the same way.
 	pinned := ""
 	redirected := false
+	rerouted := false
+	var slept time.Duration // total retry-sleep spent, charged against the budget
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		if attempt > 0 {
-			// A server-supplied retry_after_ms (429 overloaded, 504 timeout)
-			// overrides the computed backoff: the server knows when capacity
-			// returns, and honoring the hint keeps a shedding exchange from
-			// being hammered on the client's own schedule.
-			if hint := retryHint(lastErr); hint > 0 {
-				if err := sleepFor(ctx, hint); err != nil {
-					return lastErr
-				}
-			} else if err := sleepBackoff(ctx, c.backoff, attempt-1); err != nil {
+			// A server-supplied retry_after_ms (429 overloaded, 503
+			// durability_lost, 504 timeout) overrides the computed backoff:
+			// the server knows when capacity returns, and honoring the hint
+			// keeps a shedding exchange from being hammered on the client's
+			// own schedule.
+			d := retryHint(lastErr)
+			if d <= 0 {
+				d = backoffDelay(c.backoff, attempt-1)
+			}
+			// The retry budget fails the call fast once the retries' sleep
+			// time is spent — a fully degraded cluster answers in ~budget,
+			// not retries x hint.
+			if c.retryBudget > 0 && slept+d > c.retryBudget {
+				return lastErr
+			}
+			slept += d
+			if err := sleepFor(ctx, d); err != nil {
 				return lastErr
 			}
 		}
@@ -367,7 +417,7 @@ func (c *Client) do(ctx context.Context, req request) error {
 		for k, v := range req.headers {
 			hr.Header.Set(k, v)
 		}
-		resp, err := c.hc.Do(hr)
+		resp, err := c.doTransport(hr)
 		if err != nil {
 			lastErr = fmt.Errorf("client: %s %s: %w", req.method, req.path, err)
 			if ctx.Err() != nil {
@@ -404,13 +454,31 @@ func (c *Client) do(ctx context.Context, req request) error {
 		}
 		apiErr := decodeAPIError(resp)
 		lastErr = apiErr
-		if apiErr.Code == CodeWrongPartition && apiErr.ReplicaURL != "" && !redirected {
+		if apiErr.Code == CodeWrongPartition && apiErr.ReplicaURL != "" && !redirected && !req.noReaim {
 			// The replica refused without executing anything, so one
 			// immediate re-aim is safe regardless of req.retry. Refresh the
 			// map (best effort) so future calls route directly.
 			redirected = true
 			pinned = strings.TrimRight(apiErr.ReplicaURL, "/")
 			_ = c.RefreshPartitions(ctx)
+			attempt--
+			continue
+		}
+		if apiErr.Code == CodeDurabilityLost && !rerouted && !req.noReaim {
+			// Routing feedback of the wrong_partition class: the degraded
+			// replica refused before executing anything, so one immediate
+			// re-aim — with the same headers, Idempotency-Key included — is
+			// safe. Refresh the map in case the operator already moved the
+			// partition to healthy hardware; otherwise fall back through the
+			// client's base (typically the router, whose healthz probe knows
+			// which replicas still take writes).
+			rerouted = true
+			_ = c.RefreshPartitions(ctx)
+			if rb := c.routedBase(req.job); rb != base {
+				pinned = rb
+			} else {
+				pinned = c.base
+			}
 			attempt--
 			continue
 		}
@@ -461,9 +529,9 @@ func sleepFor(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// sleepBackoff sleeps base·2ᵃᵗᵗᵉᵐᵖᵗ with ±50% jitter (capped at 5s), or
-// returns early when ctx expires.
-func sleepBackoff(ctx context.Context, base time.Duration, attempt int) error {
+// backoffDelay computes base·2ᵃᵗᵗᵉᵐᵖᵗ with ±50% jitter, capped at 5s. The
+// delay is materialized before sleeping so the retry budget can charge it.
+func backoffDelay(base time.Duration, attempt int) time.Duration {
 	if base <= 0 {
 		base = 100 * time.Millisecond
 	}
@@ -471,15 +539,7 @@ func sleepBackoff(ctx context.Context, base time.Duration, attempt int) error {
 	if d > 5*time.Second {
 		d = 5 * time.Second
 	}
-	d = time.Duration(float64(d) * (0.5 + mrand.Float64())) //nolint:gosec // jitter, not crypto
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-t.C:
-		return nil
-	}
+	return time.Duration(float64(d) * (0.5 + mrand.Float64())) //nolint:gosec // jitter, not crypto
 }
 
 // decodeAPIError reads the v1 error envelope (falling back to the raw body

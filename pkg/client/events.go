@@ -97,7 +97,7 @@ func (c *Client) WatchRounds(ctx context.Context, jobID string, opts WatchOption
 				// Stream broke mid-flight (server drop, network): resume.
 				attempt++
 			}
-			if serr := sleepBackoff(ctx, c.backoff, attempt); serr != nil {
+			if serr := sleepFor(ctx, backoffDelay(c.backoff, attempt)); serr != nil {
 				return
 			}
 			body, err = c.connectEvents(ctx, jobID, lastRound)

@@ -30,7 +30,7 @@ type ClusterPartitions struct {
 // CodeNotFound.
 func (c *Client) ClusterPartitionsMap(ctx context.Context) (ClusterPartitions, error) {
 	var cp ClusterPartitions
-	err := c.do(ctx, request{method: "GET", path: "/v1/cluster/partitions", out: &cp, retry: true})
+	err := c.do(ctx, request{method: "GET", path: "/v1/cluster/partitions", out: &cp, retry: true, noReaim: true})
 	return cp, err
 }
 

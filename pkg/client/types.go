@@ -48,6 +48,13 @@ const (
 	// APIError's ReplicaURL names the owner. The client handles it
 	// transparently — see EnableRouting — so callers rarely observe it.
 	CodeWrongPartition = "wrong_partition"
+	// CodeDurabilityLost (503) means the replica's outcome log failed and
+	// it refuses durable writes (degraded mode); reads still serve. The
+	// client treats it as routing feedback: it refreshes the partition map
+	// and re-aims once (same Idempotency-Key — the degraded replica
+	// executed nothing), then fails within the retry budget if the whole
+	// cluster is degraded.
+	CodeDurabilityLost = "durability_lost"
 )
 
 // APIError is a non-2xx response decoded from the uniform v1 error envelope
